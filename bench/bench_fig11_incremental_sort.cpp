@@ -1,0 +1,122 @@
+// Figure 11: particle redistribution via bucket-based incremental sorting
+// vs running the full distribution algorithm at every redistribution.
+//
+// We run the same drifting irregular simulation twice with periodic
+// redistribution; one partitioner uses the incremental path, the other a
+// full sample sort each time. Reported: per-redistribution cost (modeled
+// seconds), sorting work (comparisons + moves) and particles moved.
+//
+// Expected shape: incremental cheaper on every redistribution — it
+// exploits the previous sorted order, so per-bucket sorts are mostly
+// sortedness checks.
+#include "common.hpp"
+
+#include "core/partitioner.hpp"
+#include "particles/init.hpp"
+#include "particles/pusher.hpp"
+#include "pic/simulation.hpp"
+#include "sfc/hilbert.hpp"
+#include "sim/comm.hpp"
+#include "util/rng.hpp"
+
+using namespace picpar;
+
+namespace {
+
+struct Totals {
+  double seconds = 0.0;
+  std::uint64_t ops = 0;
+  std::uint64_t moved = 0;
+  int rounds = 0;
+};
+
+/// Replay a drift workload and redistribute every `period` steps with
+/// either the incremental or the full algorithm.
+Totals measure(bool incremental, int ranks, std::uint64_t n, int rounds,
+               int period) {
+  const mesh::GridDesc grid(128, 64);
+  const sfc::HilbertCurve curve(128, 64);
+  particles::InitParams init;
+  init.total = n;
+  init.drift_ux = 0.12;
+  init.drift_uy = 0.07;
+  const auto global =
+      particles::generate(particles::Distribution::kGaussian, grid, init);
+
+  std::vector<Totals> per_rank(static_cast<std::size_t>(ranks));
+  sim::Machine machine(ranks, sim::CostModel::cm5());
+  machine.run([&](sim::Comm& comm) {
+    core::ParticlePartitioner part(curve, grid);
+    particles::ParticleArray mine(global.charge(), global.mass());
+    const auto b = static_cast<std::uint64_t>(comm.rank()) * n /
+                   static_cast<std::uint64_t>(ranks);
+    const auto e = static_cast<std::uint64_t>(comm.rank() + 1) * n /
+                   static_cast<std::uint64_t>(ranks);
+    for (std::uint64_t i = b; i < e; ++i)
+      mine.push_back(global.rec(static_cast<std::size_t>(i)));
+
+    part.assign_keys(comm, mine);
+    part.distribute(comm, mine);
+
+    auto& t = per_rank[static_cast<std::size_t>(comm.rank())];
+    const double dt = 0.5;
+    for (int round = 0; round < rounds; ++round) {
+      // Drift particles `period` steps (kinematics only — the sort cost
+      // is what Fig 11 studies).
+      for (int s = 0; s < period; ++s)
+        for (std::size_t i = 0; i < mine.size(); ++i)
+          particles::advance_position(grid, mine, i, dt);
+      part.assign_keys(comm, mine);
+
+      const auto rep = incremental ? part.redistribute(comm, mine)
+                                   : part.distribute(comm, mine);
+      t.seconds += comm.allreduce_max(rep.seconds);
+      t.ops += rep.work.total_ops();
+      t.moved += rep.sent_particles;
+      ++t.rounds;
+    }
+  });
+  Totals out = per_rank[0];
+  for (int r = 1; r < ranks; ++r) {
+    out.ops = std::max(out.ops, per_rank[static_cast<std::size_t>(r)].ops);
+    out.moved += per_rank[static_cast<std::size_t>(r)].moved;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig11_incremental_sort",
+          "Figure 11: incremental vs full redistribution");
+  auto ranks = cli.flag<int>("ranks", 32, "simulated processors");
+  const auto scale = bench::parse_scale(cli, argc, argv);
+  const std::uint64_t n = scale.particles(32768);
+  const int rounds = scale.full ? 40 : 10;
+  const int period = 10;
+
+  bench::print_header("Figure 11 — incremental vs full redistribution",
+                      std::to_string(rounds) + " redistributions, every " +
+                          std::to_string(period) + " drift steps");
+
+  Table table({"algorithm", "redistributions", "total cost (s)",
+               "cost/redist (s)", "max-rank sort ops", "particles moved"});
+  table.set_title("Fig 11: redistribution algorithm comparison");
+
+  for (bool inc : {false, true}) {
+    const auto t = measure(inc, *ranks, n, rounds, period);
+    table.row()
+        .add(inc ? "bucket incremental" : "full distribution")
+        .add(static_cast<long long>(t.rounds))
+        .add(t.seconds, 3)
+        .add(t.seconds / t.rounds, 4)
+        .add(static_cast<std::size_t>(t.ops))
+        .add(static_cast<std::size_t>(t.moved));
+    std::cout << "." << std::flush;
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nExpected: incremental cost per redistribution below the "
+               "full distribution's.\n";
+  return 0;
+}

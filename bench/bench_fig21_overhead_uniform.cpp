@@ -1,0 +1,63 @@
+// Figure 21: overhead (execution time - computation time) of 200
+// iterations for the UNIFORM distribution, Hilbert vs snakelike indexing,
+// P in {32, 64, 128}. Overhead bundles redistribution cost plus
+// communication in the scatter, field-solve and gather phases.
+//
+// Expected shape: Hilbert overhead <= snake; overhead flat or decreasing
+// with P for a fixed problem; redistribution share < 20% at 128 procs.
+#include "common.hpp"
+#include "pic/simulation.hpp"
+
+using namespace picpar;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig21_overhead_uniform",
+          "Figure 21: overhead for the uniform distribution");
+  const auto scale = bench::parse_scale(cli, argc, argv);
+  const int iters = scale.full ? 200 : 50;
+
+  bench::print_header("Figure 21 — overhead, uniform distribution",
+                      "overhead = execution - computation (modeled s)");
+
+  struct Config {
+    std::uint32_t nx, ny;
+    std::uint64_t n;
+  };
+  const Config configs[] = {
+      {256, 128, 32768}, {256, 128, 65536}, {512, 256, 65536},
+      {512, 256, 131072}};
+
+  Table table({"mesh", "particles", "indexing", "P", "overhead (s)",
+               "redist share"});
+  table.set_title("Fig 21: overhead of " + std::to_string(iters) +
+                  " iterations, uniform");
+
+  for (const auto& cfg : configs) {
+    const auto n = scale.particles(cfg.n);
+    for (const auto curve : {sfc::CurveKind::kHilbert, sfc::CurveKind::kSnake}) {
+      for (int p : {32, 64, 128}) {
+        auto params = bench::paper_params("uniform", cfg.nx, cfg.ny, n, p);
+        params.iterations = iters;
+        params.curve = curve;
+        const auto r = pic::run_pic(params);
+        const double share =
+            r.overhead_seconds() > 0.0
+                ? r.redist_seconds_total / r.overhead_seconds()
+                : 0.0;
+        table.row()
+            .add(std::to_string(cfg.nx) + "x" + std::to_string(cfg.ny))
+            .add(static_cast<std::size_t>(n))
+            .add(sfc::curve_kind_name(curve))
+            .add(static_cast<long long>(p))
+            .add(r.overhead_seconds(), 2)
+            .add(share, 3);
+        std::cout << "." << std::flush;
+      }
+    }
+    std::cout << '\n';
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: hilbert overhead <= snake; flat/decreasing in P; "
+               "redistribution share < 0.2 at P=128.\n";
+  return 0;
+}

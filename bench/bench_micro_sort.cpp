@@ -1,0 +1,88 @@
+// Micro-benchmarks: local sorting building blocks of the redistribution
+// algorithms — full key sort, adaptive record sort on (nearly) sorted
+// input, and the two-run merge.
+#include <benchmark/benchmark.h>
+
+#include "core/sort_util.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace picpar;
+using core::merge_runs;
+using core::sort_by_key;
+using core::sort_records;
+using particles::ParticleArray;
+using particles::ParticleRec;
+
+ParticleArray random_particles(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  ParticleArray p(-1.0, 1.0);
+  p.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ParticleRec r;
+    r.key = rng.below(1u << 20);
+    p.push_back(r);
+  }
+  return p;
+}
+
+void BM_SortByKeyRandom(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto p = random_particles(n, 3);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sort_by_key(p));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_SortByKeyRandom)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_SortRecordsSorted(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<ParticleRec> recs(n);
+  for (std::size_t i = 0; i < n; ++i) recs[i].key = i;
+  for (auto _ : state) benchmark::DoNotOptimize(sort_records(recs));
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_SortRecordsSorted)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_SortRecordsNearlySorted(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<ParticleRec> recs(n);
+    for (std::size_t i = 0; i < n; ++i)
+      recs[i].key = 10 * i + rng.below(40);  // local disorder only
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sort_records(recs));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_SortRecordsNearlySorted)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_MergeTwoRuns(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::vector<ParticleRec>> runs(2);
+    for (std::size_t i = 0; i < n; ++i) {
+      ParticleRec r;
+      r.key = 2 * i;
+      runs[0].push_back(r);
+      r.key = 2 * i + 1;
+      runs[1].push_back(r);
+    }
+    ParticleArray out(-1.0, 1.0);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(merge_runs(runs, out));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(2 * n));
+}
+BENCHMARK(BM_MergeTwoRuns)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

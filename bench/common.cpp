@@ -1,0 +1,49 @@
+#include "common.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace picpar::bench {
+
+Scale parse_scale(picpar::Cli& cli, int argc, const char* const* argv) {
+  auto full = cli.flag<bool>("full", false,
+                             "run the paper's exact scale (slower)");
+  cli.parse(argc, argv);
+  Scale s;
+  s.full = *full;
+  return s;
+}
+
+pic::PicParams paper_params(const std::string& dist, std::uint32_t nx,
+                            std::uint32_t ny, std::uint64_t particles,
+                            int nranks) {
+  pic::PicParams p;
+  p.grid = mesh::GridDesc(nx, ny);
+  p.nranks = nranks;
+  p.dist = particles::parse_distribution(dist);
+  p.init.total = particles;
+  p.init.vth = 0.05;
+  // A coherent drift (~0.14c) makes the Lagrangian particle subdomains
+  // wander off their mesh subdomains over hundreds of iterations — the
+  // dynamic effect Figs 16-20 study.
+  p.init.drift_ux = 0.12;
+  p.init.drift_uy = 0.07;
+  p.curve = sfc::CurveKind::kHilbert;
+  p.grid_decomp = pic::GridDecomp::kCurve;
+  p.solver = pic::FieldSolveKind::kMaxwell;
+  p.machine = sim::CostModel::cm5();
+  p.policy = "sar";
+  return p;
+}
+
+void print_header(const std::string& experiment, const std::string& note) {
+  std::cout << "#\n# " << experiment << "\n# " << note << "\n#\n";
+}
+
+std::string fmt_s(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << seconds;
+  return os.str();
+}
+
+}  // namespace picpar::bench

@@ -1,0 +1,50 @@
+// Shared scaffolding for the paper-reproduction benches.
+//
+// Every bench binary runs standalone and prints the rows/series of one
+// table or figure. Defaults are scaled down so the whole suite finishes in
+// minutes on a laptop; pass --full for the paper's exact parameters
+// (2000-iteration runs, 128 simulated processors, 512x256 meshes).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "pic/config.hpp"
+#include "pic/result.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace picpar::bench {
+
+struct Scale {
+  bool full = false;
+  /// Multiply an iteration count by the scale factor (full: 1.0).
+  int iters(int paper_iters) const {
+    return full ? paper_iters : std::max(20, paper_iters / 5);
+  }
+  /// Divide a particle count for the reduced runs.
+  std::uint64_t particles(std::uint64_t paper_count) const {
+    return full ? paper_count : paper_count / 2;
+  }
+};
+
+/// Parse the standard bench flags (--full, --seed); returns the scale.
+/// Additional flags may be registered on `cli` before calling.
+Scale parse_scale(picpar::Cli& cli, int argc, const char* const* argv);
+
+/// The paper's experimental setup (Section 6): 2-D relativistic EM PIC on
+/// the simulated CM-5, independent partitioning, Lagrangian particles.
+/// `dist` is "uniform" or the center-concentrated "irregular" case; the
+/// blob gets a bulk drift so subdomains decouple over time, which is what
+/// redistribution responds to.
+pic::PicParams paper_params(const std::string& dist, std::uint32_t nx,
+                            std::uint32_t ny, std::uint64_t particles,
+                            int nranks);
+
+/// Print a standard bench header naming the experiment.
+void print_header(const std::string& experiment, const std::string& note);
+
+/// Format seconds with 2-decimal fixed precision (paper table style).
+std::string fmt_s(double seconds);
+
+}  // namespace picpar::bench

@@ -1,0 +1,75 @@
+// Curve playground: visualize how each space-filling curve partitions a
+// mesh (Figs 9-10 of the paper) and report the locality metrics that drive
+// communication cost. Prints an ASCII owner map — each cell shows the rank
+// (mod 36) that owns it under curve-run partitioning.
+#include <iostream>
+
+#include "mesh/partition.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/locality.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace picpar;
+
+namespace {
+
+char rank_glyph(int r) {
+  constexpr char glyphs[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  return glyphs[r % 36];
+}
+
+void print_owner_map(const mesh::GridPartition& part) {
+  const auto& g = part.grid();
+  for (std::uint32_t row = 0; row < g.ny; ++row) {
+    const std::uint32_t y = g.ny - 1 - row;  // top row printed first
+    std::cout << "  ";
+    for (std::uint32_t x = 0; x < g.nx; ++x)
+      std::cout << rank_glyph(part.owner(g.node_id(x, y)));
+    std::cout << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("curve_playground",
+          "Show how each indexing scheme partitions a mesh (Figs 9-10)");
+  auto nx = cli.flag<int>("nx", 32, "mesh cells in x");
+  auto ny = cli.flag<int>("ny", 16, "mesh cells in y");
+  auto ranks = cli.flag<int>("ranks", 8, "partitions");
+  cli.parse(argc, argv);
+
+  const mesh::GridDesc g(static_cast<std::uint32_t>(*nx),
+                         static_cast<std::uint32_t>(*ny));
+
+  Table metrics({"curve", "mean half-perimeter", "mean boundary edges",
+                 "worst aspect ratio"});
+  metrics.set_title("Locality of curve-run partitions, " +
+                    std::to_string(*ranks) + " ranks");
+
+  for (const auto kind :
+       {sfc::CurveKind::kRowMajor, sfc::CurveKind::kSnake,
+        sfc::CurveKind::kMorton, sfc::CurveKind::kHilbert}) {
+    const auto curve = sfc::make_curve(kind, g.nx, g.ny);
+    const auto part = mesh::GridPartition::curve(g, *ranks, *curve);
+    std::cout << "\n== " << curve->name() << " ==\n";
+    print_owner_map(part);
+
+    const auto segs = sfc::measure_partition(*curve, *ranks);
+    double worst_aspect = 0.0;
+    for (const auto& s : segs)
+      worst_aspect = std::max(worst_aspect, s.box.aspect_ratio());
+    metrics.row()
+        .add(curve->name())
+        .add(sfc::mean_half_perimeter(segs), 2)
+        .add(sfc::mean_boundary_edges(segs), 2)
+        .add(worst_aspect, 2);
+  }
+  std::cout << '\n';
+  metrics.print(std::cout);
+  std::cout << "\nLower half-perimeter and boundary edges mean less "
+               "scatter/gather communication; Hilbert keeps subdomains "
+               "compact in both dimensions.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// 3-D demonstration: the paper notes the Hilbert scheme "can be
+// generalized to n-dimensions". This example partitions a 3-D particle
+// cloud by 3-D Hilbert index (Skilling's algorithm) and compares the
+// compactness of the resulting subdomains against row-major (x-fastest)
+// ordering — the same locality argument as Figs 9-10, one dimension up.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "sfc/skilling.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace picpar;
+
+namespace {
+
+struct Cloud {
+  std::vector<double> x, y, z;
+};
+
+struct BoxMetrics {
+  double mean_half_perimeter = 0.0;  // width+height+depth of bounding boxes
+  double worst_aspect = 0.0;
+};
+
+BoxMetrics measure(const Cloud& cloud, const std::vector<std::uint64_t>& keys,
+                   int parts) {
+  const std::size_t n = cloud.x.size();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return keys[a] < keys[b];
+  });
+
+  BoxMetrics m;
+  for (int part = 0; part < parts; ++part) {
+    const std::size_t b = part * n / static_cast<std::size_t>(parts);
+    const std::size_t e = (part + 1) * n / static_cast<std::size_t>(parts);
+    double lo[3] = {1e300, 1e300, 1e300};
+    double hi[3] = {-1e300, -1e300, -1e300};
+    for (std::size_t i = b; i < e; ++i) {
+      const std::uint32_t idx = order[i];
+      const double v[3] = {cloud.x[idx], cloud.y[idx], cloud.z[idx]};
+      for (int d = 0; d < 3; ++d) {
+        lo[d] = std::min(lo[d], v[d]);
+        hi[d] = std::max(hi[d], v[d]);
+      }
+    }
+    const double w = hi[0] - lo[0], h = hi[1] - lo[1], dp = hi[2] - lo[2];
+    m.mean_half_perimeter += (w + h + dp) / parts;
+    const double longest = std::max({w, h, dp});
+    const double shortest = std::max(1e-9, std::min({w, h, dp}));
+    m.worst_aspect = std::max(m.worst_aspect, longest / shortest);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("hilbert3d_cloud",
+          "Partition a 3-D particle cloud by 3-D Hilbert index");
+  auto count = cli.flag<long>("particles", 100000, "cloud size");
+  auto parts = cli.flag<int>("parts", 64, "number of partitions");
+  auto bits = cli.flag<int>("bits", 8, "grid resolution bits per dimension");
+  cli.parse(argc, argv);
+
+  const double side = static_cast<double>(1u << *bits);
+  Rng rng(2024);
+  Cloud cloud;
+  for (long i = 0; i < *count; ++i) {
+    // Two gaussian clusters — an irregular 3-D distribution.
+    const bool a = rng.uniform() < 0.6;
+    const double cx = a ? 0.3 * side : 0.7 * side;
+    cloud.x.push_back(std::clamp(rng.normal(cx, side / 10), 0.0, side - 1));
+    cloud.y.push_back(
+        std::clamp(rng.normal(side / 2, side / 8), 0.0, side - 1));
+    cloud.z.push_back(
+        std::clamp(rng.normal(a ? 0.4 * side : 0.6 * side, side / 9), 0.0,
+                   side - 1));
+  }
+
+  auto cell = [&](double v) {
+    return static_cast<std::uint32_t>(
+        std::min(v, side - 1));
+  };
+
+  std::vector<std::uint64_t> hilbert_keys(cloud.x.size());
+  std::vector<std::uint64_t> rowmajor_keys(cloud.x.size());
+  for (std::size_t i = 0; i < cloud.x.size(); ++i) {
+    const std::vector<std::uint32_t> c{cell(cloud.x[i]), cell(cloud.y[i]),
+                                       cell(cloud.z[i])};
+    hilbert_keys[i] = sfc::hilbert_nd_index(c, *bits);
+    rowmajor_keys[i] =
+        (static_cast<std::uint64_t>(c[2]) << (2 * *bits)) |
+        (static_cast<std::uint64_t>(c[1]) << *bits) | c[0];
+  }
+
+  Table t({"indexing", "mean bbox half-perimeter", "worst aspect ratio"});
+  t.set_title("3-D cloud, " + std::to_string(*count) + " particles, " +
+              std::to_string(*parts) + " partitions");
+  const auto hm = measure(cloud, hilbert_keys, *parts);
+  const auto rm = measure(cloud, rowmajor_keys, *parts);
+  t.row().add("hilbert-3d").add(hm.mean_half_perimeter, 2).add(hm.worst_aspect, 2);
+  t.row().add("rowmajor-3d").add(rm.mean_half_perimeter, 2).add(rm.worst_aspect, 2);
+  t.print(std::cout);
+
+  std::cout << "\nHilbert subdomain surface is "
+            << 100.0 * (1.0 - hm.mean_half_perimeter / rm.mean_half_perimeter)
+            << "% smaller than row-major — less off-processor access in "
+               "every dimension, exactly as in 2-D.\n";
+  return 0;
+}

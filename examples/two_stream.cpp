@@ -1,0 +1,65 @@
+// Two-stream instability: a physics demonstration on the electrostatic
+// solver. Two counter-propagating beams are unstable; field energy grows
+// exponentially out of deposition noise until the beams trap. The example
+// prints the field-energy history and verifies growth — evidence the PIC
+// core is a real plasma code, not just a communication driver.
+#include <cmath>
+#include <iostream>
+
+#include "pic/simulation.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace picpar;
+
+int main(int argc, char** argv) {
+  Cli cli("two_stream", "Two-stream instability (electrostatic mode)");
+  auto ranks = cli.flag<int>("ranks", 8, "simulated processors");
+  auto particles = cli.flag<long>("particles", 65536, "global particle count");
+  auto iters = cli.flag<int>("iters", 180, "iterations");
+  auto sample = cli.flag<int>("sample", 15, "energy sample interval");
+  cli.parse(argc, argv);
+
+  pic::PicParams params;
+  params.grid = mesh::GridDesc(64, 8);
+  params.nranks = *ranks;
+  params.dist = particles::Distribution::kTwoStream;
+  params.init.total = static_cast<std::uint64_t>(*particles);
+  params.init.vth = 0.01;
+  params.init.omega_p = 0.25;
+  params.solver = pic::FieldSolveKind::kPoisson;
+  params.policy = "periodic:20";
+  params.machine = sim::CostModel::zero();  // physics demo: free comm
+  params.iterations = *iters;
+  params.sample_energy_every = *sample;
+
+  std::cout << "Running two-stream instability: " << *particles
+            << " particles, " << *iters << " iterations on " << *ranks
+            << " ranks...\n";
+  const auto r = pic::run_pic(params);
+
+  Table table({"iteration", "field energy", "kinetic energy", "log10(E_f)"});
+  table.set_title("Two-stream instability: energy history");
+  double first = 0.0, peak = 0.0;
+  for (const auto& s : r.energy_history) {
+    table.row()
+        .add(static_cast<long long>(s.iter + 1))
+        .add(s.field, 6)
+        .add(s.kinetic, 3)
+        .add(s.field > 0 ? std::log10(s.field) : -99.0, 2);
+    if (first == 0.0) first = s.field;
+    peak = std::max(peak, s.field);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nField energy grew by a factor of " << peak / first
+            << " over the run.\n";
+  if (peak > 20.0 * first)
+    std::cout << "Instability detected: exponential growth of the "
+                 "electrostatic mode, as expected for counter-streaming "
+                 "beams.\n";
+  else
+    std::cout << "NOTE: expected >20x growth; try more iterations "
+                 "(--iters) or colder beams.\n";
+  return 0;
+}

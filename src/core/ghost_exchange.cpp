@@ -1,0 +1,163 @@
+#include "core/ghost_exchange.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace picpar::core {
+
+namespace {
+constexpr int kGatherTag = 200;
+
+struct DepositRec {
+  std::uint64_t gid;
+  double v[GhostExchange::kDeposit];
+};
+static_assert(sizeof(DepositRec) == 8 + 8 * GhostExchange::kDeposit);
+}  // namespace
+
+const char* dedup_policy_name(DedupPolicy p) {
+  return p == DedupPolicy::kHash ? "hash" : "direct";
+}
+
+DedupPolicy parse_dedup_policy(const std::string& name) {
+  if (name == "hash") return DedupPolicy::kHash;
+  if (name == "direct") return DedupPolicy::kDirect;
+  throw std::invalid_argument("unknown dedup policy: " + name);
+}
+
+GhostExchange::GhostExchange(const mesh::LocalGrid& lg, DedupPolicy policy)
+    : lg_(&lg), policy_(policy) {
+  if (policy_ == DedupPolicy::kDirect)
+    direct_.assign(static_cast<std::size_t>(lg.grid().nodes()),
+                   mesh::kNoLocal);
+}
+
+void GhostExchange::begin_iteration() {
+  if (policy_ == DedupPolicy::kHash) {
+    hash_.clear();
+  } else {
+    for (const auto gid : gids_)
+      direct_[static_cast<std::size_t>(gid)] = mesh::kNoLocal;
+  }
+  gids_.clear();
+  deposit_.clear();
+  field_.clear();
+  dest_ranks_.clear();
+  dest_slots_.clear();
+  requests_.clear();
+}
+
+std::uint32_t GhostExchange::find_slot(std::uint64_t gid) const {
+  if (policy_ == DedupPolicy::kHash) {
+    const auto it = hash_.find(gid);
+    return it == hash_.end() ? mesh::kNoLocal : it->second;
+  }
+  return direct_[static_cast<std::size_t>(gid)];
+}
+
+double* GhostExchange::deposit_slot(std::uint64_t gid) {
+  std::uint32_t slot = find_slot(gid);
+  if (slot == mesh::kNoLocal) {
+    slot = static_cast<std::uint32_t>(gids_.size());
+    gids_.push_back(gid);
+    deposit_.resize(deposit_.size() + kDeposit, 0.0);
+    if (policy_ == DedupPolicy::kHash)
+      hash_.emplace(gid, slot);
+    else
+      direct_[static_cast<std::size_t>(gid)] = slot;
+  }
+  return &deposit_[static_cast<std::size_t>(slot) * kDeposit];
+}
+
+void GhostExchange::flush_scatter(sim::Comm& comm, mesh::FieldState& f) {
+  const auto& part = lg_->partition();
+  const int nranks = comm.size();
+
+  // Group slots by owner rank.
+  std::vector<std::vector<std::uint32_t>> slots_by_rank(
+      static_cast<std::size_t>(nranks));
+  for (std::uint32_t s = 0; s < gids_.size(); ++s)
+    slots_by_rank[static_cast<std::size_t>(part.owner(gids_[s]))].push_back(s);
+
+  std::vector<std::vector<DepositRec>> send(static_cast<std::size_t>(nranks));
+  dest_ranks_.clear();
+  dest_slots_.clear();
+  for (int r = 0; r < nranks; ++r) {
+    auto& slots = slots_by_rank[static_cast<std::size_t>(r)];
+    if (slots.empty()) continue;
+    if (r == comm.rank())
+      throw std::logic_error("GhostExchange: deposit to owned node");
+    auto& buf = send[static_cast<std::size_t>(r)];
+    buf.reserve(slots.size());
+    for (const auto s : slots) {
+      DepositRec rec;
+      rec.gid = gids_[s];
+      for (int k = 0; k < kDeposit; ++k)
+        rec.v[k] = deposit_[static_cast<std::size_t>(s) * kDeposit + k];
+      buf.push_back(rec);
+    }
+    dest_ranks_.push_back(r);
+    dest_slots_.push_back(std::move(slots));
+  }
+
+  auto recv = comm.all_to_many(std::move(send));
+
+  // Owner side: add contributions into the source arrays and remember the
+  // request lists for the gather reply.
+  for (int src = 0; src < nranks; ++src) {
+    const auto& buf = recv[static_cast<std::size_t>(src)];
+    if (buf.empty()) continue;
+    OwnerRequest req;
+    req.src = src;
+    req.locals.reserve(buf.size());
+    for (const auto& rec : buf) {
+      const auto l = lg_->local_of(rec.gid);
+      if (l == mesh::kNoLocal || l >= lg_->owned())
+        throw std::runtime_error("GhostExchange: received non-owned node");
+      f.jx[l] += rec.v[0];
+      f.jy[l] += rec.v[1];
+      f.jz[l] += rec.v[2];
+      f.rho[l] += rec.v[3];
+      req.locals.push_back(l);
+    }
+    requests_.push_back(std::move(req));
+  }
+}
+
+void GhostExchange::fetch_fields(sim::Comm& comm, const mesh::FieldState& f) {
+  // Owner side: reply with field values in request order.
+  for (const auto& req : requests_) {
+    std::vector<double> buf;
+    buf.reserve(req.locals.size() * kField);
+    for (const auto l : req.locals) {
+      buf.push_back(f.ex[l]);
+      buf.push_back(f.ey[l]);
+      buf.push_back(f.ez[l]);
+      buf.push_back(f.bx[l]);
+      buf.push_back(f.by[l]);
+      buf.push_back(f.bz[l]);
+    }
+    comm.send(req.src, kGatherTag, buf);
+  }
+
+  // Ghost side: receive per destination rank, store into field_ by slot.
+  field_.assign(gids_.size() * kField, 0.0);
+  for (std::size_t d = 0; d < dest_ranks_.size(); ++d) {
+    auto buf = comm.recv<double>(dest_ranks_[d], kGatherTag);
+    const auto& slots = dest_slots_[d];
+    if (buf.size() != slots.size() * kField)
+      throw std::runtime_error("GhostExchange: bad gather reply length");
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      for (int k = 0; k < kField; ++k)
+        field_[static_cast<std::size_t>(slots[i]) * kField +
+               static_cast<std::size_t>(k)] = buf[i * kField + static_cast<std::size_t>(k)];
+  }
+}
+
+const double* GhostExchange::field_slot(std::uint64_t gid) const {
+  const auto slot = find_slot(gid);
+  if (slot == mesh::kNoLocal) return nullptr;
+  return &field_[static_cast<std::size_t>(slot) * kField];
+}
+
+}  // namespace picpar::core

@@ -1,0 +1,95 @@
+// Ghost grid points (Section 3.2, Figs 7-8).
+//
+// With independent partitioning a particle's four vertex grid points may be
+// owned by other processors. During the scatter phase their contributions
+// accumulate locally in a *ghost table* — one entry per distinct
+// off-processor grid point, so duplicated accesses are removed — and a
+// single coalesced message per destination processor delivers the sums
+// (communication coalescing). During the gather phase the same entries are
+// reused in the opposite direction: owners return E and B at exactly the
+// grid points that were requested in the scatter phase.
+//
+// Two duplicate-removal policies are implemented, as in the paper:
+//   kHash   — a hash table keyed by global node id (memory proportional to
+//             the number of ghost points, extra search time);
+//   kDirect — a direct-address table over all m grid points (O(1) lookups,
+//             memory proportional to m).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/fields.hpp"
+#include "mesh/local_grid.hpp"
+#include "sim/comm.hpp"
+
+namespace picpar::core {
+
+enum class DedupPolicy { kHash, kDirect };
+
+const char* dedup_policy_name(DedupPolicy p);
+DedupPolicy parse_dedup_policy(const std::string& name);
+
+class GhostExchange {
+public:
+  /// Deposit components per node: jx, jy, jz, rho.
+  static constexpr int kDeposit = 4;
+  /// Returned field components per node: ex, ey, ez, bx, by, bz.
+  static constexpr int kField = 6;
+
+  GhostExchange(const mesh::LocalGrid& lg, DedupPolicy policy);
+
+  DedupPolicy policy() const { return policy_; }
+
+  /// Reset the accumulation table for a new iteration.
+  void begin_iteration();
+
+  /// Accumulator slot (kDeposit doubles) for off-processor node `gid`;
+  /// creates the entry on first touch. Must not be called for owned nodes.
+  double* deposit_slot(std::uint64_t gid);
+
+  /// Number of distinct ghost grid points this iteration.
+  std::size_t entries() const { return gids_.size(); }
+
+  /// Scatter flush: one message per destination processor carrying
+  /// (gid, 4 sums) records; owners add them into f's source arrays.
+  /// Also records, on the owner side, who asked for what — needed by
+  /// fetch_fields.
+  void flush_scatter(sim::Comm& comm, mesh::FieldState& f);
+
+  /// Gather fetch: owners send (ex..bz) for every node requested in the
+  /// scatter flush; afterwards field_slot() serves the ghost values.
+  void fetch_fields(sim::Comm& comm, const mesh::FieldState& f);
+
+  /// Field values (kField doubles) previously fetched for node `gid`;
+  /// nullptr if the node was never deposited to this iteration.
+  const double* field_slot(std::uint64_t gid) const;
+
+private:
+  std::uint32_t find_slot(std::uint64_t gid) const;  ///< kNoLocal if absent
+
+  const mesh::LocalGrid* lg_;
+  DedupPolicy policy_;
+
+  // Entry storage (slot-indexed).
+  std::vector<std::uint64_t> gids_;
+  std::vector<double> deposit_;  // kDeposit per slot
+  std::vector<double> field_;    // kField per slot
+
+  // Lookup structures (one active per policy).
+  std::unordered_map<std::uint64_t, std::uint32_t> hash_;
+  std::vector<std::uint32_t> direct_;
+
+  // Scatter-flush routing, reused by fetch_fields.
+  std::vector<int> dest_ranks_;                       // ranks I sent to
+  std::vector<std::vector<std::uint32_t>> dest_slots_;  // slots per dest
+  struct OwnerRequest {
+    int src = 0;
+    std::vector<std::uint32_t> locals;  // my owned local node indices
+  };
+  std::vector<OwnerRequest> requests_;  // who asked me for what
+};
+
+}  // namespace picpar::core

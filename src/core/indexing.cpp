@@ -1,0 +1,17 @@
+#include "core/indexing.hpp"
+
+namespace picpar::core {
+
+void assign_keys(const sfc::Curve& curve, const mesh::GridDesc& grid,
+                 particles::ParticleArray& p) {
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p.key[i] = key_of(curve, grid, p.x[i], p.y[i]);
+}
+
+bool is_sorted_by_key(const particles::ParticleArray& p) {
+  for (std::size_t i = 1; i < p.size(); ++i)
+    if (p.key[i] < p.key[i - 1]) return false;
+  return true;
+}
+
+}  // namespace picpar::core

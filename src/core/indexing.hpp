@@ -1,0 +1,32 @@
+// Particle indexing (Section 5.1, "Particle indexing"): every particle is
+// assigned the space-filling-curve index of the cell that encloses it.
+// Sorting by this key and cutting the sorted order into p equal runs yields
+// the paper's dynamic alignment: particle subdomains that are compact and
+// overlap the (identically ordered) mesh subdomains.
+#pragma once
+
+#include <cstdint>
+
+#include "mesh/grid.hpp"
+#include "particles/particle_array.hpp"
+#include "sfc/curve.hpp"
+
+namespace picpar::core {
+
+/// Recompute the sort key of every particle from its current position.
+/// Costs one cell lookup + one curve evaluation per particle.
+void assign_keys(const sfc::Curve& curve, const mesh::GridDesc& grid,
+                 particles::ParticleArray& p);
+
+/// Recompute the key of a single particle (used after the push phase moves
+/// it). Returns the new key.
+inline std::uint64_t key_of(const sfc::Curve& curve,
+                            const mesh::GridDesc& grid, double x, double y) {
+  const std::uint64_t cell = grid.cell_of(x, y);
+  return curve.index(grid.node_x(cell), grid.node_y(cell));
+}
+
+/// True if the key sequence is non-decreasing.
+bool is_sorted_by_key(const particles::ParticleArray& p);
+
+}  // namespace picpar::core

@@ -1,0 +1,78 @@
+#include "core/load_balance.hpp"
+
+#include <algorithm>
+
+namespace picpar::core {
+
+using particles::ParticleArray;
+using particles::ParticleRec;
+
+std::uint64_t balanced_count(std::uint64_t total, int nranks, int rank) {
+  const auto p = static_cast<std::uint64_t>(nranks);
+  const auto r = static_cast<std::uint64_t>(rank);
+  return (r + 1) * total / p - r * total / p;
+}
+
+BalanceReport order_maintaining_balance(sim::Comm& comm, ParticleArray& p) {
+  const int nranks = comm.size();
+  const int rank = comm.rank();
+
+  const auto counts = comm.allgather<std::uint64_t>(p.size());
+  std::uint64_t total = 0;
+  std::uint64_t my_start = 0;
+  for (int r = 0; r < nranks; ++r) {
+    if (r == rank) my_start = total;
+    total += counts[static_cast<std::size_t>(r)];
+  }
+
+  // Target ownership: rank r gets global positions [r*N/p, (r+1)*N/p).
+  auto target_start = [&](int r) {
+    return static_cast<std::uint64_t>(r) * total /
+           static_cast<std::uint64_t>(nranks);
+  };
+
+  // Slice my contiguous run [my_start, my_start + n) across target owners.
+  std::vector<std::vector<ParticleRec>> send(
+      static_cast<std::size_t>(nranks));
+  const std::uint64_t n = p.size();
+  BalanceReport rep;
+  if (n > 0) {
+    // First target rank owning my_start.
+    int dest = nranks - 1;
+    for (int r = 0; r < nranks; ++r) {
+      if (target_start(r) <= my_start &&
+          (r + 1 == nranks || my_start < target_start(r + 1))) {
+        dest = r;
+        break;
+      }
+    }
+    std::uint64_t i = 0;
+    while (i < n) {
+      const std::uint64_t dest_end =
+          (dest + 1 == nranks) ? total : target_start(dest + 1);
+      const std::uint64_t run =
+          std::min(n - i, dest_end - (my_start + i));
+      auto& buf = send[static_cast<std::size_t>(dest)];
+      buf.reserve(buf.size() + run);
+      for (std::uint64_t k = 0; k < run; ++k)
+        buf.push_back(p.rec(static_cast<std::size_t>(i + k)));
+      if (dest != rank) rep.sent += run;
+      i += run;
+      ++dest;
+    }
+  }
+
+  auto recv = comm.all_to_many(std::move(send));
+
+  p.clear();
+  std::size_t incoming = 0;
+  for (const auto& buf : recv) incoming += buf.size();
+  p.reserve(incoming);
+  for (int src = 0; src < nranks; ++src) {
+    for (const auto& r : recv[static_cast<std::size_t>(src)]) p.push_back(r);
+    if (src != rank) rep.received += recv[static_cast<std::size_t>(src)].size();
+  }
+  return rep;
+}
+
+}  // namespace picpar::core

@@ -1,0 +1,34 @@
+// Order-maintaining load balance (Section 5.1): after a bucketed exchange,
+// particle counts across ranks can be uneven; this operation moves whole
+// contiguous runs of the globally sorted particle sequence between ranks so
+// that counts become equal (+/- 1) *without changing the global order* of
+// the concatenated array.
+//
+// Because global order is (rank, local position) lexicographic and both the
+// current and the target ownership ranges are contiguous in global position,
+// every rank can compute exactly which slice goes where from the allgathered
+// counts alone, and one all-to-many exchange completes the balance.
+#pragma once
+
+#include <cstdint>
+
+#include "particles/particle_array.hpp"
+#include "sim/comm.hpp"
+
+namespace picpar::core {
+
+struct BalanceReport {
+  std::uint64_t sent = 0;      ///< particles this rank sent away
+  std::uint64_t received = 0;  ///< particles this rank received
+};
+
+/// Equalize particle counts over ranks, preserving global order. The local
+/// array must remain in its current (sorted) order; afterwards, rank r owns
+/// global positions [r*N/p, (r+1)*N/p).
+BalanceReport order_maintaining_balance(sim::Comm& comm,
+                                        particles::ParticleArray& p);
+
+/// The target count for `rank` when N particles are spread over p ranks.
+std::uint64_t balanced_count(std::uint64_t total, int nranks, int rank);
+
+}  // namespace picpar::core

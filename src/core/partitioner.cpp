@@ -1,0 +1,268 @@
+#include "core/partitioner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/indexing.hpp"
+#include "core/load_balance.hpp"
+
+namespace picpar::core {
+
+using particles::ParticleArray;
+using particles::ParticleRec;
+
+namespace {
+constexpr std::uint64_t kMaxKey = std::numeric_limits<std::uint64_t>::max();
+}
+
+ParticlePartitioner::ParticlePartitioner(const sfc::Curve& curve,
+                                         const mesh::GridDesc& grid,
+                                         PartitionerConfig cfg)
+    : curve_(&curve), grid_(grid), cfg_(cfg) {
+  if (cfg.buckets_per_rank < 1 || cfg.samples_per_rank < 1)
+    throw std::invalid_argument("PartitionerConfig: counts must be >= 1");
+}
+
+void ParticlePartitioner::assign_keys(sim::Comm& comm,
+                                      ParticleArray& p) const {
+  core::assign_keys(*curve_, grid_, p);
+  comm.charge_ops(p.size() * 4);  // cell lookup + curve evaluation
+}
+
+void ParticlePartitioner::charge_work(sim::Comm& comm,
+                                      const SortWork& w) const {
+  const double ops =
+      static_cast<double>(w.comparisons) * cfg_.ops_per_comparison +
+      static_cast<double>(w.moves) * cfg_.ops_per_move;
+  comm.charge(ops * comm.cost().delta);
+}
+
+int ParticlePartitioner::dest_rank(std::uint64_t key, SortWork& w) const {
+  // First rank whose inclusive upper bound admits the key; the last rank
+  // absorbs anything above all bounds.
+  const auto it =
+      std::lower_bound(global_bounds_.begin(), global_bounds_.end(), key);
+  w.comparisons += 1 + static_cast<std::uint64_t>(
+                           global_bounds_.empty()
+                               ? 0
+                               : 64 - __builtin_clzll(global_bounds_.size()));
+  if (it == global_bounds_.end()) return static_cast<int>(global_bounds_.size()) - 1;
+  return static_cast<int>(it - global_bounds_.begin());
+}
+
+void ParticlePartitioner::refresh_state(sim::Comm& comm,
+                                        const ParticleArray& p) {
+  const int nranks = comm.size();
+  // Upper key of my (sorted) range; empty ranks use 0 and are patched below
+  // so bounds stay non-decreasing and identical on every rank.
+  const std::uint64_t my_upper = p.empty() ? 0 : p.key[p.size() - 1];
+  const auto uppers = comm.allgather<std::uint64_t>(my_upper);
+  const auto counts = comm.allgather<std::uint64_t>(p.size());
+
+  global_bounds_.assign(static_cast<std::size_t>(nranks), 0);
+  std::uint64_t prev = 0;
+  for (int r = 0; r < nranks; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    global_bounds_[i] = counts[i] == 0 ? prev : uppers[i];
+    prev = global_bounds_[i];
+  }
+
+  // Interior bucket boundaries of the local array: bucket b holds local
+  // positions [b*span, (b+1)*span); boundary key b (b = 1..L-1) is the key
+  // at position b*span.
+  const int L = cfg_.buckets_per_rank;
+  local_bounds_.clear();
+  if (!p.empty()) {
+    for (int b = 1; b < L; ++b) {
+      const auto pos = static_cast<std::size_t>(
+          static_cast<std::uint64_t>(b) * p.size() /
+          static_cast<std::uint64_t>(L));
+      local_bounds_.push_back(p.key[pos]);
+    }
+  }
+  have_state_ = true;
+}
+
+RedistReport ParticlePartitioner::distribute(sim::Comm& comm,
+                                             ParticleArray& p) {
+  RedistReport rep;
+  rep.incremental = false;
+  const double t_begin = comm.clock();
+  const int nranks = comm.size();
+
+  // 1. Local sort by key.
+  rep.work += sort_by_key(p);
+
+  // 2. Regular sampling of local keys.
+  const int s = cfg_.samples_per_rank;
+  std::vector<std::uint64_t> samples;
+  samples.reserve(static_cast<std::size_t>(s));
+  if (!p.empty()) {
+    for (int i = 1; i <= s; ++i) {
+      const auto pos = static_cast<std::size_t>(
+          static_cast<std::uint64_t>(i) * p.size() /
+          static_cast<std::uint64_t>(s + 1));
+      samples.push_back(p.key[std::min(pos, p.size() - 1)]);
+    }
+  }
+
+  // 3. Gather all samples, derive p-1 splitters at regular positions.
+  auto all_samples = comm.allgatherv(samples);
+  SortWork sample_sort_work;
+  {
+    std::uint64_t before = all_samples.size();
+    std::sort(all_samples.begin(), all_samples.end());
+    sample_sort_work.comparisons +=
+        before > 1 ? before * 10 : 0;  // ~n log n for the tiny sample set
+  }
+  rep.work += sample_sort_work;
+
+  // Splitters become inclusive upper bounds: rank r takes keys in
+  // (split[r-1], split[r]], last rank unbounded.
+  global_bounds_.assign(static_cast<std::size_t>(nranks), kMaxKey);
+  if (!all_samples.empty()) {
+    for (int r = 0; r + 1 < nranks; ++r) {
+      const auto pos = static_cast<std::size_t>(
+          static_cast<std::uint64_t>(r + 1) * all_samples.size() /
+          static_cast<std::uint64_t>(nranks));
+      global_bounds_[static_cast<std::size_t>(r)] =
+          all_samples[std::min(pos, all_samples.size() - 1)];
+    }
+  }
+  global_bounds_[static_cast<std::size_t>(nranks - 1)] = kMaxKey;
+
+  // 4. Route particles; the local array is sorted, so each destination
+  // receives a contiguous sorted run.
+  std::vector<std::vector<ParticleRec>> send(static_cast<std::size_t>(nranks));
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const int d = dest_rank(p.key[i], rep.work);
+    send[static_cast<std::size_t>(d)].push_back(p.rec(i));
+    ++rep.work.moves;
+    if (d != comm.rank()) ++rep.sent_particles;
+  }
+  auto recv = comm.all_to_many(std::move(send));
+
+  // 5. Merge the per-source sorted runs.
+  rep.work += merge_runs(recv, p);
+
+  // 6. Exact balance, preserving order.
+  const auto bal = order_maintaining_balance(comm, p);
+  rep.sent_particles += bal.sent;
+  rep.work.moves += bal.sent + bal.received;
+
+  charge_work(comm, rep.work);
+  refresh_state(comm, p);
+  rep.seconds = comm.clock() - t_begin;
+  return rep;
+}
+
+RedistReport ParticlePartitioner::redistribute(sim::Comm& comm,
+                                               ParticleArray& p) {
+  if (!have_state_) return distribute(comm, p);
+
+  RedistReport rep;
+  rep.incremental = true;
+  const double t_begin = comm.clock();
+  const int nranks = comm.size();
+  const int L = cfg_.buckets_per_rank;
+
+  // Fig 12 line 1: refresh the global processor bounds from the previous
+  // sorted state (they are already cached; the allgather keeps the
+  // communication pattern of the paper's algorithm).
+  const auto counts = comm.allgather<std::uint64_t>(p.size());
+  (void)counts;
+
+  // Classify every particle: same positional bucket (cheap membership
+  // test), another local bucket (binary search in local bounds), or
+  // off-processor (binary search in global bounds).
+  std::vector<std::vector<ParticleRec>> buckets(
+      static_cast<std::size_t>(L));
+  std::vector<std::vector<ParticleRec>> send(static_cast<std::size_t>(nranks));
+  const std::uint64_t my_lower =
+      comm.rank() == 0
+          ? 0
+          : global_bounds_[static_cast<std::size_t>(comm.rank() - 1)];
+  const std::uint64_t my_upper =
+      comm.rank() == nranks - 1
+          ? kMaxKey
+          : global_bounds_[static_cast<std::size_t>(comm.rank())];
+
+  auto bucket_of = [&](std::uint64_t key, SortWork& w) -> int {
+    const auto it =
+        std::upper_bound(local_bounds_.begin(), local_bounds_.end(), key);
+    w.comparisons += 1 + (local_bounds_.empty() ? 0u : 5u);
+    return static_cast<int>(it - local_bounds_.begin());
+  };
+
+  const std::size_t n = p.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t key = p.key[i];
+    // Rank r owns keys in (bounds[r-1], bounds[r]]; rank 0 also owns key 0.
+    rep.work.comparisons += 2;
+    const bool local =
+        key <= my_upper && (comm.rank() == 0 || key > my_lower);
+    if (local) {
+      // Positional bucket check first (paper's "same bucket as previous").
+      const auto pos_bucket = static_cast<int>(
+          n == 0 ? 0
+                 : static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(L) /
+                       static_cast<std::uint64_t>(n));
+      const std::uint64_t b_lo =
+          pos_bucket == 0 ? 0 : local_bounds_[static_cast<std::size_t>(pos_bucket - 1)];
+      const std::uint64_t b_hi =
+          pos_bucket >= static_cast<int>(local_bounds_.size())
+              ? kMaxKey
+              : local_bounds_[static_cast<std::size_t>(pos_bucket)];
+      rep.work.comparisons += 2;
+      int b;
+      if (key >= b_lo && key < b_hi) {
+        b = pos_bucket;  // category 1: same bucket
+      } else {
+        b = bucket_of(key, rep.work);  // category 2: another local bucket
+      }
+      buckets[static_cast<std::size_t>(b)].push_back(p.rec(i));
+      ++rep.work.moves;
+    } else {
+      // Category 3: off-processor.
+      const int d = dest_rank(key, rep.work);
+      send[static_cast<std::size_t>(d)].push_back(p.rec(i));
+      ++rep.work.moves;
+      ++rep.sent_particles;
+    }
+  }
+
+  // Fig 12 line 20: all-to-many exchange of off-processor particles.
+  auto recv = comm.all_to_many(std::move(send));
+
+  // Lines 21-24: sort the received list and each bucket, then merge.
+  // Buckets cover disjoint ascending key ranges, so sorted buckets
+  // concatenate into one sorted run for free; a single 2-way merge with
+  // the received list finishes the job.
+  std::vector<ParticleRec> received;
+  for (auto& r : recv)
+    received.insert(received.end(), r.begin(), r.end());
+  rep.work += sort_records(received);
+  std::vector<ParticleRec> kept;
+  kept.reserve(n);
+  for (auto& b : buckets) {
+    rep.work += sort_records(b);
+    kept.insert(kept.end(), b.begin(), b.end());
+  }
+  std::vector<std::vector<ParticleRec>> runs;
+  runs.reserve(2);
+  runs.push_back(std::move(kept));
+  runs.push_back(std::move(received));
+  rep.work += merge_runs(runs, p);
+
+  // Order-maintaining load balance, then refresh bucket state.
+  const auto bal = order_maintaining_balance(comm, p);
+  rep.sent_particles += bal.sent;
+  rep.work.moves += bal.sent + bal.received;
+
+  charge_work(comm, rep.work);
+  refresh_state(comm, p);
+  rep.seconds = comm.clock() - t_begin;
+  return rep;
+}
+
+}  // namespace picpar::core

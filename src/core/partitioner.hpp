@@ -1,0 +1,92 @@
+// Hilbert-index-based particle distribution and redistribution
+// (Section 5.1) — the central machinery of the paper.
+//
+// distribute():   full parallel sample sort of particles by curve key,
+//                 followed by order-maintaining load balance. Used for the
+//                 initial distribution and as the non-incremental baseline
+//                 (Fig 11's "distribution algorithm at each step").
+//
+// redistribute(): bucket-based incremental sorting (Fig 12). Exploits the
+//                 bucket boundaries remembered from the previous sort:
+//                 most particles still fall in their previous bucket (the
+//                 motion per iteration is incremental), so per-bucket sorts
+//                 are cheap (often a no-op sortedness check) and only
+//                 particles that crossed a processor boundary travel.
+//
+// All communication goes through the simulated Comm, so both the work
+// (comparisons/moves, charged as compute ops) and the traffic are accounted
+// under the paper's machine model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sort_util.hpp"
+#include "mesh/grid.hpp"
+#include "particles/particle_array.hpp"
+#include "sfc/curve.hpp"
+#include "sim/comm.hpp"
+
+namespace picpar::core {
+
+struct PartitionerConfig {
+  int buckets_per_rank = 16;  ///< L in the paper's Fig 12
+  int samples_per_rank = 32;  ///< oversampling for the sample sort
+  /// Cost (abstract ops) charged per comparison / per particle move when
+  /// translating sort work into virtual compute time.
+  double ops_per_comparison = 1.0;
+  double ops_per_move = 2.0;
+};
+
+struct RedistReport {
+  bool incremental = false;
+  SortWork work;                    ///< local sorting/merging work
+  std::uint64_t sent_particles = 0;  ///< moved to another rank
+  double seconds = 0.0;              ///< virtual time this rank spent
+};
+
+class ParticlePartitioner {
+public:
+  ParticlePartitioner(const sfc::Curve& curve, const mesh::GridDesc& grid,
+                      PartitionerConfig cfg = {});
+
+  const sfc::Curve& curve() const { return *curve_; }
+  const PartitionerConfig& config() const { return cfg_; }
+
+  /// Recompute every particle's key from its position (cell -> curve index).
+  void assign_keys(sim::Comm& comm, particles::ParticleArray& p) const;
+
+  /// Full distribution: sample sort + balance. Resets incremental state.
+  RedistReport distribute(sim::Comm& comm, particles::ParticleArray& p);
+
+  /// Incremental redistribution; falls back to distribute() when no
+  /// previous state exists. Keys must be current (assign_keys or the push
+  /// phase's per-particle update).
+  RedistReport redistribute(sim::Comm& comm, particles::ParticleArray& p);
+
+  /// Inclusive upper key bound of each rank's range after the last
+  /// (re)distribution; empty before the first.
+  const std::vector<std::uint64_t>& rank_upper_bounds() const {
+    return global_bounds_;
+  }
+
+  bool has_state() const { return have_state_; }
+
+private:
+  void charge_work(sim::Comm& comm, const SortWork& w) const;
+  void refresh_state(sim::Comm& comm, const particles::ParticleArray& p);
+  /// Destination rank for a key under the current global bounds.
+  int dest_rank(std::uint64_t key, SortWork& w) const;
+
+  const sfc::Curve* curve_;
+  mesh::GridDesc grid_;
+  PartitionerConfig cfg_;
+
+  bool have_state_ = false;
+  /// Interior bucket boundary keys of the local sorted array (L-1 values).
+  std::vector<std::uint64_t> local_bounds_;
+  /// Inclusive upper key of every rank's range (p values, non-decreasing).
+  std::vector<std::uint64_t> global_bounds_;
+};
+
+}  // namespace picpar::core

@@ -1,0 +1,83 @@
+#include "core/policy.hpp"
+
+#include <stdexcept>
+
+namespace picpar::core {
+
+PeriodicPolicy::PeriodicPolicy(int period) : period_(period) {
+  if (period <= 0)
+    throw std::invalid_argument("PeriodicPolicy: period must be > 0");
+}
+
+bool PeriodicPolicy::should_redistribute(int iter, double) {
+  return (iter + 1) % period_ == 0;
+}
+
+std::string PeriodicPolicy::name() const {
+  return "periodic:" + std::to_string(period_);
+}
+
+bool SarPolicy::should_redistribute(int iter, double iter_seconds) {
+  if (base_iter_seconds_ < 0.0) {
+    // First iteration since the last redistribution defines t0.
+    base_iter_seconds_ = iter_seconds;
+    return false;
+  }
+  if (redist_cost_ < 0.0) {
+    // No cost estimate yet (initial distribution was not timed as a
+    // redistribution): stay conservative until notified once.
+    return false;
+  }
+  const double t0 = base_iter_seconds_;
+  const double t1 = iter_seconds;
+  const int i0 = last_redist_iter_;
+  const double expected_saving =
+      (t1 - t0) * static_cast<double>(iter - i0);
+  return expected_saving >= redist_cost_;
+}
+
+void SarPolicy::notify_redistribution(int iter, double redist_seconds) {
+  last_redist_iter_ = iter;
+  redist_cost_ = redist_seconds;
+  base_iter_seconds_ = -1.0;  // next iteration re-establishes t0
+}
+
+ThresholdPolicy::ThresholdPolicy(double factor) : factor_(factor) {
+  if (factor <= 1.0)
+    throw std::invalid_argument("ThresholdPolicy: factor must be > 1");
+}
+
+bool ThresholdPolicy::should_redistribute(int, double iter_seconds) {
+  if (base_iter_seconds_ < 0.0) {
+    base_iter_seconds_ = iter_seconds;
+    return false;
+  }
+  return iter_seconds > factor_ * base_iter_seconds_;
+}
+
+void ThresholdPolicy::notify_redistribution(int, double) {
+  base_iter_seconds_ = -1.0;
+}
+
+std::string ThresholdPolicy::name() const {
+  std::string f = std::to_string(factor_);
+  f.erase(f.find_last_not_of('0') + 1);
+  if (!f.empty() && f.back() == '.') f.pop_back();
+  return "threshold:" + f;
+}
+
+std::unique_ptr<RedistributionPolicy> make_policy(const std::string& spec) {
+  if (spec == "static") return std::make_unique<StaticPolicy>();
+  if (spec == "sar" || spec == "dynamic") return std::make_unique<SarPolicy>();
+  if (spec.rfind("periodic:", 0) == 0) {
+    const int k = std::stoi(spec.substr(9));
+    return std::make_unique<PeriodicPolicy>(k);
+  }
+  if (spec.rfind("threshold:", 0) == 0) {
+    const double f = std::stod(spec.substr(10));
+    return std::make_unique<ThresholdPolicy>(f);
+  }
+  throw std::invalid_argument("unknown policy spec: " + spec);
+}
+
+}  // namespace picpar::core

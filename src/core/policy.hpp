@@ -1,0 +1,90 @@
+// Redistribution decision policies (Section 5.2).
+//
+//   StaticPolicy    — never redistribute after the initial distribution.
+//   PeriodicPolicy  — redistribute every k iterations.
+//   SarPolicy       — the paper's dynamic "Stop-At-Rise" adaptation: with
+//     computational load strictly balanced, growth in per-iteration time
+//     reflects growing communication; assuming linear growth since the
+//     last redistribution at i0 (time t0), redistribution at the current
+//     iteration i1 (time t1) is triggered when the expected saving exceeds
+//     the expected cost (Eq. 1):
+//         (t1 - t0) * (i1 - i0) >= T_redistribution.
+//     T_redistribution is the measured cost of the previous redistribution.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace picpar::core {
+
+class RedistributionPolicy {
+public:
+  virtual ~RedistributionPolicy() = default;
+
+  /// Decide after finishing iteration `iter` (0-based) which took
+  /// `iter_seconds` of virtual time.
+  virtual bool should_redistribute(int iter, double iter_seconds) = 0;
+
+  /// Report that a redistribution completed after iteration `iter` and
+  /// cost `redist_seconds`.
+  virtual void notify_redistribution(int iter, double redist_seconds) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class StaticPolicy final : public RedistributionPolicy {
+public:
+  bool should_redistribute(int, double) override { return false; }
+  void notify_redistribution(int, double) override {}
+  std::string name() const override { return "static"; }
+};
+
+class PeriodicPolicy final : public RedistributionPolicy {
+public:
+  explicit PeriodicPolicy(int period);
+  bool should_redistribute(int iter, double) override;
+  void notify_redistribution(int, double) override {}
+  std::string name() const override;
+
+private:
+  int period_;
+};
+
+class SarPolicy final : public RedistributionPolicy {
+public:
+  SarPolicy() = default;
+
+  bool should_redistribute(int iter, double iter_seconds) override;
+  void notify_redistribution(int iter, double redist_seconds) override;
+  std::string name() const override { return "sar"; }
+
+  double last_redist_cost() const { return redist_cost_; }
+
+private:
+  int last_redist_iter_ = -1;
+  double base_iter_seconds_ = -1.0;  ///< t0: first iteration after redist
+  double redist_cost_ = -1.0;        ///< T_redistribution
+};
+
+/// Extension beyond the paper: redistribute when the iteration time
+/// exceeds `factor` times the post-redistribution baseline t0. Simpler
+/// than SAR (no cost model) but needs the factor tuned; included so the
+/// ablation bench can compare decision rules.
+class ThresholdPolicy final : public RedistributionPolicy {
+public:
+  explicit ThresholdPolicy(double factor);
+
+  bool should_redistribute(int iter, double iter_seconds) override;
+  void notify_redistribution(int iter, double redist_seconds) override;
+  std::string name() const override;
+
+private:
+  double factor_;
+  double base_iter_seconds_ = -1.0;
+};
+
+/// Factory: "static", "periodic:K" (e.g. "periodic:25"), "sar", or
+/// "threshold:F" (e.g. "threshold:1.15").
+std::unique_ptr<RedistributionPolicy> make_policy(const std::string& spec);
+
+}  // namespace picpar::core

@@ -1,0 +1,83 @@
+#include "core/sort_util.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace picpar::core {
+
+using particles::ParticleArray;
+using particles::ParticleRec;
+
+SortWork sort_by_key(ParticleArray& p) {
+  SortWork w;
+  const std::size_t n = p.size();
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     ++w.comparisons;
+                     return p.key[a] < p.key[b];
+                   });
+  p.apply_permutation(perm);
+  w.moves += n;
+  return w;
+}
+
+SortWork sort_records(std::vector<ParticleRec>& recs) {
+  SortWork w;
+  bool sorted = true;
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    ++w.comparisons;
+    if (recs[i].key < recs[i - 1].key) {
+      sorted = false;
+      break;
+    }
+  }
+  if (sorted) return w;
+  std::stable_sort(recs.begin(), recs.end(),
+                   [&](const ParticleRec& a, const ParticleRec& b) {
+                     ++w.comparisons;
+                     return a.key < b.key;
+                   });
+  w.moves += recs.size();
+  return w;
+}
+
+SortWork merge_runs(std::vector<std::vector<ParticleRec>>& runs,
+                    ParticleArray& p) {
+  SortWork w;
+  // k-way merge with a small heap over run heads.
+  struct Head {
+    std::uint64_t key;
+    std::uint32_t run;
+    std::uint32_t pos;
+  };
+  auto cmp = [&](const Head& a, const Head& b) {
+    ++w.comparisons;
+    if (a.key != b.key) return a.key > b.key;
+    return a.run > b.run;  // stability across runs
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(cmp)> heap(cmp);
+
+  std::size_t total = 0;
+  for (std::uint32_t r = 0; r < runs.size(); ++r) {
+    total += runs[r].size();
+    if (!runs[r].empty()) heap.push({runs[r][0].key, r, 0});
+  }
+
+  p.clear();
+  p.reserve(total);
+  while (!heap.empty()) {
+    const Head h = heap.top();
+    heap.pop();
+    p.push_back(runs[h.run][h.pos]);
+    ++w.moves;
+    const std::uint32_t next = h.pos + 1;
+    if (next < runs[h.run].size())
+      heap.push({runs[h.run][next].key, h.run, next});
+  }
+  return w;
+}
+
+}  // namespace picpar::core

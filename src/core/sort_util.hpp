@@ -1,0 +1,39 @@
+// Local sorting helpers shared by the distribution algorithms, with
+// operation counting so redistribution *work* (not just wall time) can be
+// charged to the simulated machine and compared across algorithms (Fig 11).
+#pragma once
+
+#include <cstdint>
+
+#include "particles/particle_array.hpp"
+
+namespace picpar::core {
+
+struct SortWork {
+  std::uint64_t comparisons = 0;
+  std::uint64_t moves = 0;  ///< particle record copies
+
+  SortWork& operator+=(const SortWork& o) {
+    comparisons += o.comparisons;
+    moves += o.moves;
+    return *this;
+  }
+  std::uint64_t total_ops() const { return comparisons + moves; }
+};
+
+/// Sort the whole array by key (stable). Counts comparisons and the
+/// permutation moves.
+SortWork sort_by_key(particles::ParticleArray& p);
+
+/// Sort records in-place by key; adaptive: verifies sortedness first
+/// (n-1 comparisons) and skips the sort when already ordered — this is
+/// where the incremental algorithm's advantage on mostly-sorted buckets
+/// comes from.
+SortWork sort_records(std::vector<particles::ParticleRec>& recs);
+
+/// Merge k sorted runs of records into a ParticleArray (ascending key).
+/// Runs must each be sorted; the output replaces p's contents.
+SortWork merge_runs(std::vector<std::vector<particles::ParticleRec>>& runs,
+                    particles::ParticleArray& p);
+
+}  // namespace picpar::core

@@ -1,0 +1,97 @@
+#include "mesh/maxwell.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace picpar::mesh {
+
+double FieldState::energy(const LocalGrid& lg) const {
+  const double cell = lg.grid().dx() * lg.grid().dy();
+  double e = 0.0;
+  for (std::size_t l = 0; l < lg.owned(); ++l) {
+    e += ex[l] * ex[l] + ey[l] * ey[l] + ez[l] * ez[l];
+    e += bx[l] * bx[l] + by[l] * by[l] + bz[l] * bz[l];
+  }
+  return 0.5 * e * cell;
+}
+
+MaxwellSolver::MaxwellSolver(const LocalGrid& lg, double dt)
+    : lg_(&lg),
+      dt_(dt),
+      inv2dx_(0.5 / lg.grid().dx()),
+      inv2dy_(0.5 / lg.grid().dy()) {
+  if (dt <= 0.0) throw std::invalid_argument("MaxwellSolver: dt must be > 0");
+  if (dt > max_dt(lg.grid()))
+    throw std::invalid_argument("MaxwellSolver: dt violates CFL limit");
+}
+
+double MaxwellSolver::max_dt(const GridDesc& g) {
+  return 0.9 * std::min(g.dx(), g.dy()) / std::sqrt(2.0);
+}
+
+// 2-D (d/dz = 0) curls with central differences. Only owned entries of the
+// outputs are written; inputs must have fresh ghosts.
+void MaxwellSolver::curl_e(const FieldState& f, std::vector<double>& cx,
+                           std::vector<double>& cy,
+                           std::vector<double>& cz) const {
+  const auto& lg = *lg_;
+  for (std::size_t l = 0; l < lg.owned(); ++l) {
+    const auto e = lg.east(l), w = lg.west(l), n = lg.north(l), s = lg.south(l);
+    const double dez_dy = (f.ez[n] - f.ez[s]) * inv2dy_;
+    const double dez_dx = (f.ez[e] - f.ez[w]) * inv2dx_;
+    const double dey_dx = (f.ey[e] - f.ey[w]) * inv2dx_;
+    const double dex_dy = (f.ex[n] - f.ex[s]) * inv2dy_;
+    cx[l] = dez_dy;
+    cy[l] = -dez_dx;
+    cz[l] = dey_dx - dex_dy;
+  }
+}
+
+void MaxwellSolver::curl_b(const FieldState& f, std::vector<double>& cx,
+                           std::vector<double>& cy,
+                           std::vector<double>& cz) const {
+  const auto& lg = *lg_;
+  for (std::size_t l = 0; l < lg.owned(); ++l) {
+    const auto e = lg.east(l), w = lg.west(l), n = lg.north(l), s = lg.south(l);
+    const double dbz_dy = (f.bz[n] - f.bz[s]) * inv2dy_;
+    const double dbz_dx = (f.bz[e] - f.bz[w]) * inv2dx_;
+    const double dby_dx = (f.by[e] - f.by[w]) * inv2dx_;
+    const double dbx_dy = (f.bx[n] - f.bx[s]) * inv2dy_;
+    cx[l] = dbz_dy;
+    cy[l] = -dbz_dx;
+    cz[l] = dby_dx - dbx_dy;
+  }
+}
+
+void MaxwellSolver::step(sim::Comm& comm, FieldState& f) const {
+  const auto& lg = *lg_;
+  auto cx = lg.make_field();
+  auto cy = lg.make_field();
+  auto cz = lg.make_field();
+
+  lg.halo_exchange(comm, {&f.ex, &f.ey, &f.ez});
+  curl_e(f, cx, cy, cz);
+  for (std::size_t l = 0; l < lg.owned(); ++l) {
+    f.bx[l] -= 0.5 * dt_ * cx[l];
+    f.by[l] -= 0.5 * dt_ * cy[l];
+    f.bz[l] -= 0.5 * dt_ * cz[l];
+  }
+
+  lg.halo_exchange(comm, {&f.bx, &f.by, &f.bz});
+  curl_b(f, cx, cy, cz);
+  for (std::size_t l = 0; l < lg.owned(); ++l) {
+    f.ex[l] += dt_ * (cx[l] - f.jx[l]);
+    f.ey[l] += dt_ * (cy[l] - f.jy[l]);
+    f.ez[l] += dt_ * (cz[l] - f.jz[l]);
+  }
+
+  lg.halo_exchange(comm, {&f.ex, &f.ey, &f.ez});
+  curl_e(f, cx, cy, cz);
+  for (std::size_t l = 0; l < lg.owned(); ++l) {
+    f.bx[l] -= 0.5 * dt_ * cx[l];
+    f.by[l] -= 0.5 * dt_ * cy[l];
+    f.bz[l] -= 0.5 * dt_ * cz[l];
+  }
+}
+
+}  // namespace picpar::mesh

@@ -1,0 +1,94 @@
+#include "mesh/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace picpar::mesh {
+
+GridPartition::GridPartition(const GridDesc& grid, int nranks,
+                             std::string method)
+    : grid_(grid), nranks_(nranks), method_(std::move(method)) {
+  if (nranks <= 0)
+    throw std::invalid_argument("GridPartition: nranks must be > 0");
+  owner_.assign(static_cast<std::size_t>(grid.nodes()), 0);
+}
+
+void GridPartition::finalize() {
+  nodes_.assign(static_cast<std::size_t>(nranks_), {});
+  for (std::uint64_t id = 0; id < grid_.nodes(); ++id)
+    nodes_[static_cast<std::size_t>(owner_[static_cast<std::size_t>(id)])]
+        .push_back(id);
+}
+
+GridPartition GridPartition::block(const GridDesc& grid, int px, int py) {
+  if (px <= 0 || py <= 0)
+    throw std::invalid_argument("GridPartition::block: px, py must be > 0");
+  GridPartition p(grid, px * py, "block");
+  // Node (x, y) goes to block (bx, by) with near-equal block extents.
+  for (std::uint64_t id = 0; id < grid.nodes(); ++id) {
+    const auto x = grid.node_x(id);
+    const auto y = grid.node_y(id);
+    const auto bx = static_cast<int>(
+        static_cast<std::uint64_t>(x) * static_cast<std::uint64_t>(px) / grid.nx);
+    const auto by = static_cast<int>(
+        static_cast<std::uint64_t>(y) * static_cast<std::uint64_t>(py) / grid.ny);
+    p.owner_[static_cast<std::size_t>(id)] = by * px + bx;
+  }
+  p.finalize();
+  return p;
+}
+
+GridPartition GridPartition::block_auto(const GridDesc& grid, int nranks) {
+  // Pick the factorization px * py == nranks closest to the grid's aspect.
+  int best_px = 1;
+  double best_score = -1.0;
+  for (int px = 1; px <= nranks; ++px) {
+    if (nranks % px != 0) continue;
+    const int py = nranks / px;
+    const double block_w = static_cast<double>(grid.nx) / px;
+    const double block_h = static_cast<double>(grid.ny) / py;
+    const double aspect = block_w > block_h ? block_w / block_h : block_h / block_w;
+    const double score = 1.0 / aspect;  // closer to square is better
+    if (score > best_score) {
+      best_score = score;
+      best_px = px;
+    }
+  }
+  return block(grid, best_px, nranks / best_px);
+}
+
+GridPartition GridPartition::curve(const GridDesc& grid, int nranks,
+                                   const sfc::Curve& curve) {
+  if (curve.nx() != grid.nx || curve.ny() != grid.ny)
+    throw std::invalid_argument("GridPartition::curve: curve/grid dims differ");
+  GridPartition p(grid, nranks, "curve:" + curve.name());
+  const std::uint64_t n = grid.nodes();
+  std::vector<std::uint64_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  std::vector<std::uint64_t> keys(n);
+  for (std::uint64_t id = 0; id < n; ++id)
+    keys[id] = curve.index(grid.node_x(id), grid.node_y(id));
+  std::sort(ids.begin(), ids.end(), [&](std::uint64_t a, std::uint64_t b) {
+    return keys[a] < keys[b];
+  });
+  for (std::uint64_t pos = 0; pos < n; ++pos) {
+    const auto rank =
+        static_cast<int>(pos * static_cast<std::uint64_t>(nranks) / n);
+    p.owner_[static_cast<std::size_t>(ids[pos])] = rank;
+  }
+  p.finalize();
+  return p;
+}
+
+double GridPartition::imbalance() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r)
+    counts[static_cast<std::size_t>(r)] = count_of(r);
+  return imbalance_counts(counts).factor();
+}
+
+}  // namespace picpar::mesh

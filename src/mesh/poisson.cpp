@@ -1,0 +1,76 @@
+#include "mesh/poisson.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace picpar::mesh {
+
+PoissonSolver::PoissonSolver(const LocalGrid& lg, int max_iters, double tol,
+                             int check_every)
+    : lg_(&lg), max_iters_(max_iters), tol_(tol), check_every_(check_every) {
+  if (max_iters <= 0)
+    throw std::invalid_argument("PoissonSolver: max_iters must be > 0");
+  if (check_every <= 0)
+    throw std::invalid_argument("PoissonSolver: check_every must be > 0");
+}
+
+PoissonResult PoissonSolver::solve(sim::Comm& comm,
+                                   const std::vector<double>& rho,
+                                   std::vector<double>& phi) const {
+  const auto& lg = *lg_;
+  const double dx2 = lg.grid().dx() * lg.grid().dx();
+  const double dy2 = lg.grid().dy() * lg.grid().dy();
+  const double denom = 2.0 * (dx2 + dy2);
+
+  // Periodic Poisson needs zero-mean source; subtract the global mean.
+  double local_sum = 0.0;
+  for (std::size_t l = 0; l < lg.owned(); ++l) local_sum += rho[l];
+  const double mean = comm.allreduce_sum(local_sum) /
+                      static_cast<double>(lg.grid().nodes());
+
+  if (phi.size() != lg.total()) phi.assign(lg.total(), 0.0);
+  auto next = lg.make_field();
+
+  PoissonResult res;
+  for (int it = 0; it < max_iters_; ++it) {
+    lg.halo_exchange(comm, {&phi});
+    double local_res = 0.0;
+    const bool check = ((it + 1) % check_every_ == 0) || it + 1 == max_iters_;
+    for (std::size_t l = 0; l < lg.owned(); ++l) {
+      const auto e = lg.east(l), w = lg.west(l), n = lg.north(l),
+                 s = lg.south(l);
+      const double src = rho[l] - mean;
+      next[l] = ((phi[e] + phi[w]) * dy2 + (phi[n] + phi[s]) * dx2 +
+                 src * dx2 * dy2) /
+                denom;
+      if (check) {
+        const double lap = (phi[e] - 2.0 * phi[l] + phi[w]) / dx2 +
+                           (phi[n] - 2.0 * phi[l] + phi[s]) / dy2;
+        local_res = std::max(local_res, std::abs(lap + src));
+      }
+    }
+    std::swap(phi, next);
+    res.iterations = it + 1;
+    if (check) {
+      res.residual = comm.allreduce_max(local_res);
+      if (res.residual < tol_) break;
+    }
+  }
+  lg.halo_exchange(comm, {&phi});
+  return res;
+}
+
+void PoissonSolver::gradient(const std::vector<double>& phi,
+                             std::vector<double>& ex,
+                             std::vector<double>& ey) const {
+  const auto& lg = *lg_;
+  const double inv2dx = 0.5 / lg.grid().dx();
+  const double inv2dy = 0.5 / lg.grid().dy();
+  for (std::size_t l = 0; l < lg.owned(); ++l) {
+    const auto e = lg.east(l), w = lg.west(l), n = lg.north(l), s = lg.south(l);
+    ex[l] = -(phi[e] - phi[w]) * inv2dx;
+    ey[l] = -(phi[n] - phi[s]) * inv2dy;
+  }
+}
+
+}  // namespace picpar::mesh

@@ -1,0 +1,44 @@
+// Electrostatic field solve: Jacobi iteration for the periodic Poisson
+// problem  laplacian(phi) = -rho, then E = -grad(phi).
+//
+// Used by the electrostatic simulation mode and by examples (two-stream
+// instability); also exercises the same halo machinery as the Maxwell
+// solver with a different communication-to-computation ratio.
+#pragma once
+
+#include "mesh/fields.hpp"
+#include "sim/comm.hpp"
+
+namespace picpar::mesh {
+
+struct PoissonResult {
+  int iterations = 0;
+  double residual = 0.0;  ///< max |laplacian(phi) + rho| over owned nodes
+};
+
+class PoissonSolver {
+public:
+  /// max_iters bounds work per solve; tol is the stopping residual
+  /// (max-norm, checked with a global allreduce every `check_every` iters).
+  PoissonSolver(const LocalGrid& lg, int max_iters = 200, double tol = 1e-6,
+                int check_every = 10);
+
+  /// Solve into phi (sized total()); rho must hold the charge density on
+  /// owned nodes. The mean of rho is removed internally (periodic
+  /// compatibility condition).
+  PoissonResult solve(sim::Comm& comm, const std::vector<double>& rho,
+                      std::vector<double>& phi) const;
+
+  /// E = -grad(phi) on owned nodes (phi ghosts must be fresh — solve()
+  /// leaves them fresh).
+  void gradient(const std::vector<double>& phi, std::vector<double>& ex,
+                std::vector<double>& ey) const;
+
+private:
+  const LocalGrid* lg_;
+  int max_iters_;
+  double tol_;
+  int check_every_;
+};
+
+}  // namespace picpar::mesh

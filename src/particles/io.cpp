@@ -1,0 +1,70 @@
+#include "particles/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace picpar::particles {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x70696370617274ULL;  // "picpart"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t reserved = 0;
+  std::uint64_t count = 0;
+  double charge = 0.0;
+  double mass = 0.0;
+};
+static_assert(sizeof(Header) == 40);
+
+}  // namespace
+
+void save_particles(const std::string& path, const ParticleArray& p) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("save_particles: cannot open " + path);
+
+  Header h;
+  h.count = p.size();
+  h.charge = p.charge();
+  h.mass = p.mass();
+  f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+
+  std::vector<ParticleRec> recs;
+  recs.reserve(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) recs.push_back(p.rec(i));
+  if (!recs.empty())
+    f.write(reinterpret_cast<const char*>(recs.data()),
+            static_cast<std::streamsize>(recs.size() * sizeof(ParticleRec)));
+  if (!f) throw std::runtime_error("save_particles: write failed for " + path);
+}
+
+ParticleArray load_particles(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_particles: cannot open " + path);
+
+  Header h;
+  f.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!f || h.magic != kMagic)
+    throw std::runtime_error("load_particles: bad magic in " + path);
+  if (h.version != kVersion)
+    throw std::runtime_error("load_particles: unsupported version " +
+                             std::to_string(h.version));
+
+  ParticleArray p(h.charge, h.mass);
+  p.reserve(h.count);
+  std::vector<ParticleRec> recs(h.count);
+  if (h.count > 0) {
+    f.read(reinterpret_cast<char*>(recs.data()),
+           static_cast<std::streamsize>(h.count * sizeof(ParticleRec)));
+    if (!f) throw std::runtime_error("load_particles: truncated " + path);
+  }
+  for (const auto& r : recs) p.push_back(r);
+  return p;
+}
+
+}  // namespace particles

@@ -1,0 +1,24 @@
+// Binary particle checkpointing.
+//
+// Long PIC campaigns on the CM-5 era machines (and today) run in windows;
+// checkpoint/restart of the particle population is the minimal persistence
+// a production code needs. Format: little-endian, fixed 40-byte header
+// (magic, version, count, charge, mass) followed by count ParticleRec
+// records.
+#pragma once
+
+#include <string>
+
+#include "particles/particle_array.hpp"
+
+namespace picpar::particles {
+
+/// Write the array (species constants + every particle) to `path`.
+/// Throws std::runtime_error on I/O failure.
+void save_particles(const std::string& path, const ParticleArray& p);
+
+/// Read an array written by save_particles. Throws std::runtime_error on
+/// I/O failure, bad magic, version mismatch or truncated payload.
+ParticleArray load_particles(const std::string& path);
+
+}  // namespace picpar::particles

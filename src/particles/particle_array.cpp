@@ -1,0 +1,32 @@
+#include "particles/particle_array.hpp"
+
+#include <cmath>
+
+namespace picpar::particles {
+
+void ParticleArray::apply_permutation(const std::vector<std::uint32_t>& perm) {
+  if (perm.size() != size())
+    throw std::invalid_argument("apply_permutation: size mismatch");
+  auto permute = [&](auto& v) {
+    auto tmp = v;
+    for (std::size_t i = 0; i < perm.size(); ++i) v[i] = tmp[perm[i]];
+  };
+  permute(x);
+  permute(y);
+  permute(ux);
+  permute(uy);
+  permute(uz);
+  permute(key);
+}
+
+double ParticleArray::gamma(std::size_t i) const {
+  return std::sqrt(1.0 + ux[i] * ux[i] + uy[i] * uy[i] + uz[i] * uz[i]);
+}
+
+double ParticleArray::kinetic_energy() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) e += mass_ * (gamma(i) - 1.0);
+  return e;
+}
+
+}  // namespace picpar::particles

@@ -1,0 +1,104 @@
+// Structure-of-arrays particle storage.
+//
+// A ParticleArray holds one species: per-particle position, momentum
+// (u = gamma * v, c = 1) and the sort key (space-filling-curve index of the
+// enclosing cell, Section 5.1). Charge and mass are per-species constants.
+// ParticleRec is the packed POD used when particles travel between ranks.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace picpar::particles {
+
+struct ParticleRec {
+  double x = 0.0, y = 0.0;
+  double ux = 0.0, uy = 0.0, uz = 0.0;
+  std::uint64_t key = 0;
+};
+static_assert(sizeof(ParticleRec) == 48);
+
+class ParticleArray {
+public:
+  ParticleArray(double charge, double mass) : charge_(charge), mass_(mass) {
+    if (mass <= 0.0) throw std::invalid_argument("ParticleArray: mass <= 0");
+  }
+
+  double charge() const { return charge_; }
+  double mass() const { return mass_; }
+
+  std::size_t size() const { return x.size(); }
+  bool empty() const { return x.empty(); }
+
+  void reserve(std::size_t n) {
+    x.reserve(n);
+    y.reserve(n);
+    ux.reserve(n);
+    uy.reserve(n);
+    uz.reserve(n);
+    key.reserve(n);
+  }
+
+  void push_back(const ParticleRec& p) {
+    x.push_back(p.x);
+    y.push_back(p.y);
+    ux.push_back(p.ux);
+    uy.push_back(p.uy);
+    uz.push_back(p.uz);
+    key.push_back(p.key);
+  }
+
+  ParticleRec rec(std::size_t i) const {
+    return {x[i], y[i], ux[i], uy[i], uz[i], key[i]};
+  }
+
+  void set(std::size_t i, const ParticleRec& p) {
+    x[i] = p.x;
+    y[i] = p.y;
+    ux[i] = p.ux;
+    uy[i] = p.uy;
+    uz[i] = p.uz;
+    key[i] = p.key;
+  }
+
+  void clear() {
+    x.clear();
+    y.clear();
+    ux.clear();
+    uy.clear();
+    uz.clear();
+    key.clear();
+  }
+
+  /// Remove element i by swapping the last element into its place.
+  void swap_remove(std::size_t i) {
+    const std::size_t last = size() - 1;
+    if (i != last) set(i, rec(last));
+    x.pop_back();
+    y.pop_back();
+    ux.pop_back();
+    uy.pop_back();
+    uz.pop_back();
+    key.pop_back();
+  }
+
+  /// Reorder all arrays by `perm` (perm[i] = old index of new element i).
+  void apply_permutation(const std::vector<std::uint32_t>& perm);
+
+  /// Relativistic gamma of particle i.
+  double gamma(std::size_t i) const;
+
+  /// Total kinetic energy: sum m (gamma - 1).
+  double kinetic_energy() const;
+
+  std::vector<double> x, y;
+  std::vector<double> ux, uy, uz;
+  std::vector<std::uint64_t> key;
+
+private:
+  double charge_;
+  double mass_;
+};
+
+}  // namespace picpar::particles

@@ -1,0 +1,54 @@
+#include "particles/pusher.hpp"
+
+#include <cmath>
+
+namespace picpar::particles {
+
+void boris_kick(double q, double m, double dt, const LocalFields& f,
+                double& ux, double& uy, double& uz) {
+  const double qmdt2 = 0.5 * q * dt / m;
+
+  // Half electric acceleration.
+  double umx = ux + qmdt2 * f.ex;
+  double umy = uy + qmdt2 * f.ey;
+  double umz = uz + qmdt2 * f.ez;
+
+  // Magnetic rotation at the mid-step gamma.
+  const double gamma = std::sqrt(1.0 + umx * umx + umy * umy + umz * umz);
+  const double tx = qmdt2 * f.bx / gamma;
+  const double ty = qmdt2 * f.by / gamma;
+  const double tz = qmdt2 * f.bz / gamma;
+  const double t2 = tx * tx + ty * ty + tz * tz;
+  const double sx = 2.0 * tx / (1.0 + t2);
+  const double sy = 2.0 * ty / (1.0 + t2);
+  const double sz = 2.0 * tz / (1.0 + t2);
+
+  const double upx = umx + (umy * tz - umz * ty);
+  const double upy = umy + (umz * tx - umx * tz);
+  const double upz = umz + (umx * ty - umy * tx);
+
+  umx += upy * sz - upz * sy;
+  umy += upz * sx - upx * sz;
+  umz += upx * sy - upy * sx;
+
+  // Second half electric acceleration.
+  ux = umx + qmdt2 * f.ex;
+  uy = umy + qmdt2 * f.ey;
+  uz = umz + qmdt2 * f.ez;
+}
+
+void advance_position(const mesh::GridDesc& g, ParticleArray& p,
+                      std::size_t i, double dt) {
+  const double gamma = p.gamma(i);
+  p.x[i] = g.wrap_x(p.x[i] + dt * p.ux[i] / gamma);
+  p.y[i] = g.wrap_y(p.y[i] + dt * p.uy[i] / gamma);
+}
+
+void leapfrog_kick(double q, double m, double dt, double ex, double ey,
+                   double& ux, double& uy) {
+  const double qmdt = q * dt / m;
+  ux += qmdt * ex;
+  uy += qmdt * ey;
+}
+
+}  // namespace picpar::particles

@@ -1,0 +1,33 @@
+// Particle pushers (the paper's "push phase").
+//
+// The primary pusher is the relativistic Boris rotation, the standard
+// second-order scheme for electromagnetic PIC; a non-relativistic leapfrog
+// is provided for electrostatic runs and tests.
+#pragma once
+
+#include "mesh/grid.hpp"
+#include "particles/particle_array.hpp"
+
+namespace picpar::particles {
+
+/// Fields interpolated at a particle location.
+struct LocalFields {
+  double ex = 0.0, ey = 0.0, ez = 0.0;
+  double bx = 0.0, by = 0.0, bz = 0.0;
+};
+
+/// Relativistic Boris push of momentum u by fields over dt
+/// (charge q, mass m; c = 1). Returns the updated momentum.
+void boris_kick(double q, double m, double dt, const LocalFields& f,
+                double& ux, double& uy, double& uz);
+
+/// Advance position of particle i by its velocity u/gamma over dt, with
+/// periodic wrapping, and refresh nothing else.
+void advance_position(const mesh::GridDesc& g, ParticleArray& p,
+                      std::size_t i, double dt);
+
+/// Non-relativistic leapfrog kick (E only) for electrostatic runs.
+void leapfrog_kick(double q, double m, double dt, double ex, double ey,
+                   double& ux, double& uy);
+
+}  // namespace picpar::particles

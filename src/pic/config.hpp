@@ -1,0 +1,71 @@
+// Configuration for a parallel PIC run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/ghost_exchange.hpp"
+#include "core/partitioner.hpp"
+#include "mesh/grid.hpp"
+#include "particles/init.hpp"
+#include "sfc/curve.hpp"
+#include "sim/cost_model.hpp"
+
+namespace picpar::pic {
+
+/// How mesh grid points are assigned to ranks.
+enum class GridDecomp {
+  kBlock,  ///< classic 2-D Cartesian blocks
+  kCurve,  ///< runs of the same space-filling curve (Fig 10)
+};
+
+/// Which field solver runs in the field-solve phase.
+enum class FieldSolveKind {
+  kMaxwell,  ///< full electromagnetic FDTD (the paper's case)
+  kPoisson,  ///< electrostatic Jacobi solve
+  kNone,     ///< skip (kinematics-only runs, benches that isolate comm)
+};
+
+GridDecomp parse_grid_decomp(const std::string& name);
+FieldSolveKind parse_solver(const std::string& name);
+
+/// Per-phase computation constants in units of the machine's delta,
+/// mirroring the paper's T_scomp / T_fcomp / T_gcomp / T_push (Section 4).
+/// Defaults are calibrated so the cm5 cost preset lands in the range of
+/// Table 2 (a few hundred ms per iteration at 1K particles/rank).
+struct PhaseCosts {
+  double scatter_per_vertex = 60.0;   ///< T_scomp, per particle-vertex
+  double field_per_node = 120.0;      ///< T_fcomp, per grid point per solve
+  double gather_per_vertex = 70.0;    ///< T_gcomp, per particle-vertex
+  double push_per_particle = 90.0;    ///< T_push, per particle
+};
+
+struct PicParams {
+  mesh::GridDesc grid{128, 64};
+  int nranks = 32;
+
+  particles::Distribution dist = particles::Distribution::kUniform;
+  particles::InitParams init{};  ///< init.total must be set
+
+  sfc::CurveKind curve = sfc::CurveKind::kHilbert;
+  GridDecomp grid_decomp = GridDecomp::kCurve;
+  FieldSolveKind solver = FieldSolveKind::kMaxwell;
+
+  int iterations = 200;
+  double dt = 0.0;  ///< 0 = automatic CFL-limited step
+
+  /// Redistribution policy spec: "static", "periodic:K", or "sar".
+  std::string policy = "sar";
+
+  core::DedupPolicy dedup = core::DedupPolicy::kDirect;
+  core::PartitionerConfig partitioner{};
+  PhaseCosts costs{};
+  sim::CostModel machine = sim::CostModel::cm5();
+
+  /// Record global field/kinetic energy every k iterations (0 = off).
+  /// Sampling performs an extra allreduce, so it adds (real) virtual time;
+  /// leave it off for timing experiments.
+  int sample_energy_every = 0;
+};
+
+}  // namespace picpar::pic

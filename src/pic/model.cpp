@@ -1,0 +1,71 @@
+#include "pic/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace picpar::pic {
+
+double ghost_point_bound(const ModelInputs& in) {
+  const double p = in.nranks;
+  return std::min(static_cast<double>(in.grid_points) / p,
+                  4.0 * static_cast<double>(in.particles) / p);
+}
+
+PhaseBounds phase_bounds(const ModelInputs& in) {
+  if (in.nranks <= 0)
+    throw std::invalid_argument("phase_bounds: nranks must be > 0");
+  const double p = in.nranks;
+  const double n_p = static_cast<double>(in.particles) / p;
+  const double m_p = static_cast<double>(in.grid_points) / p;
+  const double tau = in.machine.tau;
+  const double mu = in.machine.mu + in.machine.recv_copy_mu;
+  const double delta = in.machine.delta;
+  const double u = ghost_point_bound(in);
+
+  PhaseBounds b;
+  b.scatter = 4.0 * n_p * in.costs.scatter_per_vertex * delta +
+              (p - 1.0) * tau + u * in.l_grid * mu;
+  b.field_solve = m_p * in.costs.field_per_node * delta + 4.0 * tau +
+                  4.0 * std::sqrt(m_p) * in.l_grid * mu;
+  b.gather = 4.0 * n_p * in.costs.gather_per_vertex * delta +
+             (p - 1.0) * tau + 2.0 * u * in.l_grid * mu;
+  b.push = n_p * in.costs.push_per_particle * delta;
+  return b;
+}
+
+PhaseBounds aligned_phase_estimate(const ModelInputs& in, int neighbors) {
+  if (in.nranks <= 0)
+    throw std::invalid_argument("aligned_phase_estimate: nranks must be > 0");
+  const double p = in.nranks;
+  const double n_p = static_cast<double>(in.particles) / p;
+  const double m_p = static_cast<double>(in.grid_points) / p;
+  const double tau = in.machine.tau;
+  const double mu = in.machine.mu + in.machine.recv_copy_mu;
+  const double delta = in.machine.delta;
+  const double nb = std::min(static_cast<double>(neighbors), p - 1.0);
+  // Aligned subdomains exchange only a boundary ring of ghost points.
+  const double u = std::min(4.0 * std::sqrt(m_p), ghost_point_bound(in));
+
+  PhaseBounds b;
+  b.scatter = 4.0 * n_p * in.costs.scatter_per_vertex * delta + nb * tau +
+              u * in.l_grid * mu;
+  b.field_solve = m_p * in.costs.field_per_node * delta + 4.0 * tau +
+                  4.0 * std::sqrt(m_p) * in.l_grid * mu;
+  b.gather = 4.0 * n_p * in.costs.gather_per_vertex * delta + nb * tau +
+             2.0 * u * in.l_grid * mu;
+  b.push = n_p * in.costs.push_per_particle * delta;
+  return b;
+}
+
+ModelInputs model_inputs(const PicParams& params) {
+  ModelInputs in;
+  in.particles = params.init.total;
+  in.grid_points = params.grid.nodes();
+  in.nranks = params.nranks;
+  in.costs = params.costs;
+  in.machine = params.machine;
+  return in;
+}
+
+}  // namespace picpar::pic

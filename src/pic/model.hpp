@@ -1,0 +1,53 @@
+// The paper's Section 4 analytic time model.
+//
+// For the direct Lagrangian method with a distributed mesh, the paper
+// bounds each phase of one iteration (two-dimensional case):
+//
+//   T_scatter <= 4 n/p T_scomp + (p-1) tau + u l_grid mu
+//   T_fields   =   m/p T_fcomp + 4 tau + 4 sqrt(m/p) l_grid mu
+//   T_gather  <= 4 n/p T_gcomp + (p-1) tau + 2 u l_grid mu
+//   T_push     =   n/p T_push
+//
+// with u = min(m/p, 4 n/p) the ghost-point bound. These closed forms let a
+// user size a machine before running anything; the bench
+// bench_section4_model checks the simulator against them.
+#pragma once
+
+#include "pic/config.hpp"
+
+namespace picpar::pic {
+
+struct PhaseBounds {
+  double scatter = 0.0;
+  double field_solve = 0.0;
+  double gather = 0.0;
+  double push = 0.0;
+
+  double iteration() const { return scatter + field_solve + gather + push; }
+};
+
+struct ModelInputs {
+  std::uint64_t particles = 0;   ///< n
+  std::uint64_t grid_points = 0; ///< m
+  int nranks = 1;                ///< p
+  double l_grid = 8.0;           ///< bytes per grid-point value
+  PhaseCosts costs{};            ///< per-op constants (units of delta)
+  sim::CostModel machine = sim::CostModel::cm5();
+};
+
+/// Ghost-point upper bound u = min(m/p, 4 n/p).
+double ghost_point_bound(const ModelInputs& in);
+
+/// Per-iteration upper bounds for each phase (seconds of virtual time).
+PhaseBounds phase_bounds(const ModelInputs& in);
+
+/// Predicted best-case iteration time when particle and mesh subdomains
+/// are perfectly aligned: communication drops to the subdomain boundary,
+/// u_aligned ~ 4 sqrt(m/p) (one ghost ring), messages to a handful of
+/// neighbors instead of p-1.
+PhaseBounds aligned_phase_estimate(const ModelInputs& in, int neighbors = 8);
+
+/// Convenience: fill ModelInputs from a PicParams.
+ModelInputs model_inputs(const PicParams& params);
+
+}  // namespace picpar::pic

@@ -1,0 +1,23 @@
+// Baseline: Lubeck & Faber's replicated-grid direct Lagrangian PIC
+// (Section 3 of the paper).
+//
+// Every rank holds the FULL mesh. The scatter phase deposits locally and
+// then element-wise global-sums the source arrays over all ranks; the field
+// solve is split into row chunks and a global concatenation broadcasts the
+// results. Gather and push are purely local. Efficient on small machines;
+// the global operations on the full mesh dominate as p grows — the
+// behaviour the paper cites as the motivation for distributed meshes.
+#pragma once
+
+#include "pic/config.hpp"
+#include "pic/result.hpp"
+
+namespace picpar::pic {
+
+/// Run the replicated-grid baseline. Uses grid, nranks, dist, init, solver
+/// (kMaxwell/kNone), iterations, dt, costs and machine from `params`;
+/// partitioning/policy fields are ignored (particles stay on their initial
+/// rank forever, grid is replicated).
+PicResult run_replicated(const PicParams& params);
+
+}  // namespace picpar::pic

@@ -1,0 +1,70 @@
+// Per-iteration and aggregate results of a PIC run — the quantities the
+// paper's tables and figures report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace picpar::pic {
+
+struct IterRecord {
+  int iter = 0;
+  /// Virtual time the whole machine spent on this iteration (max-rank
+  /// clock advance), including any redistribution triggered after it.
+  double exec_seconds = 0.0;
+  /// Same, excluding the redistribution — the value the SAR policy sees.
+  double loop_seconds = 0.0;
+
+  // Scatter-phase traffic maxima over ranks (Figs 18-19).
+  std::uint64_t scatter_max_sent_bytes = 0;
+  std::uint64_t scatter_max_recv_bytes = 0;
+  std::uint64_t scatter_max_sent_msgs = 0;
+  std::uint64_t scatter_max_recv_msgs = 0;
+
+  /// Max over ranks of distinct ghost grid points this iteration.
+  std::uint64_t max_ghost_entries = 0;
+
+  bool redistributed = false;
+  double redist_seconds = 0.0;        ///< global (max-rank) cost
+  std::uint64_t redist_particles_moved = 0;  ///< summed over ranks
+};
+
+struct EnergySample {
+  int iter = 0;
+  double field = 0.0;
+  double kinetic = 0.0;
+};
+
+struct PicResult {
+  std::vector<IterRecord> iters;
+
+  /// Populated when PicParams::sample_energy_every > 0.
+  std::vector<EnergySample> energy_history;
+
+  double total_seconds = 0.0;    ///< virtual makespan of the whole run
+  double compute_seconds = 0.0;  ///< max-rank charged computation
+  double overhead_seconds() const { return total_seconds - compute_seconds; }
+
+  int redistributions = 0;
+  double redist_seconds_total = 0.0;
+  double initial_distribution_seconds = 0.0;
+
+  // Physics diagnostics at the end of the run (summed over ranks).
+  double field_energy = 0.0;
+  double kinetic_energy = 0.0;
+  double total_charge = 0.0;
+
+  sim::RunResult machine;  ///< full per-rank clocks and phase counters
+
+  /// Mean per-iteration execution time.
+  double mean_iter_seconds() const {
+    if (iters.empty()) return 0.0;
+    double s = 0.0;
+    for (const auto& it : iters) s += it.exec_seconds;
+    return s / static_cast<double>(iters.size());
+  }
+};
+
+}  // namespace picpar::pic

@@ -1,0 +1,331 @@
+#include "pic/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/indexing.hpp"
+#include "core/policy.hpp"
+#include "mesh/local_grid.hpp"
+#include "mesh/maxwell.hpp"
+#include "mesh/poisson.hpp"
+#include "particles/interpolate.hpp"
+#include "particles/pusher.hpp"
+#include "sim/comm.hpp"
+
+namespace picpar::pic {
+
+using core::GhostExchange;
+using core::ParticlePartitioner;
+using mesh::FieldState;
+using mesh::GridPartition;
+using mesh::LocalGrid;
+using particles::ParticleArray;
+using sim::Comm;
+using sim::Phase;
+
+GridDecomp parse_grid_decomp(const std::string& name) {
+  if (name == "block") return GridDecomp::kBlock;
+  if (name == "curve") return GridDecomp::kCurve;
+  throw std::invalid_argument("unknown grid decomposition: " + name);
+}
+
+FieldSolveKind parse_solver(const std::string& name) {
+  if (name == "maxwell") return FieldSolveKind::kMaxwell;
+  if (name == "poisson") return FieldSolveKind::kPoisson;
+  if (name == "none") return FieldSolveKind::kNone;
+  throw std::invalid_argument("unknown solver: " + name);
+}
+
+namespace {
+
+/// Per-rank, per-iteration raw measurements; merged after the run.
+struct LocalIter {
+  double clock_end = 0.0;
+  double clock_pre_redist = 0.0;
+  double loop_seconds_global = 0.0;
+  std::uint64_t scatter_sent_bytes = 0;
+  std::uint64_t scatter_recv_bytes = 0;
+  std::uint64_t scatter_sent_msgs = 0;
+  std::uint64_t scatter_recv_msgs = 0;
+  std::uint64_t ghost_entries = 0;
+  bool redistributed = false;
+  double redist_seconds_global = 0.0;
+  std::uint64_t redist_sent = 0;
+};
+
+struct RankOutput {
+  std::vector<LocalIter> iters;
+  double clock_after_init = 0.0;
+  double init_seconds_global = 0.0;
+  double field_energy = 0.0;
+  double kinetic_energy = 0.0;
+  double total_charge = 0.0;
+  std::vector<EnergySample> energy;  // filled by rank 0 only
+};
+
+}  // namespace
+
+PicResult run_pic(const PicParams& params) {
+  if (params.init.total == 0)
+    throw std::invalid_argument("run_pic: init.total must be > 0");
+  if (params.iterations < 0)
+    throw std::invalid_argument("run_pic: iterations must be >= 0");
+
+  const mesh::GridDesc grid = params.grid;
+  const auto curve = sfc::make_curve(params.curve, grid.nx, grid.ny);
+  const GridPartition part =
+      params.grid_decomp == GridDecomp::kBlock
+          ? GridPartition::block_auto(grid, params.nranks)
+          : GridPartition::curve(grid, params.nranks, *curve);
+
+  // The global particle population; every rank slices it identically.
+  const ParticleArray global =
+      particles::generate(params.dist, grid, params.init);
+  const double dt =
+      params.dt > 0.0 ? params.dt : mesh::MaxwellSolver::max_dt(grid);
+
+  const double delta = params.machine.delta;
+  const PhaseCosts& pc = params.costs;
+  const double inv_cell = 1.0 / (grid.dx() * grid.dy());
+
+  std::vector<RankOutput> outputs(static_cast<std::size_t>(params.nranks));
+
+  auto program = [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int p = comm.size();
+    auto& out = outputs[static_cast<std::size_t>(rank)];
+    out.iters.reserve(static_cast<std::size_t>(params.iterations));
+
+    LocalGrid lg(part, rank);
+    FieldState f(lg);
+    mesh::MaxwellSolver maxwell(lg, dt);
+    mesh::PoissonSolver poisson(lg);
+    auto phi = lg.make_field();
+    ParticlePartitioner partitioner(*curve, grid, params.partitioner);
+    GhostExchange ghosts(lg, params.dedup);
+    const auto policy = core::make_policy(params.policy);
+
+    // Initial slice: equal contiguous blocks of the generated population.
+    ParticleArray mine(global.charge(), global.mass());
+    {
+      const auto total = static_cast<std::uint64_t>(global.size());
+      const std::uint64_t b =
+          static_cast<std::uint64_t>(rank) * total / static_cast<std::uint64_t>(p);
+      const std::uint64_t e = static_cast<std::uint64_t>(rank + 1) * total /
+                              static_cast<std::uint64_t>(p);
+      mine.reserve(static_cast<std::size_t>(e - b));
+      for (std::uint64_t i = b; i < e; ++i)
+        mine.push_back(global.rec(static_cast<std::size_t>(i)));
+    }
+
+    // Initial distribution (full sample sort + balance).
+    comm.set_phase(Phase::kRedistribute);
+    const double t0 = comm.clock();
+    partitioner.assign_keys(comm, mine);
+    partitioner.distribute(comm, mine);
+    comm.set_phase(Phase::kOther);
+    out.init_seconds_global = comm.allreduce_max(comm.clock() - t0);
+    policy->notify_redistribution(-1, out.init_seconds_global);
+    out.clock_after_init = comm.clock();
+
+    const double q = mine.charge();
+    const double m = mine.mass();
+
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      LocalIter rec;
+      const double t_iter_start = comm.clock();
+
+      // ---- Scatter phase ----
+      comm.set_phase(Phase::kScatter);
+      const auto stats_before = comm.stats();
+      ghosts.begin_iteration();
+      f.clear_sources();
+      const std::size_t n = mine.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto st = particles::cic_stencil(grid, mine.x[i], mine.y[i]);
+        const double gamma = mine.gamma(i);
+        const double qv = q * inv_cell;
+        const double jx = qv * mine.ux[i] / gamma;
+        const double jy = qv * mine.uy[i] / gamma;
+        const double jz = qv * mine.uz[i] / gamma;
+        for (int k = 0; k < 4; ++k) {
+          const double w = st.weight[k];
+          const auto l = lg.local_of(st.node[k]);
+          if (l != mesh::kNoLocal && l < lg.owned()) {
+            f.jx[l] += w * jx;
+            f.jy[l] += w * jy;
+            f.jz[l] += w * jz;
+            f.rho[l] += w * qv;
+          } else {
+            double* slot = ghosts.deposit_slot(st.node[k]);
+            slot[0] += w * jx;
+            slot[1] += w * jy;
+            slot[2] += w * jz;
+            slot[3] += w * qv;
+          }
+        }
+      }
+      comm.charge(static_cast<double>(4 * n) * pc.scatter_per_vertex * delta);
+      rec.ghost_entries = ghosts.entries();
+      ghosts.flush_scatter(comm, f);
+      {
+        const auto d = comm.stats().diff(stats_before).phase(Phase::kScatter);
+        rec.scatter_sent_bytes = d.bytes_sent;
+        rec.scatter_recv_bytes = d.bytes_recv;
+        rec.scatter_sent_msgs = d.msgs_sent;
+        rec.scatter_recv_msgs = d.msgs_recv;
+      }
+
+      // ---- Field solve phase ----
+      comm.set_phase(Phase::kFieldSolve);
+      switch (params.solver) {
+        case FieldSolveKind::kMaxwell:
+          maxwell.step(comm, f);
+          comm.charge(static_cast<double>(lg.owned()) * pc.field_per_node *
+                      delta);
+          break;
+        case FieldSolveKind::kPoisson: {
+          const auto pr = poisson.solve(comm, f.rho, phi);
+          poisson.gradient(phi, f.ex, f.ey);
+          comm.charge(static_cast<double>(lg.owned()) * 0.25 *
+                      pc.field_per_node * delta *
+                      static_cast<double>(pr.iterations) / 10.0);
+          break;
+        }
+        case FieldSolveKind::kNone:
+          break;
+      }
+
+      // ---- Gather phase ----
+      comm.set_phase(Phase::kGather);
+      ghosts.fetch_fields(comm, f);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto st = particles::cic_stencil(grid, mine.x[i], mine.y[i]);
+        particles::LocalFields lf;
+        for (int k = 0; k < 4; ++k) {
+          const double w = st.weight[k];
+          const auto l = lg.local_of(st.node[k]);
+          if (l != mesh::kNoLocal && l < lg.owned()) {
+            lf.ex += w * f.ex[l];
+            lf.ey += w * f.ey[l];
+            lf.ez += w * f.ez[l];
+            lf.bx += w * f.bx[l];
+            lf.by += w * f.by[l];
+            lf.bz += w * f.bz[l];
+          } else {
+            const double* s = ghosts.field_slot(st.node[k]);
+            lf.ex += w * s[0];
+            lf.ey += w * s[1];
+            lf.ez += w * s[2];
+            lf.bx += w * s[3];
+            lf.by += w * s[4];
+            lf.bz += w * s[5];
+          }
+        }
+        particles::boris_kick(q, m, dt, lf, mine.ux[i], mine.uy[i],
+                              mine.uz[i]);
+      }
+      comm.charge(static_cast<double>(4 * n) * pc.gather_per_vertex * delta);
+
+      // ---- Push phase ----
+      comm.set_phase(Phase::kPush);
+      for (std::size_t i = 0; i < n; ++i) {
+        particles::advance_position(grid, mine, i, dt);
+        mine.key[i] = core::key_of(*curve, grid, mine.x[i], mine.y[i]);
+      }
+      comm.charge(static_cast<double>(n) * pc.push_per_particle * delta);
+
+      // ---- Iteration timing and redistribution decision ----
+      comm.set_phase(Phase::kOther);
+      rec.loop_seconds_global =
+          comm.allreduce_max(comm.clock() - t_iter_start);
+      rec.clock_pre_redist = comm.clock();
+
+      if (policy->should_redistribute(iter, rec.loop_seconds_global)) {
+        comm.set_phase(Phase::kRedistribute);
+        const double tr = comm.clock();
+        const auto rrep = partitioner.redistribute(comm, mine);
+        comm.set_phase(Phase::kOther);
+        rec.redist_seconds_global = comm.allreduce_max(comm.clock() - tr);
+        policy->notify_redistribution(iter, rec.redist_seconds_global);
+        rec.redistributed = true;
+        rec.redist_sent = rrep.sent_particles;
+      }
+      rec.clock_end = comm.clock();
+      out.iters.push_back(rec);
+
+      if (params.sample_energy_every > 0 &&
+          (iter + 1) % params.sample_energy_every == 0) {
+        const double fe = comm.allreduce_sum(f.energy(lg));
+        const double ke = comm.allreduce_sum(mine.kinetic_energy());
+        if (rank == 0) out.energy.push_back({iter, fe, ke});
+      }
+    }
+
+    // Final physics diagnostics (local sums; merged by the aggregator).
+    out.field_energy = f.energy(lg);
+    out.kinetic_energy = mine.kinetic_energy();
+    double charge_sum = 0.0;
+    for (std::size_t l = 0; l < lg.owned(); ++l) charge_sum += f.rho[l];
+    out.total_charge = charge_sum * grid.dx() * grid.dy();
+  };
+
+  sim::Machine machine(params.nranks, params.machine);
+  auto run = machine.run(program);
+
+  // ---- Aggregate ----
+  PicResult result;
+  result.machine = std::move(run);
+  result.total_seconds = result.machine.makespan();
+  result.compute_seconds = result.machine.max_compute();
+  result.initial_distribution_seconds =
+      outputs.empty() ? 0.0 : outputs[0].init_seconds_global;
+
+  double prev_end = 0.0;
+  for (const auto& o : outputs)
+    prev_end = std::max(prev_end, o.clock_after_init);
+
+  result.iters.resize(static_cast<std::size_t>(params.iterations));
+  for (int i = 0; i < params.iterations; ++i) {
+    auto& rec = result.iters[static_cast<std::size_t>(i)];
+    rec.iter = i;
+    double end = 0.0, pre = 0.0;
+    for (const auto& o : outputs) {
+      const auto& li = o.iters[static_cast<std::size_t>(i)];
+      end = std::max(end, li.clock_end);
+      pre = std::max(pre, li.clock_pre_redist);
+      rec.scatter_max_sent_bytes =
+          std::max(rec.scatter_max_sent_bytes, li.scatter_sent_bytes);
+      rec.scatter_max_recv_bytes =
+          std::max(rec.scatter_max_recv_bytes, li.scatter_recv_bytes);
+      rec.scatter_max_sent_msgs =
+          std::max(rec.scatter_max_sent_msgs, li.scatter_sent_msgs);
+      rec.scatter_max_recv_msgs =
+          std::max(rec.scatter_max_recv_msgs, li.scatter_recv_msgs);
+      rec.max_ghost_entries = std::max(rec.max_ghost_entries, li.ghost_entries);
+      rec.redistributed = rec.redistributed || li.redistributed;
+      rec.redist_seconds = std::max(rec.redist_seconds, li.redist_seconds_global);
+      rec.redist_particles_moved += li.redist_sent;
+    }
+    const auto& li0 = outputs[0].iters[static_cast<std::size_t>(i)];
+    rec.loop_seconds = li0.loop_seconds_global;
+    rec.exec_seconds = end - prev_end;
+    prev_end = end;
+    if (rec.redistributed) {
+      ++result.redistributions;
+      result.redist_seconds_total += rec.redist_seconds;
+    }
+    (void)pre;
+  }
+
+  for (const auto& o : outputs) {
+    result.field_energy += o.field_energy;
+    result.kinetic_energy += o.kinetic_energy;
+    result.total_charge += o.total_charge;
+  }
+  result.energy_history = std::move(outputs[0].energy);
+  return result;
+}
+
+}  // namespace picpar::pic

@@ -1,0 +1,56 @@
+// Space-filling-curve indexings of the cells of a 2-D grid.
+//
+// A Curve maps cell coordinates (x, y) on an nx-by-ny grid to a 1-D index
+// whose *order* is what matters: sorting cells (and the particles inside
+// them) by this index and cutting the sorted sequence into equal runs is
+// how the paper partitions both arrays (Section 5.1, Figs 9-10).
+//
+// Index values need not be dense; Hilbert indices on a non-square grid are
+// computed on the smallest enclosing power-of-two square, so they have gaps
+// but preserve spatial locality.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace picpar::sfc {
+
+class Curve {
+public:
+  Curve(std::uint32_t nx, std::uint32_t ny) : nx_(nx), ny_(ny) {}
+  virtual ~Curve() = default;
+
+  std::uint32_t nx() const { return nx_; }
+  std::uint32_t ny() const { return ny_; }
+  std::uint64_t cells() const {
+    return static_cast<std::uint64_t>(nx_) * ny_;
+  }
+
+  /// 1-D index of cell (x, y); x < nx, y < ny.
+  virtual std::uint64_t index(std::uint32_t x, std::uint32_t y) const = 0;
+
+  /// Inverse of index() for indices produced by this curve.
+  virtual std::pair<std::uint32_t, std::uint32_t> coords(
+      std::uint64_t idx) const = 0;
+
+  virtual std::string name() const = 0;
+
+protected:
+  std::uint32_t nx_;
+  std::uint32_t ny_;
+};
+
+enum class CurveKind { kRowMajor, kSnake, kMorton, kHilbert };
+
+const char* curve_kind_name(CurveKind k);
+
+/// Parse a curve name ("rowmajor", "snake", "morton", "hilbert").
+/// Throws std::invalid_argument on unknown names.
+CurveKind parse_curve_kind(const std::string& name);
+
+std::unique_ptr<Curve> make_curve(CurveKind kind, std::uint32_t nx,
+                                  std::uint32_t ny);
+
+}  // namespace picpar::sfc

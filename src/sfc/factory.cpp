@@ -1,0 +1,38 @@
+#include <stdexcept>
+
+#include "sfc/curve.hpp"
+#include "sfc/hilbert.hpp"
+#include "sfc/simple_curves.hpp"
+
+namespace picpar::sfc {
+
+const char* curve_kind_name(CurveKind k) {
+  switch (k) {
+    case CurveKind::kRowMajor: return "rowmajor";
+    case CurveKind::kSnake: return "snake";
+    case CurveKind::kMorton: return "morton";
+    case CurveKind::kHilbert: return "hilbert";
+  }
+  return "?";
+}
+
+CurveKind parse_curve_kind(const std::string& name) {
+  if (name == "rowmajor") return CurveKind::kRowMajor;
+  if (name == "snake") return CurveKind::kSnake;
+  if (name == "morton") return CurveKind::kMorton;
+  if (name == "hilbert") return CurveKind::kHilbert;
+  throw std::invalid_argument("unknown curve kind: " + name);
+}
+
+std::unique_ptr<Curve> make_curve(CurveKind kind, std::uint32_t nx,
+                                  std::uint32_t ny) {
+  switch (kind) {
+    case CurveKind::kRowMajor: return std::make_unique<RowMajorCurve>(nx, ny);
+    case CurveKind::kSnake: return std::make_unique<SnakeCurve>(nx, ny);
+    case CurveKind::kMorton: return std::make_unique<MortonCurve>(nx, ny);
+    case CurveKind::kHilbert: return std::make_unique<HilbertCurve>(nx, ny);
+  }
+  throw std::invalid_argument("make_curve: bad kind");
+}
+
+}  // namespace picpar::sfc

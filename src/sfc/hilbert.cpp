@@ -1,0 +1,77 @@
+#include "sfc/hilbert.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace picpar::sfc {
+
+namespace {
+
+// One quadrant-rotation step of the classic iterative algorithm
+// (Warren, "Hacker's Delight" / Wikipedia formulation).
+void rotate(std::uint64_t n, std::uint32_t& x, std::uint32_t& y,
+            std::uint64_t rx, std::uint64_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      x = static_cast<std::uint32_t>(n - 1 - x);
+      y = static_cast<std::uint32_t>(n - 1 - y);
+    }
+    std::swap(x, y);
+  }
+}
+
+std::uint32_t order_for(std::uint32_t nx, std::uint32_t ny) {
+  const std::uint32_t side = std::max(nx, ny);
+  std::uint32_t order = 0;
+  while ((1u << order) < side) ++order;
+  return order;
+}
+
+}  // namespace
+
+std::uint64_t hilbert2d_index(std::uint32_t order, std::uint32_t x,
+                              std::uint32_t y) {
+  const std::uint64_t n = 1ULL << order;
+  std::uint64_t d = 0;
+  for (std::uint64_t s = n / 2; s > 0; s /= 2) {
+    const std::uint64_t rx = (x & s) ? 1 : 0;
+    const std::uint64_t ry = (y & s) ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    rotate(n, x, y, rx, ry);
+  }
+  return d;
+}
+
+std::pair<std::uint32_t, std::uint32_t> hilbert2d_coords(std::uint32_t order,
+                                                         std::uint64_t d) {
+  const std::uint64_t n = 1ULL << order;
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::uint64_t t = d;
+  for (std::uint64_t s = 1; s < n; s *= 2) {
+    const std::uint64_t rx = 1 & (t / 2);
+    const std::uint64_t ry = 1 & (t ^ rx);
+    rotate(s, x, y, rx, ry);
+    x += static_cast<std::uint32_t>(s * rx);
+    y += static_cast<std::uint32_t>(s * ry);
+    t /= 4;
+  }
+  return {x, y};
+}
+
+HilbertCurve::HilbertCurve(std::uint32_t nx, std::uint32_t ny)
+    : Curve(nx, ny), order_(order_for(nx, ny)) {
+  if (nx == 0 || ny == 0)
+    throw std::invalid_argument("HilbertCurve: grid dims must be > 0");
+}
+
+std::uint64_t HilbertCurve::index(std::uint32_t x, std::uint32_t y) const {
+  return hilbert2d_index(order_, x, y);
+}
+
+std::pair<std::uint32_t, std::uint32_t> HilbertCurve::coords(
+    std::uint64_t idx) const {
+  return hilbert2d_coords(order_, idx);
+}
+
+}  // namespace picpar::sfc

@@ -1,0 +1,30 @@
+// 2-D Hilbert curve on the smallest power-of-two square enclosing the grid.
+#pragma once
+
+#include "sfc/curve.hpp"
+
+namespace picpar::sfc {
+
+/// Convert (x, y) on a 2^order x 2^order square to its Hilbert distance.
+std::uint64_t hilbert2d_index(std::uint32_t order, std::uint32_t x,
+                              std::uint32_t y);
+
+/// Inverse: Hilbert distance to (x, y).
+std::pair<std::uint32_t, std::uint32_t> hilbert2d_coords(std::uint32_t order,
+                                                         std::uint64_t d);
+
+class HilbertCurve final : public Curve {
+public:
+  HilbertCurve(std::uint32_t nx, std::uint32_t ny);
+
+  std::uint64_t index(std::uint32_t x, std::uint32_t y) const override;
+  std::pair<std::uint32_t, std::uint32_t> coords(std::uint64_t idx) const override;
+  std::string name() const override { return "hilbert"; }
+
+  std::uint32_t order() const { return order_; }
+
+private:
+  std::uint32_t order_;
+};
+
+}  // namespace picpar::sfc

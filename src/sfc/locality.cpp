@@ -1,0 +1,99 @@
+#include "sfc/locality.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace picpar::sfc {
+
+double BoundingBox::aspect_ratio() const {
+  const double w = static_cast<double>(width());
+  const double h = static_cast<double>(height());
+  return w > h ? w / h : h / w;
+}
+
+BoundingBox bounding_box(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& cells) {
+  if (cells.empty()) return {};
+  BoundingBox b{std::numeric_limits<std::uint32_t>::max(),
+                std::numeric_limits<std::uint32_t>::max(), 0, 0};
+  for (auto [x, y] : cells) {
+    b.min_x = std::min(b.min_x, x);
+    b.min_y = std::min(b.min_y, y);
+    b.max_x = std::max(b.max_x, x);
+    b.max_y = std::max(b.max_y, y);
+  }
+  return b;
+}
+
+std::vector<SegmentLocality> measure_partition(const Curve& curve, int parts) {
+  if (parts <= 0) throw std::invalid_argument("measure_partition: parts > 0");
+  const std::uint64_t ncells = curve.cells();
+  const std::uint32_t nx = curve.nx();
+  const std::uint32_t ny = curve.ny();
+
+  // Rank every cell by curve index, then cut into equal runs.
+  std::vector<std::uint64_t> cell_ids(ncells);
+  std::iota(cell_ids.begin(), cell_ids.end(), 0);
+  std::vector<std::uint64_t> keys(ncells);
+  for (std::uint64_t c = 0; c < ncells; ++c) {
+    const auto x = static_cast<std::uint32_t>(c % nx);
+    const auto y = static_cast<std::uint32_t>(c / nx);
+    keys[c] = curve.index(x, y);
+  }
+  std::sort(cell_ids.begin(), cell_ids.end(),
+            [&](std::uint64_t a, std::uint64_t b) { return keys[a] < keys[b]; });
+
+  std::vector<int> owner(ncells);
+  for (std::uint64_t pos = 0; pos < ncells; ++pos) {
+    const auto part = static_cast<int>(pos * static_cast<std::uint64_t>(parts) / ncells);
+    owner[cell_ids[pos]] = part;
+  }
+
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> members(
+      static_cast<std::size_t>(parts));
+  for (std::uint64_t c = 0; c < ncells; ++c)
+    members[static_cast<std::size_t>(owner[c])].emplace_back(
+        static_cast<std::uint32_t>(c % nx), static_cast<std::uint32_t>(c / nx));
+
+  std::vector<SegmentLocality> out(static_cast<std::size_t>(parts));
+  for (int part = 0; part < parts; ++part) {
+    auto& seg = out[static_cast<std::size_t>(part)];
+    seg.cells = members[static_cast<std::size_t>(part)].size();
+    seg.box = bounding_box(members[static_cast<std::size_t>(part)]);
+  }
+
+  // Count boundary edges: 4-neighborhood edges crossing owners or the grid.
+  auto owner_at = [&](long x, long y) -> int {
+    if (x < 0 || y < 0 || x >= static_cast<long>(nx) || y >= static_cast<long>(ny))
+      return -1;
+    return owner[static_cast<std::uint64_t>(y) * nx + static_cast<std::uint64_t>(x)];
+  };
+  for (std::uint64_t c = 0; c < ncells; ++c) {
+    const auto x = static_cast<long>(c % nx);
+    const auto y = static_cast<long>(c / nx);
+    const int me = owner[c];
+    const long nbrs[4][2] = {{x + 1, y}, {x - 1, y}, {x, y + 1}, {x, y - 1}};
+    for (const auto& nb : nbrs)
+      if (owner_at(nb[0], nb[1]) != me)
+        ++out[static_cast<std::size_t>(me)].boundary_edges;
+  }
+  return out;
+}
+
+double mean_half_perimeter(const std::vector<SegmentLocality>& segs) {
+  if (segs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : segs) sum += static_cast<double>(s.box.half_perimeter());
+  return sum / static_cast<double>(segs.size());
+}
+
+double mean_boundary_edges(const std::vector<SegmentLocality>& segs) {
+  if (segs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : segs) sum += static_cast<double>(s.boundary_edges);
+  return sum / static_cast<double>(segs.size());
+}
+
+}  // namespace picpar::sfc

@@ -1,0 +1,47 @@
+// Locality metrics of an indexing: how compact are the subdomains obtained
+// by cutting the curve order into equal runs? The paper attributes snake's
+// higher communication cost to "rectangular [subdomains] with high aspect
+// ratios ... boundaries with larger perimeters" (Section 6.3); these
+// metrics quantify that claim in tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/curve.hpp"
+
+namespace picpar::sfc {
+
+struct BoundingBox {
+  std::uint32_t min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+
+  std::uint64_t width() const { return max_x - min_x + 1; }
+  std::uint64_t height() const { return max_y - min_y + 1; }
+  std::uint64_t area() const { return width() * height(); }
+  std::uint64_t half_perimeter() const { return width() + height(); }
+  double aspect_ratio() const;
+};
+
+BoundingBox bounding_box(const std::vector<std::pair<std::uint32_t, std::uint32_t>>& cells);
+
+struct SegmentLocality {
+  BoundingBox box;
+  std::uint64_t cells = 0;
+  /// Number of cell edges on the segment boundary (cells adjacent in the
+  /// grid but in different segments or outside the grid) — proportional to
+  /// the halo/ghost communication the segment generates.
+  std::uint64_t boundary_edges = 0;
+};
+
+/// Split the curve order over all cells of the grid into `parts` equal
+/// contiguous runs and measure each run.
+std::vector<SegmentLocality> measure_partition(const Curve& curve, int parts);
+
+/// Mean half-perimeter over segments — a single scalar "communication
+/// surface" figure of merit (lower is better).
+double mean_half_perimeter(const std::vector<SegmentLocality>& segs);
+
+/// Mean boundary edges per segment.
+double mean_boundary_edges(const std::vector<SegmentLocality>& segs);
+
+}  // namespace picpar::sfc

@@ -1,0 +1,68 @@
+#include "sfc/simple_curves.hpp"
+
+#include <stdexcept>
+
+namespace picpar::sfc {
+
+std::uint64_t RowMajorCurve::index(std::uint32_t x, std::uint32_t y) const {
+  return static_cast<std::uint64_t>(y) * nx_ + x;
+}
+
+std::pair<std::uint32_t, std::uint32_t> RowMajorCurve::coords(
+    std::uint64_t idx) const {
+  return {static_cast<std::uint32_t>(idx % nx_),
+          static_cast<std::uint32_t>(idx / nx_)};
+}
+
+std::uint64_t SnakeCurve::index(std::uint32_t x, std::uint32_t y) const {
+  const std::uint32_t col = (y % 2 == 0) ? x : nx_ - 1 - x;
+  return static_cast<std::uint64_t>(y) * nx_ + col;
+}
+
+std::pair<std::uint32_t, std::uint32_t> SnakeCurve::coords(
+    std::uint64_t idx) const {
+  const auto y = static_cast<std::uint32_t>(idx / nx_);
+  auto x = static_cast<std::uint32_t>(idx % nx_);
+  if (y % 2 != 0) x = nx_ - 1 - x;
+  return {x, y};
+}
+
+namespace {
+
+std::uint64_t spread_bits(std::uint32_t v) {
+  std::uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+std::uint32_t compact_bits(std::uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x >> 4)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x >> 8)) & 0x0000ffff0000ffffULL;
+  x = (x | (x >> 16)) & 0x00000000ffffffffULL;
+  return static_cast<std::uint32_t>(x);
+}
+
+}  // namespace
+
+MortonCurve::MortonCurve(std::uint32_t nx, std::uint32_t ny) : Curve(nx, ny) {
+  if (nx == 0 || ny == 0)
+    throw std::invalid_argument("MortonCurve: grid dims must be > 0");
+}
+
+std::uint64_t MortonCurve::index(std::uint32_t x, std::uint32_t y) const {
+  return spread_bits(x) | (spread_bits(y) << 1);
+}
+
+std::pair<std::uint32_t, std::uint32_t> MortonCurve::coords(
+    std::uint64_t idx) const {
+  return {compact_bits(idx), compact_bits(idx >> 1)};
+}
+
+}  // namespace picpar::sfc

@@ -1,0 +1,37 @@
+// Row-major, snakelike (boustrophedon) and Morton orderings — the
+// comparison indexings from the paper (Fig 9) plus Morton for generality.
+#pragma once
+
+#include "sfc/curve.hpp"
+
+namespace picpar::sfc {
+
+class RowMajorCurve final : public Curve {
+public:
+  using Curve::Curve;
+  std::uint64_t index(std::uint32_t x, std::uint32_t y) const override;
+  std::pair<std::uint32_t, std::uint32_t> coords(std::uint64_t idx) const override;
+  std::string name() const override { return "rowmajor"; }
+};
+
+/// Snakelike: rows alternate direction, so consecutive indices are always
+/// adjacent cells — but subdomains carved from the order are long thin
+/// strips (high-aspect-ratio), the property Table 2 penalizes.
+class SnakeCurve final : public Curve {
+public:
+  using Curve::Curve;
+  std::uint64_t index(std::uint32_t x, std::uint32_t y) const override;
+  std::pair<std::uint32_t, std::uint32_t> coords(std::uint64_t idx) const override;
+  std::string name() const override { return "snake"; }
+};
+
+/// Morton / Z-order: bit interleaving on the enclosing power-of-two square.
+class MortonCurve final : public Curve {
+public:
+  MortonCurve(std::uint32_t nx, std::uint32_t ny);
+  std::uint64_t index(std::uint32_t x, std::uint32_t y) const override;
+  std::pair<std::uint32_t, std::uint32_t> coords(std::uint64_t idx) const override;
+  std::string name() const override { return "morton"; }
+};
+
+}  // namespace picpar::sfc

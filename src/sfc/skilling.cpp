@@ -1,0 +1,87 @@
+#include "sfc/skilling.hpp"
+
+#include <stdexcept>
+
+namespace picpar::sfc {
+
+void axes_to_transpose(std::vector<std::uint32_t>& x, int bits) {
+  const auto n = static_cast<int>(x.size());
+  if (n == 0) return;
+  std::uint32_t m = 1u << (bits - 1);
+  // Inverse undo excess work.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= p;  // invert
+      } else {  // exchange
+        const std::uint32_t t = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<std::size_t>(i)] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < n; ++i)
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i - 1)];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1)
+    if (x[static_cast<std::size_t>(n - 1)] & q) t ^= q - 1;
+  for (int i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] ^= t;
+}
+
+void transpose_to_axes(std::vector<std::uint32_t>& x, int bits) {
+  const auto n = static_cast<int>(x.size());
+  if (n == 0) return;
+  const std::uint32_t m = 2u << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = x[static_cast<std::size_t>(n - 1)] >> 1;
+  for (int i = n - 1; i > 0; --i)
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i - 1)];
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != m; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t w = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= w;
+        x[static_cast<std::size_t>(i)] ^= w;
+      }
+    }
+  }
+}
+
+std::uint64_t hilbert_nd_index(std::vector<std::uint32_t> coords, int bits) {
+  const auto dims = static_cast<int>(coords.size());
+  if (dims * bits > 64)
+    throw std::invalid_argument("hilbert_nd_index: dims * bits > 64");
+  axes_to_transpose(coords, bits);
+  // Interleave the transpose form into a single integer, MSB first:
+  // bit b of dimension i lands at position (bits-1-b)*dims + i from the top.
+  std::uint64_t d = 0;
+  for (int b = bits - 1; b >= 0; --b)
+    for (int i = 0; i < dims; ++i)
+      d = (d << 1) | ((coords[static_cast<std::size_t>(i)] >> b) & 1u);
+  return d;
+}
+
+std::vector<std::uint32_t> hilbert_nd_coords(std::uint64_t d, int bits,
+                                             int dims) {
+  if (dims * bits > 64)
+    throw std::invalid_argument("hilbert_nd_coords: dims * bits > 64");
+  std::vector<std::uint32_t> x(static_cast<std::size_t>(dims), 0);
+  int shift = dims * bits;
+  for (int b = bits - 1; b >= 0; --b)
+    for (int i = 0; i < dims; ++i) {
+      --shift;
+      x[static_cast<std::size_t>(i)] |=
+          static_cast<std::uint32_t>((d >> shift) & 1u) << b;
+    }
+  transpose_to_axes(x, bits);
+  return x;
+}
+
+}  // namespace picpar::sfc

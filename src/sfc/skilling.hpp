@@ -1,0 +1,27 @@
+// n-dimensional Hilbert curve via Skilling's transpose algorithm
+// ("Programming the Hilbert curve", AIP Conf. Proc. 707, 2004).
+//
+// The paper notes the Hilbert scheme "can be generalized to n-dimensions";
+// this is that generalization, used for the 3-D demonstration example and
+// property tests. Coordinates use `bits` bits per dimension.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace picpar::sfc {
+
+/// In-place: axes coordinates -> Hilbert transpose form.
+void axes_to_transpose(std::vector<std::uint32_t>& x, int bits);
+
+/// In-place: Hilbert transpose form -> axes coordinates.
+void transpose_to_axes(std::vector<std::uint32_t>& x, int bits);
+
+/// Hilbert distance of an n-D point (bits per dim * dims <= 64).
+std::uint64_t hilbert_nd_index(std::vector<std::uint32_t> coords, int bits);
+
+/// Inverse of hilbert_nd_index.
+std::vector<std::uint32_t> hilbert_nd_coords(std::uint64_t d, int bits,
+                                             int dims);
+
+}  // namespace picpar::sfc

@@ -1,0 +1,119 @@
+#include "sim/comm.hpp"
+
+#include <cstring>
+
+namespace picpar::sim {
+
+namespace {
+
+// Serialized record stream used by the binomial allgatherv: a sequence of
+// (origin: u64, length: u64, payload bytes) records.
+void append_record(std::vector<std::byte>& buf, std::uint64_t origin,
+                   const std::byte* data, std::uint64_t len) {
+  const std::size_t base = buf.size();
+  buf.resize(base + 16 + len);
+  std::memcpy(buf.data() + base, &origin, 8);
+  std::memcpy(buf.data() + base + 8, &len, 8);
+  if (len) std::memcpy(buf.data() + base + 16, data, len);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(
+    std::vector<std::byte> mine) {
+  const int p = size();
+  std::vector<std::vector<std::byte>> blocks(static_cast<std::size_t>(p));
+  if (p == 1) {
+    blocks[0] = std::move(mine);
+    return blocks;
+  }
+
+  // Binomial-tree gather of records to rank 0.
+  std::vector<std::byte> acc;
+  append_record(acc, static_cast<std::uint64_t>(rank_), mine.data(),
+                mine.size());
+  constexpr int kTagGather = -450;
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((rank_ & mask) != 0) {
+      send_bytes(rank_ & ~mask, kTagGather, std::move(acc));
+      acc.clear();
+      break;
+    }
+    const int partner = rank_ | mask;
+    if (partner < p) {
+      Message m = recv_msg(partner, kTagGather);
+      acc.insert(acc.end(), m.payload.begin(), m.payload.end());
+    }
+  }
+
+  // Rank 0 parses and reorders records, then broadcasts the flat stream.
+  if (rank_ == 0) {
+    std::size_t pos = 0;
+    std::vector<std::byte> ordered;
+    std::vector<std::vector<std::byte>> parsed(static_cast<std::size_t>(p));
+    while (pos < acc.size()) {
+      std::uint64_t origin = 0, len = 0;
+      std::memcpy(&origin, acc.data() + pos, 8);
+      std::memcpy(&len, acc.data() + pos + 8, 8);
+      pos += 16;
+      auto& b = parsed[static_cast<std::size_t>(origin)];
+      b.assign(acc.begin() + static_cast<long>(pos),
+               acc.begin() + static_cast<long>(pos + len));
+      pos += len;
+    }
+    acc.clear();
+    for (int r = 0; r < p; ++r) {
+      const auto& b = parsed[static_cast<std::size_t>(r)];
+      append_record(acc, static_cast<std::uint64_t>(r), b.data(), b.size());
+    }
+  }
+
+  // Binomial broadcast of the ordered stream from rank 0, then parse.
+  {
+    constexpr int kTagCat = -460;
+    int mask = 1;
+    while (mask < p) {
+      if (rank_ & mask) {
+        Message m = recv_msg(rank_ - mask, kTagCat);
+        acc = std::move(m.payload);
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (rank_ + mask < p) {
+        std::vector<std::byte> copy = acc;
+        send_bytes(rank_ + mask, kTagCat, std::move(copy));
+      }
+      mask >>= 1;
+    }
+  }
+
+  std::size_t pos = 0;
+  while (pos < acc.size()) {
+    std::uint64_t origin = 0, len = 0;
+    std::memcpy(&origin, acc.data() + pos, 8);
+    std::memcpy(&len, acc.data() + pos + 8, 8);
+    pos += 16;
+    blocks[static_cast<std::size_t>(origin)].assign(
+        acc.begin() + static_cast<long>(pos),
+        acc.begin() + static_cast<long>(pos + len));
+    pos += len;
+  }
+  return blocks;
+}
+
+void Comm::barrier() {
+  const int p = size();
+  // Dissemination barrier: ceil(log2 p) rounds; in round k, rank r signals
+  // (r + 2^k) mod p and waits for (r - 2^k) mod p.
+  for (int dist = 1; dist < p; dist <<= 1) {
+    const int to = (rank_ + dist) % p;
+    const int from = (rank_ - dist % p + p) % p;
+    send_value<std::uint8_t>(to, kTagBarrier - dist, 1);
+    (void)recv_value<std::uint8_t>(from, kTagBarrier - dist);
+  }
+}
+
+}  // namespace picpar::sim

@@ -1,0 +1,318 @@
+// Per-rank communication handle — the MPI-like API simulated programs use.
+//
+// Point-to-point sends are buffered and never block; receives block until a
+// matching message exists. Collectives are built from point-to-point
+// messages (binomial trees and rings), so their virtual-time cost emerges
+// from the same two-level model as everything else.
+//
+// Tag space: user code must use tags >= 0. Negative tags are reserved for
+// collectives so they never match user receives.
+#pragma once
+
+#include <cstring>
+#include <numeric>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace picpar::sim {
+
+class Comm {
+public:
+  Comm(Machine* machine, int rank) : machine_(machine), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return machine_->size(); }
+  const CostModel& cost() const { return machine_->cost(); }
+
+  /// Current virtual time of this rank, in seconds.
+  double clock() const { return machine_->ranks_[rank_].clock; }
+
+  /// Charge local computation time directly.
+  void charge(double seconds) { machine_->charge(rank_, seconds, true); }
+  /// Charge n abstract operations at delta each.
+  void charge_ops(std::uint64_t n) {
+    charge(static_cast<double>(n) * cost().delta);
+  }
+
+  /// Attribute subsequent traffic and charges to a PIC phase.
+  void set_phase(Phase p) { machine_->ranks_[rank_].phase = p; }
+  Phase phase() const { return machine_->ranks_[rank_].phase; }
+
+  const CommStats& stats() const { return machine_->ranks_[rank_].stats; }
+
+  // ---- point to point ----
+
+  void send_bytes(int dst, int tag, std::vector<std::byte> payload) {
+    machine_->do_send(rank_, dst, tag, std::move(payload));
+  }
+
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> buf(data.size_bytes());
+    if (!data.empty()) std::memcpy(buf.data(), data.data(), data.size_bytes());
+    send_bytes(dst, tag, std::move(buf));
+  }
+
+  template <typename T>
+  void send(int dst, int tag, const std::vector<T>& data) {
+    send(dst, tag, std::span<const T>(data));
+  }
+
+  template <typename T>
+  void send_value(int dst, int tag, const T& v) {
+    send(dst, tag, std::span<const T>(&v, 1));
+  }
+
+  /// Blocking receive; returns the raw message (src/tag/payload).
+  Message recv_msg(int src = kAnySource, int tag = kAnyTag) {
+    return machine_->do_recv(rank_, src, tag);
+  }
+
+  template <typename T>
+  std::vector<T> recv(int src = kAnySource, int tag = kAnyTag,
+                      int* actual_src = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m = recv_msg(src, tag);
+    if (actual_src) *actual_src = m.src;
+    if (m.payload.size() % sizeof(T) != 0)
+      throw std::runtime_error("recv: payload size not a multiple of sizeof(T)");
+    std::vector<T> out(m.payload.size() / sizeof(T));
+    if (!out.empty())
+      std::memcpy(out.data(), m.payload.data(), m.payload.size());
+    return out;
+  }
+
+  template <typename T>
+  T recv_value(int src = kAnySource, int tag = kAnyTag) {
+    auto v = recv<T>(src, tag);
+    if (v.size() != 1) throw std::runtime_error("recv_value: expected 1 element");
+    return v[0];
+  }
+
+  /// Non-blocking probe for a matching message.
+  bool iprobe(int src = kAnySource, int tag = kAnyTag) const {
+    return machine_->do_iprobe(rank_, src, tag);
+  }
+
+  // ---- collectives (all ranks must call with matching arguments) ----
+
+  /// Dissemination barrier: ceil(log2 p) rounds of pairwise messages.
+  void barrier();
+
+  /// Binomial-tree broadcast from root.
+  template <typename T>
+  std::vector<T> bcast(std::vector<T> data, int root);
+
+  template <typename T>
+  T bcast_value(T v, int root) {
+    std::vector<T> d{v};
+    return bcast(std::move(d), root)[0];
+  }
+
+  /// Binomial-tree reduce to root, then broadcast (element-wise op).
+  template <typename T, typename Op>
+  std::vector<T> allreduce(std::vector<T> v, Op op);
+
+  template <typename T>
+  T allreduce_sum(T v) {
+    std::vector<T> d{v};
+    return allreduce(std::move(d), [](T a, T b) { return a + b; })[0];
+  }
+  template <typename T>
+  T allreduce_max(T v) {
+    std::vector<T> d{v};
+    return allreduce(std::move(d), [](T a, T b) { return a > b ? a : b; })[0];
+  }
+  template <typename T>
+  T allreduce_min(T v) {
+    std::vector<T> d{v};
+    return allreduce(std::move(d), [](T a, T b) { return a < b ? a : b; })[0];
+  }
+
+  /// Exclusive prefix sum over ranks (rank 0 gets T{}).
+  template <typename T>
+  T exscan_sum(T v);
+
+  /// Allgather of one value per rank; result indexed by rank.
+  template <typename T>
+  std::vector<T> allgather(const T& v);
+
+  /// Allgather of a variable-length block per rank ("global concatenation"
+  /// in the paper); result is the concatenation in rank order. offsets[r]
+  /// gives the start of rank r's block. Implemented as a binomial-tree
+  /// gather to rank 0 followed by a binomial broadcast — O(log p) message
+  /// start-ups, matching the CM-5's fast control-network concatenation.
+  template <typename T>
+  std::vector<T> allgatherv(const std::vector<T>& mine,
+                            std::vector<std::size_t>* offsets = nullptr);
+
+private:
+  /// allgatherv workhorse on raw bytes. Returns the per-rank blocks.
+  std::vector<std::vector<std::byte>> allgatherv_bytes(
+      std::vector<std::byte> mine);
+
+public:
+
+  /// The paper's All-to-many exchange (Fig 12): every rank supplies one
+  /// buffer per destination (empty allowed); returns one buffer per source.
+  /// Only non-empty buffers travel, one message per destination — the
+  /// "communication coalescing" optimization of Section 3.2. Receive
+  /// counts are agreed with a log(p) allreduce of per-destination message
+  /// counts (the sparse equivalent of the paper's "global concatenate the
+  /// myId row of table"; concatenating the full p-by-p table, which the
+  /// CM-5's control network did in hardware, would cost O(p^2) bytes
+  /// through the broadcast root under the point-to-point model).
+  template <typename T>
+  std::vector<std::vector<T>> all_to_many(std::vector<std::vector<T>> send);
+
+private:
+  // Reserved (negative) tag bases for collectives.
+  static constexpr int kTagBarrier = -100;
+  static constexpr int kTagBcast = -200;
+  static constexpr int kTagReduce = -300;
+  static constexpr int kTagGatherRing = -400;
+  static constexpr int kTagAllToMany = -500;
+  static constexpr int kTagScan = -600;
+
+  Machine* machine_;
+  int rank_;
+};
+
+// ---- collective implementations ----
+
+template <typename T>
+std::vector<T> Comm::bcast(std::vector<T> data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  if (p == 1) return data;
+  // Rotate ranks so the tree is rooted at `root`.
+  const int vrank = (rank_ - root + p) % p;
+  // Walk masks upward to find the level at which we receive from our
+  // parent, then forward downward to each child (standard binomial tree).
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int parent = (vrank - mask + root) % p;
+      data = recv<T>(parent, kTagBcast);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p) send((vrank + mask + root) % p, kTagBcast, data);
+    mask >>= 1;
+  }
+  return data;
+}
+
+template <typename T, typename Op>
+std::vector<T> Comm::allreduce(std::vector<T> v, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  if (p == 1) return v;
+  // Binomial-tree reduction to rank 0.
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((rank_ & mask) != 0) {
+      send(rank_ & ~mask, kTagReduce, v);
+      break;
+    }
+    const int partner = rank_ | mask;
+    if (partner < p) {
+      auto other = recv<T>(partner, kTagReduce);
+      if (other.size() != v.size())
+        throw std::runtime_error("allreduce: mismatched vector lengths");
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] = op(v[i], other[i]);
+    }
+  }
+  return bcast(std::move(v), 0);
+}
+
+template <typename T>
+T Comm::exscan_sum(T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  // Linear chain: rank r sends its inclusive prefix to r+1. O(p) steps but
+  // simple and exact; used only in setup paths.
+  T prefix{};
+  if (rank_ > 0) prefix = recv_value<T>(rank_ - 1, kTagScan);
+  if (rank_ + 1 < size()) send_value(rank_ + 1, kTagScan, static_cast<T>(prefix + v));
+  return prefix;
+}
+
+template <typename T>
+std::vector<T> Comm::allgather(const T& v) {
+  auto cat = allgatherv(std::vector<T>{v});
+  return cat;
+}
+
+template <typename T>
+std::vector<T> Comm::allgatherv(const std::vector<T>& mine,
+                                std::vector<std::size_t>* offsets) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> raw(mine.size() * sizeof(T));
+  if (!mine.empty()) std::memcpy(raw.data(), mine.data(), raw.size());
+  auto blocks = allgatherv_bytes(std::move(raw));
+
+  const int p = size();
+  std::vector<T> out;
+  if (offsets) offsets->assign(static_cast<std::size_t>(p), 0);
+  std::size_t total_bytes = 0;
+  for (const auto& b : blocks) total_bytes += b.size();
+  if (total_bytes % sizeof(T) != 0)
+    throw std::runtime_error("allgatherv: byte count not multiple of sizeof(T)");
+  out.resize(total_bytes / sizeof(T));
+  std::size_t pos = 0;
+  for (int r = 0; r < p; ++r) {
+    const auto& b = blocks[static_cast<std::size_t>(r)];
+    if (offsets) (*offsets)[static_cast<std::size_t>(r)] = pos / sizeof(T);
+    if (!b.empty())
+      std::memcpy(reinterpret_cast<std::byte*>(out.data()) + pos, b.data(),
+                  b.size());
+    pos += b.size();
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<std::vector<T>> Comm::all_to_many(
+    std::vector<std::vector<T>> send_bufs) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  if (static_cast<int>(send_bufs.size()) != p)
+    throw std::invalid_argument("all_to_many: need one buffer per rank");
+
+  // Agree on receive counts: element d of the allreduced vector is the
+  // number of coalesced messages headed for rank d.
+  std::vector<std::uint32_t> incoming(static_cast<std::size_t>(p), 0);
+  for (int d = 0; d < p; ++d)
+    if (d != rank_ && !send_bufs[static_cast<std::size_t>(d)].empty())
+      incoming[static_cast<std::size_t>(d)] = 1;
+  incoming = allreduce(std::move(incoming),
+                       [](std::uint32_t a, std::uint32_t b) { return a + b; });
+  const std::uint32_t expected = incoming[static_cast<std::size_t>(rank_)];
+
+  std::vector<std::vector<T>> recv_bufs(static_cast<std::size_t>(p));
+  // Local "self-message" costs nothing.
+  recv_bufs[static_cast<std::size_t>(rank_)] =
+      std::move(send_bufs[static_cast<std::size_t>(rank_)]);
+
+  // Post all sends (buffered), then receive the promised message count;
+  // each source sends at most one message, identified by its origin.
+  for (int d = 0; d < p; ++d) {
+    if (d == rank_) continue;
+    if (!send_bufs[static_cast<std::size_t>(d)].empty())
+      send(d, kTagAllToMany, send_bufs[static_cast<std::size_t>(d)]);
+  }
+  for (std::uint32_t k = 0; k < expected; ++k) {
+    int src = kAnySource;
+    auto data = recv<T>(kAnySource, kTagAllToMany, &src);
+    recv_bufs[static_cast<std::size_t>(src)] = std::move(data);
+  }
+  return recv_bufs;
+}
+
+}  // namespace picpar::sim

@@ -1,0 +1,67 @@
+#include "sim/comm_stats.hpp"
+
+#include <sstream>
+
+namespace picpar::sim {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kOther: return "other";
+    case Phase::kScatter: return "scatter";
+    case Phase::kFieldSolve: return "field_solve";
+    case Phase::kGather: return "gather";
+    case Phase::kPush: return "push";
+    case Phase::kRedistribute: return "redistribute";
+  }
+  return "?";
+}
+
+PhaseCounters PhaseCounters::operator-(const PhaseCounters& rhs) const {
+  PhaseCounters r;
+  r.msgs_sent = msgs_sent - rhs.msgs_sent;
+  r.bytes_sent = bytes_sent - rhs.bytes_sent;
+  r.msgs_recv = msgs_recv - rhs.msgs_recv;
+  r.bytes_recv = bytes_recv - rhs.bytes_recv;
+  r.comm_seconds = comm_seconds - rhs.comm_seconds;
+  r.compute_seconds = compute_seconds - rhs.compute_seconds;
+  return r;
+}
+
+PhaseCounters& PhaseCounters::operator+=(const PhaseCounters& rhs) {
+  msgs_sent += rhs.msgs_sent;
+  bytes_sent += rhs.bytes_sent;
+  msgs_recv += rhs.msgs_recv;
+  bytes_recv += rhs.bytes_recv;
+  comm_seconds += rhs.comm_seconds;
+  compute_seconds += rhs.compute_seconds;
+  return *this;
+}
+
+PhaseCounters CommStats::total() const {
+  PhaseCounters t;
+  for (const auto& c : counters_) t += c;
+  return t;
+}
+
+CommStats CommStats::diff(const CommStats& earlier) const {
+  CommStats d;
+  for (int i = 0; i < kNumPhases; ++i)
+    d.counters_[i] = counters_[i] - earlier.counters_[i];
+  return d;
+}
+
+std::string CommStats::summary() const {
+  std::ostringstream os;
+  for (int i = 0; i < kNumPhases; ++i) {
+    const auto& c = counters_[i];
+    if (c.msgs_sent == 0 && c.msgs_recv == 0 && c.compute_seconds == 0.0)
+      continue;
+    os << phase_name(static_cast<Phase>(i)) << ": sent " << c.msgs_sent
+       << " msgs/" << c.bytes_sent << " B, recv " << c.msgs_recv << " msgs/"
+       << c.bytes_recv << " B, comm " << c.comm_seconds << " s, compute "
+       << c.compute_seconds << " s\n";
+  }
+  return os.str();
+}
+
+}  // namespace picpar::sim

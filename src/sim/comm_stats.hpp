@@ -1,0 +1,59 @@
+// Per-rank traffic accounting, attributed to PIC phases. The paper reports
+// per-phase maxima over ranks (Figs 18-19: max bytes / max messages in the
+// scatter phase), so counters are kept per phase and snapshots can be
+// diffed across iterations.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace picpar::sim {
+
+enum class Phase : int {
+  kOther = 0,
+  kScatter,
+  kFieldSolve,
+  kGather,
+  kPush,
+  kRedistribute,
+};
+
+inline constexpr int kNumPhases = 6;
+
+const char* phase_name(Phase p);
+
+struct PhaseCounters {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_recv = 0;
+  std::uint64_t bytes_recv = 0;
+  /// Virtual seconds spent in communication calls attributed to this phase.
+  double comm_seconds = 0.0;
+  /// Virtual seconds of charged computation attributed to this phase.
+  double compute_seconds = 0.0;
+
+  PhaseCounters operator-(const PhaseCounters& rhs) const;
+  PhaseCounters& operator+=(const PhaseCounters& rhs);
+};
+
+class CommStats {
+public:
+  PhaseCounters& phase(Phase p) { return counters_[static_cast<int>(p)]; }
+  const PhaseCounters& phase(Phase p) const {
+    return counters_[static_cast<int>(p)];
+  }
+
+  PhaseCounters total() const;
+
+  /// Element-wise difference (this - earlier), phase by phase.
+  CommStats diff(const CommStats& earlier) const;
+
+  std::string summary() const;
+
+private:
+  std::array<PhaseCounters, kNumPhases> counters_{};
+};
+
+}  // namespace picpar::sim

@@ -1,0 +1,45 @@
+// The two-level machine model of Section 4 of the paper:
+//
+//   * a unit of local computation costs delta,
+//   * an off-processor message costs a start-up overhead tau plus
+//     bytes * mu, independent of distance and congestion.
+//
+// All virtual time in the simulator derives from these three constants.
+#pragma once
+
+namespace picpar::sim {
+
+struct CostModel {
+  /// Message start-up overhead in seconds.
+  double tau = 100e-6;
+  /// Per-byte transfer time in seconds (1/mu is the bandwidth).
+  double mu = 0.1e-6;
+  /// Per abstract compute operation, in seconds.
+  double delta = 0.3e-6;
+  /// Optional receive-side copy cost per byte (0 = transfer charged once,
+  /// on the sender, as in the paper's model).
+  double recv_copy_mu = 0.0;
+
+  /// Thinking Machines CM-5 without vector units (the paper's testbed):
+  /// ~33 MHz SPARC nodes, ~80 us message latency, ~20 MB/s raw per side
+  /// (CPU-driven CMMD charges both sender and receiver, so effective
+  /// point-to-point bandwidth is ~10 MB/s).
+  static CostModel cm5() { return CostModel{80e-6, 0.05e-6, 0.45e-6, 0.05e-6}; }
+
+  /// A contemporary commodity cluster: ~2 us latency, ~10 GB/s, ~3 GFLOP/s
+  /// scalar. Used by ablation benches to show how the trade-offs shift when
+  /// compute gets cheap relative to communication.
+  static CostModel modern_cluster() {
+    return CostModel{2e-6, 1e-10, 0.3e-9, 0.0};
+  }
+
+  /// Free communication and computation — pure-algorithm runs where only
+  /// counts (messages, bytes, particle moves) matter.
+  static CostModel zero() { return CostModel{0.0, 0.0, 0.0, 0.0}; }
+
+  double message_cost(std::size_t bytes) const {
+    return tau + static_cast<double>(bytes) * mu;
+  }
+};
+
+}  // namespace picpar::sim

@@ -1,0 +1,244 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "sim/comm.hpp"
+
+namespace picpar::sim {
+
+double RunResult::makespan() const {
+  double m = 0.0;
+  for (const auto& r : ranks) m = std::max(m, r.clock);
+  return m;
+}
+
+double RunResult::max_compute() const {
+  double m = 0.0;
+  for (const auto& r : ranks) m = std::max(m, r.stats.total().compute_seconds);
+  return m;
+}
+
+struct Machine::Sync {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::thread> threads;
+};
+
+Machine::Machine(int nranks, CostModel cost)
+    : nranks_(nranks), cost_(cost), sync_(std::make_unique<Sync>()) {
+  if (nranks <= 0) throw std::invalid_argument("Machine: nranks must be > 0");
+}
+
+Machine::~Machine() = default;
+
+bool Machine::match(const Message& m, int src, int tag) const {
+  return (src == kAnySource || m.src == src) &&
+         (tag == kAnyTag || m.tag == tag);
+}
+
+bool Machine::runnable(const RankState& rs) const {
+  if (rs.done) return false;
+  if (!rs.waiting) return true;
+  for (const auto& m : rs.mailbox)
+    if (match(m, rs.want_src, rs.want_tag)) return true;
+  return false;
+}
+
+int Machine::pick_next(int from) const {
+  for (int step = 1; step <= nranks_; ++step) {
+    const int cand = (from + step) % nranks_;
+    if (runnable(ranks_[cand])) return cand;
+  }
+  return -1;
+}
+
+std::string Machine::deadlock_report() const {
+  std::ostringstream os;
+  os << "simulated machine deadlock: all live ranks blocked in recv\n";
+  for (const auto& rs : ranks_) {
+    if (rs.done) continue;
+    os << "  rank " << rs.id << " waiting for (src=" << rs.want_src
+       << ", tag=" << rs.want_tag << "), mailbox holds " << rs.mailbox.size()
+       << " message(s)\n";
+  }
+  return os.str();
+}
+
+void Machine::yield_from(int rank) {
+  // Caller holds no lock; acquire, transfer control, and wait to be
+  // rescheduled. Only the active rank ever calls this.
+  std::unique_lock<std::mutex> lk(sync_->mutex);
+  const int next = pick_next(rank);
+  if (next == -1) {
+    if (live_ > 0) {
+      // Everyone (including us, who must be waiting or done) is blocked.
+      deadlocked_ = true;
+      current_ = -1;
+      sync_->cv.notify_all();
+      // Park forever; run() will detect deadlock and unwind via exception
+      // propagated from the main thread. We still need to terminate this
+      // thread: treat deadlock as fatal for the rank.
+      throw DeadlockError("rank " + std::to_string(rank) +
+                          " participated in a deadlock");
+    }
+    current_ = -1;  // all done; wake the main thread
+    sync_->cv.notify_all();
+    return;
+  }
+  current_ = next;
+  sync_->cv.notify_all();
+  if (ranks_[rank].done) return;  // finished ranks exit without re-waiting
+  sync_->cv.wait(lk, [&] { return current_ == rank || deadlocked_; });
+  if (deadlocked_ && current_ != rank)
+    throw DeadlockError("rank " + std::to_string(rank) +
+                        " unwound due to deadlock");
+}
+
+void Machine::do_send(int src, int dst, int tag,
+                      std::vector<std::byte> payload) {
+  if (dst < 0 || dst >= nranks_)
+    throw std::out_of_range("send: bad destination rank " +
+                            std::to_string(dst));
+  auto& s = ranks_[src];
+  const auto bytes = payload.size();
+  const double cost = cost_.message_cost(bytes);
+  s.clock += cost;
+  auto& pc = s.stats.phase(s.phase);
+  pc.msgs_sent += 1;
+  pc.bytes_sent += bytes;
+  pc.comm_seconds += cost;
+
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.tag = tag;
+  m.arrival = s.clock;
+  m.payload = std::move(payload);
+  ranks_[dst].mailbox.push_back(std::move(m));
+  // The receiver (if parked on a matching recv) becomes runnable; the
+  // scheduler re-evaluates predicates on the next yield, so nothing else
+  // to do here.
+}
+
+Message Machine::do_recv(int rank, int src, int tag) {
+  auto& rs = ranks_[rank];
+  for (;;) {
+    for (auto it = rs.mailbox.begin(); it != rs.mailbox.end(); ++it) {
+      if (!match(*it, src, tag)) continue;
+      Message m = std::move(*it);
+      rs.mailbox.erase(it);
+      const double before = rs.clock;
+      rs.clock = std::max(rs.clock, m.arrival);
+      if (cost_.recv_copy_mu > 0.0)
+        rs.clock += cost_.recv_copy_mu * static_cast<double>(m.bytes());
+      auto& pc = rs.stats.phase(rs.phase);
+      pc.msgs_recv += 1;
+      pc.bytes_recv += m.bytes();
+      pc.comm_seconds += rs.clock - before;
+      rs.waiting = false;
+      return m;
+    }
+    rs.waiting = true;
+    rs.want_src = src;
+    rs.want_tag = tag;
+    yield_from(rank);
+    rs.waiting = false;
+  }
+}
+
+bool Machine::do_iprobe(int rank, int src, int tag) const {
+  for (const auto& m : ranks_[rank].mailbox)
+    if (match(m, src, tag)) return true;
+  return false;
+}
+
+void Machine::charge(int rank, double seconds, bool is_compute) {
+  auto& rs = ranks_[rank];
+  rs.clock += seconds;
+  auto& pc = rs.stats.phase(rs.phase);
+  if (is_compute)
+    pc.compute_seconds += seconds;
+  else
+    pc.comm_seconds += seconds;
+}
+
+void Machine::rank_main(int rank, const std::function<void(Comm&)>& program) {
+  {
+    std::unique_lock<std::mutex> lk(sync_->mutex);
+    sync_->cv.wait(lk, [&] { return current_ == rank || deadlocked_; });
+    if (deadlocked_) {
+      ranks_[rank].done = true;
+      --live_;
+      return;
+    }
+  }
+  try {
+    Comm comm(this, rank);
+    program(comm);
+  } catch (const DeadlockError&) {
+    // Already recorded globally; just unwind.
+  } catch (...) {
+    ranks_[rank].error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lk(sync_->mutex);
+    ranks_[rank].done = true;
+    --live_;
+  }
+  try {
+    yield_from(rank);
+  } catch (const DeadlockError&) {
+    // This rank is already done; other ranks' deadlock is reported by run().
+  }
+}
+
+RunResult Machine::run(const std::function<void(Comm&)>& program) {
+  ranks_.assign(static_cast<std::size_t>(nranks_), RankState{});
+  for (int i = 0; i < nranks_; ++i) ranks_[i].id = i;
+  live_ = nranks_;
+  deadlocked_ = false;
+  current_ = -1;
+
+  sync_->threads.clear();
+  sync_->threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int i = 0; i < nranks_; ++i)
+    sync_->threads.emplace_back([this, i, &program] { rank_main(i, program); });
+
+  {
+    std::unique_lock<std::mutex> lk(sync_->mutex);
+    current_ = 0;
+    sync_->cv.notify_all();
+    sync_->cv.wait(lk, [&] { return live_ == 0 || deadlocked_; });
+    if (deadlocked_) {
+      const std::string report = deadlock_report();
+      // Let every parked rank unwind so threads can be joined.
+      sync_->cv.notify_all();
+      lk.unlock();
+      for (auto& t : sync_->threads) t.join();
+      sync_->threads.clear();
+      throw DeadlockError(report);
+    }
+  }
+  for (auto& t : sync_->threads) t.join();
+  sync_->threads.clear();
+
+  for (const auto& rs : ranks_)
+    if (rs.error) std::rethrow_exception(rs.error);
+
+  RunResult result;
+  result.ranks.reserve(ranks_.size());
+  for (const auto& rs : ranks_) {
+    RankReport rep;
+    rep.rank = rs.id;
+    rep.clock = rs.clock;
+    rep.stats = rs.stats;
+    result.ranks.push_back(std::move(rep));
+  }
+  return result;
+}
+
+}  // namespace picpar::sim

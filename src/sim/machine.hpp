@@ -1,0 +1,114 @@
+// A deterministic simulated multicomputer.
+//
+// Each simulated processor ("rank") runs the same SPMD program on its own
+// OS thread, but a global handoff lock guarantees exactly one rank executes
+// at a time, in deterministic round-robin order. Communication calls park
+// the calling rank when they must wait; sends are buffered and never block.
+//
+// Time is virtual: every rank owns a clock in seconds that advances through
+// explicit compute charges and through the two-level communication model
+// (CostModel). A blocking receive advances the receiver clock to
+// max(own clock, message arrival time), the standard per-process virtual
+// time rule. Wall-clock execution is sequential, so runs are exactly
+// reproducible regardless of host load.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/comm_stats.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/message.hpp"
+
+namespace picpar::sim {
+
+class Comm;
+
+/// Thrown by Machine::run when every live rank is blocked in a receive.
+class DeadlockError : public std::runtime_error {
+public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct RankReport {
+  int rank = 0;
+  double clock = 0.0;   ///< final virtual time
+  CommStats stats;
+};
+
+struct RunResult {
+  std::vector<RankReport> ranks;
+
+  /// Virtual makespan: max over ranks of the final clock.
+  double makespan() const;
+  /// Max over ranks of total compute seconds.
+  double max_compute() const;
+  /// makespan - max_compute: the paper's "overhead" metric.
+  double overhead() const { return makespan() - max_compute(); }
+};
+
+class Machine {
+public:
+  Machine(int nranks, CostModel cost);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  int size() const { return nranks_; }
+  const CostModel& cost() const { return cost_; }
+
+  /// Run an SPMD program to completion on all ranks; returns per-rank
+  /// clocks and traffic. Throws DeadlockError on global deadlock and
+  /// rethrows the first rank exception otherwise. A Machine can run
+  /// several programs in sequence; clocks and stats reset between runs.
+  RunResult run(const std::function<void(Comm&)>& program);
+
+private:
+  friend class Comm;
+
+  struct RankState {
+    int id = 0;
+    double clock = 0.0;
+    std::deque<Message> mailbox;
+    bool done = false;
+    bool waiting = false;
+    int want_src = kAnySource;
+    int want_tag = kAnyTag;
+    CommStats stats;
+    Phase phase = Phase::kOther;
+    std::exception_ptr error;
+  };
+
+  // --- used by Comm (always called while holding the handoff lock
+  //     implicitly: only the active rank executes) ---
+  void do_send(int src, int dst, int tag, std::vector<std::byte> payload);
+  Message do_recv(int rank, int src, int tag);
+  bool do_iprobe(int rank, int src, int tag) const;
+  void charge(int rank, double seconds, bool is_compute);
+
+  // --- scheduler ---
+  void yield_from(int rank);       ///< hand execution to the next runnable rank
+  int pick_next(int from) const;   ///< -1: none runnable
+  bool runnable(const RankState& rs) const;
+  bool match(const Message& m, int src, int tag) const;
+  void rank_main(int rank, const std::function<void(Comm&)>& program);
+  std::string deadlock_report() const;
+
+  int nranks_;
+  CostModel cost_;
+  std::vector<RankState> ranks_;
+
+  struct Sync;                      // mutex/cv bundle (keeps header light)
+  std::unique_ptr<Sync> sync_;
+  int current_ = -1;                // active rank; -1 = main thread
+  int live_ = 0;                    // ranks not yet done
+  bool deadlocked_ = false;
+};
+
+}  // namespace picpar::sim

@@ -1,0 +1,25 @@
+// Point-to-point message representation inside the simulated machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace picpar::sim {
+
+/// Wildcards for Comm::recv matching.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int src = 0;
+  int dst = 0;
+  int tag = 0;
+  /// Virtual time at which the message is available at the receiver.
+  double arrival = 0.0;
+  std::vector<std::byte> payload;
+
+  std::size_t bytes() const { return payload.size(); }
+};
+
+}  // namespace picpar::sim

@@ -1,0 +1,106 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace picpar {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+namespace {
+
+template <typename T>
+T parse_value(const std::string& s);
+
+template <>
+int parse_value<int>(const std::string& s) { return std::stoi(s); }
+template <>
+long parse_value<long>(const std::string& s) { return std::stol(s); }
+template <>
+double parse_value<double>(const std::string& s) { return std::stod(s); }
+template <>
+std::string parse_value<std::string>(const std::string& s) { return s; }
+
+template <typename T>
+std::string repr(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+template <typename T>
+std::shared_ptr<T> Cli::flag(const std::string& name, T default_value,
+                             const std::string& help) {
+  auto storage = std::make_shared<T>(default_value);
+  Entry e;
+  e.help = help;
+  e.default_repr = repr(default_value);
+  if constexpr (std::is_same_v<T, bool>) {
+    e.is_bool = true;
+    e.set = [storage](const std::string&) { *storage = true; };
+  } else {
+    e.set = [storage, name](const std::string& s) {
+      try {
+        *storage = parse_value<T>(s);
+      } catch (const std::exception&) {
+        throw std::runtime_error("bad value for --" + name + ": " + s);
+      }
+    };
+  }
+  entries_[name] = std::move(e);
+  return storage;
+}
+
+template std::shared_ptr<int> Cli::flag(const std::string&, int, const std::string&);
+template std::shared_ptr<long> Cli::flag(const std::string&, long, const std::string&);
+template std::shared_ptr<double> Cli::flag(const std::string&, double, const std::string&);
+template std::shared_ptr<bool> Cli::flag(const std::string&, bool, const std::string&);
+template std::shared_ptr<std::string> Cli::flag(const std::string&, std::string, const std::string&);
+
+void Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0)
+      throw std::runtime_error("unexpected positional argument: " + arg);
+    std::string name = arg.substr(2);
+    std::string value;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    auto it = entries_.find(name);
+    if (it == entries_.end()) throw std::runtime_error("unknown flag: " + arg);
+    if (it->second.is_bool) {
+      it->second.set("");
+    } else {
+      if (value.empty()) {
+        if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+        value = argv[++i];
+      }
+      it->second.set(value);
+    }
+  }
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, e] : entries_) {
+    os << "  --" << name;
+    if (!e.is_bool) os << " <v>";
+    os << "  " << e.help << " (default: " << e.default_repr << ")\n";
+  }
+  os << "  --help  show this message\n";
+  return os.str();
+}
+
+}  // namespace picpar

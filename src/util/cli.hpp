@@ -1,0 +1,48 @@
+// Minimal declarative command-line parsing for examples and benches.
+//
+//   picpar::Cli cli("quickstart", "Run a small PIC simulation");
+//   auto ranks = cli.flag<int>("ranks", 32, "number of simulated processors");
+//   cli.parse(argc, argv);            // exits(0) on --help, throws on error
+//   run(*ranks);
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace picpar {
+
+class Cli {
+public:
+  Cli(std::string program, std::string description);
+
+  /// Register --name <value>; returns a handle that dereferences to the
+  /// parsed value (or the default). Supported T: int, long, double, bool,
+  /// std::string. Bool flags take no value (--name sets true).
+  template <typename T>
+  std::shared_ptr<T> flag(const std::string& name, T default_value,
+                          const std::string& help);
+
+  /// Parse argv. Prints usage and exits(0) on --help/-h. Throws
+  /// std::runtime_error on unknown flags or malformed values.
+  void parse(int argc, const char* const* argv);
+
+  std::string usage() const;
+
+private:
+  struct Entry {
+    std::string help;
+    std::string default_repr;
+    bool is_bool = false;
+    std::function<void(const std::string&)> set;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace picpar

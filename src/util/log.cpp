@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace picpar {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::once_flag g_env_once;
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+
+void init_from_env() {
+  std::call_once(g_env_once, [] {
+    if (const char* env = std::getenv("PICPAR_LOG"))
+      g_level.store(parse_log_level(env));
+  });
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() {
+  init_from_env();
+  return g_level.load();
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "trace") return LogLevel::kTrace;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lk(g_emit_mutex);
+  std::cerr << "[picpar:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace picpar

@@ -1,0 +1,42 @@
+// Leveled logging to stderr. Global level is settable via code or the
+// PICPAR_LOG environment variable (error|warn|info|debug|trace).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace picpar {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse a level name; unknown names map to kInfo.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Streaming one-shot logger: LOG(kInfo) << "x=" << x;
+class LogLine {
+public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ <= log_level()) detail::log_emit(level_, os_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ <= log_level()) os_ << v;
+    return *this;
+  }
+
+private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace picpar
+
+#define PICPAR_LOG(level) ::picpar::LogLine(::picpar::LogLevel::level)

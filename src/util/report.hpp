@@ -1,0 +1,57 @@
+// Experiment report writer: collects named (x, y) series and tables from a
+// bench run and writes them to disk as gnuplot-ready .dat files, .csv
+// tables and a .gp script that regenerates the figure — so every paper
+// figure can be re-plotted from a single bench invocation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace picpar {
+
+class Report {
+public:
+  /// `name` becomes the output subdirectory and the gnuplot output title.
+  explicit Report(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Add one curve. Series order is preserved in the plot.
+  void add_series(std::string series_name, std::vector<double> x,
+                  std::vector<double> y);
+
+  /// Add a table (written as <table_name>.csv).
+  void add_table(std::string table_name, Table table);
+
+  /// Axis labels for the emitted gnuplot script.
+  void set_axis_labels(std::string x_label, std::string y_label);
+
+  std::size_t series_count() const { return series_.size(); }
+  std::size_t table_count() const { return tables_.size(); }
+
+  /// The gnuplot script text (references the .dat files write() produces).
+  std::string gnuplot_script() const;
+
+  /// Write everything under dir/name/: one .dat per series, one .csv per
+  /// table, and <name>.gp. Creates directories as needed. Throws
+  /// std::runtime_error on I/O failure.
+  void write(const std::string& dir) const;
+
+private:
+  struct Series {
+    std::string name;
+    std::vector<double> x, y;
+  };
+
+  static std::string sanitize(const std::string& s);
+
+  std::string name_;
+  std::string x_label_ = "x";
+  std::string y_label_ = "y";
+  std::vector<Series> series_;
+  std::vector<std::pair<std::string, Table>> tables_;
+};
+
+}  // namespace picpar

@@ -1,0 +1,37 @@
+// Non-owning 2-D view over contiguous row-major storage.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace picpar {
+
+template <typename T>
+class Span2d {
+public:
+  Span2d() = default;
+  Span2d(T* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+}  // namespace picpar

@@ -1,0 +1,74 @@
+// Streaming statistics and histograms used by diagnostics and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace picpar {
+
+/// Welford-style running statistics: mean/variance/min/max without storing
+/// the samples.
+class RunningStats {
+public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;   ///< population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples land in the
+/// boundary bins.
+class Histogram {
+public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Render as a compact ASCII bar chart (one line per bin).
+  std::string ascii(std::size_t width = 50) const;
+
+private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Load-imbalance metrics over a per-rank quantity.
+struct Imbalance {
+  double max = 0.0;
+  double mean = 0.0;
+
+  /// max/mean; 1.0 means perfectly balanced. Returns 0 for an empty input.
+  double factor() const { return mean > 0.0 ? max / mean : 0.0; }
+};
+
+Imbalance imbalance(const std::vector<double>& per_rank);
+Imbalance imbalance_counts(const std::vector<std::size_t>& per_rank);
+
+/// Exact percentile of a sample set (copies + sorts; for small sets).
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace picpar

@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace picpar {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  if (cells_.empty()) row();
+  cells_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return add(os.str());
+}
+
+Table& Table::add(std::size_t v) { return add(std::to_string(v)); }
+Table& Table::add(long long v) { return add(std::to_string(v)); }
+
+const std::string& Table::cell(std::size_t r, std::size_t c) const {
+  return cells_.at(r).at(c);
+}
+
+std::string Table::ascii() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : cells_)
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (auto w : width) s += std::string(w + 2, '-') + "+";
+    s += '\n';
+    return s;
+  };
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string();
+      s += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += "== " + title_ + " ==\n";
+  out += hline() + emit_row(header_) + hline();
+  for (const auto& r : cells_) out += emit_row(r);
+  out += hline();
+  return out;
+}
+
+std::string Table::csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  std::string out;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    out += (c ? "," : "") + quote(header_[c]);
+  out += '\n';
+  for (const auto& r : cells_) {
+    for (std::size_t c = 0; c < r.size(); ++c) out += (c ? "," : "") + quote(r[c]);
+    out += '\n';
+  }
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << ascii(); }
+
+void print_series(std::ostream& os, const std::string& name,
+                  const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("print_series: x/y size mismatch");
+  os << "# series: " << name << " (" << x.size() << " points)\n";
+  for (std::size_t i = 0; i < x.size(); ++i)
+    os << x[i] << ' ' << y[i] << '\n';
+}
+
+}  // namespace picpar

@@ -1,0 +1,50 @@
+// ASCII table and CSV rendering for benchmark output. Benches reproduce
+// paper tables/figures as text series, so a small table engine keeps the
+// formatting consistent across all of them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace picpar {
+
+/// Column-aligned ASCII table with an optional title. Cells are strings;
+/// numeric helpers format with fixed precision.
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Start a new row. Subsequent add_* calls append cells to it.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(const char* cell) { return add(std::string(cell)); }
+  Table& add(double v, int precision = 3);
+  Table& add(std::size_t v);
+  Table& add(long long v);
+  Table& add(int v) { return add(static_cast<long long>(v)); }
+
+  std::size_t rows() const { return cells_.size(); }
+  const std::string& cell(std::size_t r, std::size_t c) const;
+
+  /// Render with box-drawing separators.
+  std::string ascii() const;
+  /// Render as RFC-4180-ish CSV (quotes cells containing commas).
+  std::string csv() const;
+
+  void print(std::ostream& os) const;
+
+private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Print a named (x, y) series, one "x y" pair per line — the textual
+/// equivalent of one curve in a paper figure.
+void print_series(std::ostream& os, const std::string& name,
+                  const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace picpar

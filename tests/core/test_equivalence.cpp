@@ -1,0 +1,152 @@
+// Property tests: the incremental redistribution and the full distribution
+// are interchangeable — starting from the same particle state, both must
+// end with (a) the identical global multiset of particles, (b) a globally
+// sorted, exactly balanced arrangement. Their rank *boundaries* may differ
+// (splitters vs inherited bounds); their correctness may not.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/indexing.hpp"
+#include "core/load_balance.hpp"
+#include "core/partitioner.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/hilbert.hpp"
+#include "util/rng.hpp"
+
+namespace picpar::core {
+namespace {
+
+using particles::ParticleArray;
+using particles::ParticleRec;
+
+struct Case {
+  int ranks;
+  sfc::CurveKind curve;
+  std::uint64_t seed;
+};
+
+/// Gather every rank's particles into one global sorted list of
+/// (key, x, y) triples for multiset comparison.
+std::vector<std::tuple<std::uint64_t, double, double>> global_snapshot(
+    sim::Comm& c, const ParticleArray& mine) {
+  std::vector<double> flat;
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    flat.push_back(static_cast<double>(mine.key[i]));
+    flat.push_back(mine.x[i]);
+    flat.push_back(mine.y[i]);
+  }
+  const auto all = c.allgatherv(flat);
+  std::vector<std::tuple<std::uint64_t, double, double>> out;
+  for (std::size_t i = 0; i + 2 < all.size(); i += 3)
+    out.emplace_back(static_cast<std::uint64_t>(all[i]), all[i + 1],
+                     all[i + 2]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class RedistEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RedistEquivalence, SameMultisetSortedAndBalanced) {
+  const auto [ranks, curve_kind, seed] = GetParam();
+  const mesh::GridDesc grid(64, 32);
+  const auto curve = sfc::make_curve(curve_kind, 64, 32);
+  const std::uint64_t total = 96ull * static_cast<std::uint64_t>(ranks);
+
+  sim::Machine m(ranks, sim::CostModel::zero());
+  m.run([&, ranks = ranks, seed = seed](sim::Comm& c) {
+    // Build a deterministic population, strided over ranks.
+    picpar::Rng rng(seed);
+    ParticleArray mine(-1.0, 1.0);
+    for (std::uint64_t i = 0; i < total; ++i) {
+      ParticleRec r;
+      r.x = rng.uniform(0.0, 64.0);
+      r.y = rng.uniform(0.0, 32.0);
+      if (static_cast<int>(i % static_cast<std::uint64_t>(ranks)) == c.rank())
+        mine.push_back(r);
+    }
+
+    ParticlePartitioner part(*curve, grid);
+    part.assign_keys(c, mine);
+    part.distribute(c, mine);
+
+    // Drift + rekey, snapshot the state.
+    picpar::Rng drift(seed * 31 + static_cast<std::uint64_t>(c.rank()));
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine.x[i] = grid.wrap_x(mine.x[i] + drift.normal());
+      mine.y[i] = grid.wrap_y(mine.y[i] + drift.normal());
+    }
+    part.assign_keys(c, mine);
+    const auto before = global_snapshot(c, mine);
+
+    auto copy = mine;
+    ParticlePartitioner fresh(*curve, grid);
+
+    // Path A: incremental; Path B: full distribute on the copy.
+    part.redistribute(c, mine);
+    fresh.distribute(c, copy);
+
+    // Both sorted and balanced.
+    EXPECT_TRUE(is_sorted_by_key(mine));
+    EXPECT_TRUE(is_sorted_by_key(copy));
+    EXPECT_EQ(mine.size(), balanced_count(total, ranks, c.rank()));
+    EXPECT_EQ(copy.size(), balanced_count(total, ranks, c.rank()));
+
+    // Both preserve the global multiset.
+    EXPECT_EQ(global_snapshot(c, mine), before);
+    EXPECT_EQ(global_snapshot(c, copy), before);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RedistEquivalence,
+    ::testing::Values(Case{2, sfc::CurveKind::kHilbert, 1},
+                      Case{4, sfc::CurveKind::kHilbert, 2},
+                      Case{8, sfc::CurveKind::kHilbert, 3},
+                      Case{4, sfc::CurveKind::kSnake, 4},
+                      Case{8, sfc::CurveKind::kSnake, 5},
+                      Case{4, sfc::CurveKind::kMorton, 6},
+                      Case{3, sfc::CurveKind::kHilbert, 7},
+                      Case{5, sfc::CurveKind::kRowMajor, 8}),
+    [](const ::testing::TestParamInfo<Case>& i) {
+      return "p" + std::to_string(i.param.ranks) +
+             sfc::curve_kind_name(i.param.curve) + "s" +
+             std::to_string(i.param.seed);
+    });
+
+TEST(RedistStress, ManyRoundsOfHeavyDrift) {
+  // Violent motion: every particle teleports each round. The incremental
+  // path must degrade gracefully (everything lands in the off-processor
+  // category) and stay correct.
+  const int ranks = 6;
+  const mesh::GridDesc grid(32, 32);
+  const sfc::HilbertCurve curve(32, 32);
+  const std::uint64_t total = 600;
+  sim::Machine m(ranks, sim::CostModel::zero());
+  m.run([&](sim::Comm& c) {
+    picpar::Rng rng(99 + static_cast<std::uint64_t>(c.rank()));
+    ParticleArray mine(-1.0, 1.0);
+    for (std::uint64_t i = 0; i < total / ranks; ++i) {
+      ParticleRec r;
+      r.x = rng.uniform(0.0, 32.0);
+      r.y = rng.uniform(0.0, 32.0);
+      mine.push_back(r);
+    }
+    ParticlePartitioner part(curve, grid);
+    part.assign_keys(c, mine);
+    part.distribute(c, mine);
+    for (int round = 0; round < 8; ++round) {
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        mine.x[i] = rng.uniform(0.0, 32.0);
+        mine.y[i] = rng.uniform(0.0, 32.0);
+      }
+      part.assign_keys(c, mine);
+      part.redistribute(c, mine);
+      ASSERT_TRUE(is_sorted_by_key(mine));
+      ASSERT_EQ(c.allreduce_sum<std::uint64_t>(mine.size()), total);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace picpar::core

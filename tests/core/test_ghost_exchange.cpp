@@ -1,0 +1,184 @@
+#include "core/ghost_exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sfc/hilbert.hpp"
+
+namespace picpar::core {
+namespace {
+
+using mesh::FieldState;
+using mesh::GridDesc;
+using mesh::GridPartition;
+using mesh::LocalGrid;
+
+class GhostPolicies : public ::testing::TestWithParam<DedupPolicy> {};
+
+TEST_P(GhostPolicies, DepositSlotDeduplicates) {
+  GridDesc g(8, 8);
+  const auto part = GridPartition::block(g, 2, 2);
+  LocalGrid lg(part, 0);
+  GhostExchange ge(lg, GetParam());
+  ge.begin_iteration();
+  // Node owned by rank 1.
+  const auto gid = g.node_id(7, 0);
+  double* a = ge.deposit_slot(gid);
+  a[0] += 1.0;
+  double* b = ge.deposit_slot(gid);
+  b[0] += 2.0;
+  EXPECT_EQ(a, b) << "same node must map to the same accumulator";
+  EXPECT_EQ(ge.entries(), 1u);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+}
+
+TEST_P(GhostPolicies, EntriesResetEachIteration) {
+  GridDesc g(8, 8);
+  const auto part = GridPartition::block(g, 2, 2);
+  LocalGrid lg(part, 0);
+  GhostExchange ge(lg, GetParam());
+  ge.begin_iteration();
+  ge.deposit_slot(g.node_id(7, 0))[0] = 5.0;
+  EXPECT_EQ(ge.entries(), 1u);
+  ge.begin_iteration();
+  EXPECT_EQ(ge.entries(), 0u);
+  // A fresh slot must start zeroed.
+  EXPECT_DOUBLE_EQ(ge.deposit_slot(g.node_id(7, 0))[0], 0.0);
+}
+
+TEST_P(GhostPolicies, FlushDeliversSumsToOwner) {
+  GridDesc g(8, 8);
+  const auto part = GridPartition::block(g, 2, 2);
+  const auto policy = GetParam();
+  sim::Machine m(4, sim::CostModel::zero());
+  m.run([&](sim::Comm& c) {
+    LocalGrid lg(part, c.rank());
+    FieldState f(lg);
+    GhostExchange ge(lg, policy);
+    ge.begin_iteration();
+    // Every rank deposits 1.0 of rho to node (0, 0), owned by rank 0.
+    const auto target = g.node_id(0, 0);
+    if (!lg.owns(target)) {
+      double* slot = ge.deposit_slot(target);
+      slot[3] += 1.0;
+    } else {
+      f.rho[lg.local_of(target)] += 1.0;
+    }
+    ge.flush_scatter(c, f);
+    if (lg.owns(target))
+      EXPECT_DOUBLE_EQ(f.rho[lg.local_of(target)], 4.0)
+          << "3 remote + 1 local contribution";
+  });
+}
+
+TEST_P(GhostPolicies, FetchReturnsOwnersFieldValues) {
+  GridDesc g(8, 8);
+  const auto part = GridPartition::block(g, 2, 2);
+  const auto policy = GetParam();
+  sim::Machine m(4, sim::CostModel::zero());
+  m.run([&](sim::Comm& c) {
+    LocalGrid lg(part, c.rank());
+    FieldState f(lg);
+    // Owner encodes gid into its fields.
+    for (std::size_t l = 0; l < lg.owned(); ++l) {
+      f.ex[l] = static_cast<double>(lg.gid_of(l));
+      f.bz[l] = -static_cast<double>(lg.gid_of(l));
+    }
+    GhostExchange ge(lg, policy);
+    ge.begin_iteration();
+    // Each rank asks for a node in every other quadrant's interior.
+    std::vector<std::uint64_t> wanted;
+    for (auto [x, y] : {std::pair{2u, 2u}, {6u, 2u}, {2u, 6u}, {6u, 6u}}) {
+      const auto gid = g.node_id(x, y);
+      if (!lg.owns(gid)) {
+        ge.deposit_slot(gid);
+        wanted.push_back(gid);
+      }
+    }
+    ge.flush_scatter(c, f);
+    ge.fetch_fields(c, f);
+    for (const auto gid : wanted) {
+      const double* s = ge.field_slot(gid);
+      ASSERT_NE(s, nullptr);
+      EXPECT_DOUBLE_EQ(s[0], static_cast<double>(gid));   // ex
+      EXPECT_DOUBLE_EQ(s[5], -static_cast<double>(gid));  // bz
+    }
+  });
+}
+
+TEST_P(GhostPolicies, FieldSlotNullForUntouchedNode) {
+  GridDesc g(8, 8);
+  const auto part = GridPartition::block(g, 2, 2);
+  LocalGrid lg(part, 0);
+  GhostExchange ge(lg, GetParam());
+  ge.begin_iteration();
+  EXPECT_EQ(ge.field_slot(g.node_id(7, 7)), nullptr);
+}
+
+TEST_P(GhostPolicies, OneMessagePerDestination) {
+  // Communication coalescing: many deposits to one owner, one message.
+  GridDesc g(16, 16);
+  const auto part = GridPartition::block(g, 2, 1);
+  const auto policy = GetParam();
+  sim::Machine m(2, sim::CostModel::zero());
+  m.run([&](sim::Comm& c) {
+    LocalGrid lg(part, c.rank());
+    FieldState f(lg);
+    GhostExchange ge(lg, policy);
+    ge.begin_iteration();
+    if (c.rank() == 0) {
+      // Deposit to ten distinct nodes all owned by rank 1.
+      for (std::uint32_t y = 0; y < 10; ++y)
+        ge.deposit_slot(g.node_id(12, y))[3] += 1.0;
+    }
+    const auto before = c.stats().total().msgs_sent;
+    ge.flush_scatter(c, f);
+    const auto sent = c.stats().total().msgs_sent - before;
+    if (c.rank() == 0)
+      // One data message; the count-table allgather adds log2(2) = 1 more.
+      EXPECT_LE(sent, 3u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, GhostPolicies,
+                         ::testing::Values(DedupPolicy::kHash,
+                                           DedupPolicy::kDirect),
+                         [](const ::testing::TestParamInfo<DedupPolicy>& i) {
+                           return dedup_policy_name(i.param);
+                         });
+
+TEST(GhostExchange, HashAndDirectProduceIdenticalResults) {
+  GridDesc g(8, 8);
+  const auto part = GridPartition::block(g, 2, 2);
+  auto run_with = [&](DedupPolicy pol) {
+    std::vector<double> rho_out(g.nodes(), 0.0);
+    sim::Machine m(4, sim::CostModel::zero());
+    m.run([&](sim::Comm& c) {
+      LocalGrid lg(part, c.rank());
+      FieldState f(lg);
+      GhostExchange ge(lg, pol);
+      ge.begin_iteration();
+      for (std::uint64_t gid = 0; gid < g.nodes(); gid += 3) {
+        if (lg.owns(gid))
+          f.rho[lg.local_of(gid)] += 0.5;
+        else
+          ge.deposit_slot(gid)[3] += 0.5;
+      }
+      ge.flush_scatter(c, f);
+      for (std::size_t l = 0; l < lg.owned(); ++l)
+        rho_out[static_cast<std::size_t>(lg.gid_of(l))] = f.rho[l];
+    });
+    return rho_out;
+  };
+  const auto a = run_with(DedupPolicy::kHash);
+  const auto b = run_with(DedupPolicy::kDirect);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(GhostExchange, ParsePolicyNames) {
+  EXPECT_EQ(parse_dedup_policy("hash"), DedupPolicy::kHash);
+  EXPECT_EQ(parse_dedup_policy("direct"), DedupPolicy::kDirect);
+  EXPECT_THROW(parse_dedup_policy("bloom"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace picpar::core

@@ -1,0 +1,70 @@
+#include "core/indexing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sfc/hilbert.hpp"
+#include "sfc/simple_curves.hpp"
+
+namespace picpar::core {
+namespace {
+
+TEST(Indexing, KeyEqualsCurveIndexOfCell) {
+  mesh::GridDesc g(8, 8);
+  sfc::HilbertCurve c(8, 8);
+  // Particle in the middle of cell (3, 5).
+  EXPECT_EQ(key_of(c, g, 3.5, 5.5), c.index(3, 5));
+}
+
+TEST(Indexing, AssignKeysCoversWholeArray) {
+  mesh::GridDesc g(16, 16);
+  sfc::SnakeCurve c(16, 16);
+  particles::ParticleArray p(-1.0, 1.0);
+  for (int i = 0; i < 8; ++i) {
+    particles::ParticleRec r;
+    r.x = i + 0.5;
+    r.y = 2.0 * i + 0.5;
+    p.push_back(r);
+  }
+  assign_keys(c, g, p);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(p.key[static_cast<std::size_t>(i)],
+              c.index(static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(2 * i)));
+}
+
+TEST(Indexing, ParticlesInSameCellShareKey) {
+  mesh::GridDesc g(4, 4);
+  sfc::HilbertCurve c(4, 4);
+  EXPECT_EQ(key_of(c, g, 1.1, 2.1), key_of(c, g, 1.9, 2.9));
+  EXPECT_NE(key_of(c, g, 1.1, 2.1), key_of(c, g, 2.1, 2.1));
+}
+
+TEST(Indexing, DomainEdgePositionStillValid) {
+  mesh::GridDesc g(4, 4);
+  sfc::HilbertCurve c(4, 4);
+  // Position numerically equal to lx maps to the last cell, not out of range.
+  const auto k = key_of(c, g, std::nextafter(4.0, 0.0), 0.5);
+  EXPECT_EQ(k, c.index(3, 0));
+}
+
+TEST(Indexing, IsSortedByKeyDetectsOrder) {
+  particles::ParticleArray p(-1.0, 1.0);
+  for (std::uint64_t k : {1ull, 3ull, 3ull, 7ull}) {
+    particles::ParticleRec r;
+    r.key = k;
+    p.push_back(r);
+  }
+  EXPECT_TRUE(is_sorted_by_key(p));
+  p.key[1] = 8;
+  EXPECT_FALSE(is_sorted_by_key(p));
+}
+
+TEST(Indexing, EmptyArrayIsSorted) {
+  particles::ParticleArray p(-1.0, 1.0);
+  EXPECT_TRUE(is_sorted_by_key(p));
+}
+
+}  // namespace
+}  // namespace picpar::core

@@ -1,0 +1,152 @@
+#include "core/load_balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace picpar::core {
+namespace {
+
+using particles::ParticleArray;
+using particles::ParticleRec;
+
+TEST(BalancedCount, SplitsExactly) {
+  // Sum of balanced counts equals total; counts differ by at most 1.
+  for (std::uint64_t total : {0ull, 1ull, 7ull, 100ull, 1001ull}) {
+    for (int p : {1, 2, 3, 7, 32}) {
+      std::uint64_t sum = 0, lo = ~0ull, hi = 0;
+      for (int r = 0; r < p; ++r) {
+        const auto c = balanced_count(total, p, r);
+        sum += c;
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+      }
+      EXPECT_EQ(sum, total);
+      EXPECT_LE(hi - lo, 1u);
+    }
+  }
+}
+
+class BalanceRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(BalanceRanks, EqualizesSkewedCounts) {
+  const int p = GetParam();
+  sim::Machine m(p, sim::CostModel::zero());
+  m.run([p](sim::Comm& c) {
+    // Rank r starts with (r+1)^2 particles carrying increasing keys so the
+    // global order is total.
+    ParticleArray mine(-1.0, 1.0);
+    std::uint64_t base = 0;
+    for (int r = 0; r < c.rank(); ++r)
+      base += static_cast<std::uint64_t>((r + 1) * (r + 1));
+    const auto n = static_cast<std::uint64_t>((c.rank() + 1) * (c.rank() + 1));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ParticleRec rec;
+      rec.key = base + i;
+      mine.push_back(rec);
+    }
+    std::uint64_t total = 0;
+    for (int r = 0; r < p; ++r)
+      total += static_cast<std::uint64_t>((r + 1) * (r + 1));
+
+    order_maintaining_balance(c, mine);
+
+    EXPECT_EQ(mine.size(), balanced_count(total, p, c.rank()));
+    // Order preserved: keys are exactly the contiguous global range.
+    const std::uint64_t start =
+        static_cast<std::uint64_t>(c.rank()) * total /
+        static_cast<std::uint64_t>(p);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      EXPECT_EQ(mine.key[i], start + i);
+  });
+}
+
+TEST_P(BalanceRanks, AlreadyBalancedMovesNothing) {
+  const int p = GetParam();
+  sim::Machine m(p, sim::CostModel::zero());
+  m.run([](sim::Comm& c) {
+    ParticleArray mine(-1.0, 1.0);
+    for (int i = 0; i < 10; ++i) {
+      ParticleRec rec;
+      rec.key = static_cast<std::uint64_t>(c.rank() * 10 + i);
+      mine.push_back(rec);
+    }
+    const auto rep = order_maintaining_balance(c, mine);
+    EXPECT_EQ(rep.sent, 0u);
+    EXPECT_EQ(rep.received, 0u);
+    EXPECT_EQ(mine.size(), 10u);
+  });
+}
+
+TEST_P(BalanceRanks, AllParticlesOnOneRank) {
+  const int p = GetParam();
+  sim::Machine m(p, sim::CostModel::zero());
+  m.run([p](sim::Comm& c) {
+    ParticleArray mine(-1.0, 1.0);
+    const std::uint64_t total = static_cast<std::uint64_t>(p) * 4;
+    if (c.rank() == 0)
+      for (std::uint64_t i = 0; i < total; ++i) {
+        ParticleRec rec;
+        rec.key = i;
+        mine.push_back(rec);
+      }
+    order_maintaining_balance(c, mine);
+    EXPECT_EQ(mine.size(), 4u);
+    EXPECT_EQ(mine.key[0], static_cast<std::uint64_t>(c.rank()) * 4);
+  });
+}
+
+TEST_P(BalanceRanks, EmptyGlobalPopulation) {
+  const int p = GetParam();
+  sim::Machine m(p, sim::CostModel::zero());
+  m.run([](sim::Comm& c) {
+    ParticleArray mine(-1.0, 1.0);
+    order_maintaining_balance(c, mine);
+    EXPECT_TRUE(mine.empty());
+  });
+}
+
+TEST_P(BalanceRanks, FewerParticlesThanRanks) {
+  const int p = GetParam();
+  sim::Machine m(p, sim::CostModel::zero());
+  m.run([p](sim::Comm& c) {
+    ParticleArray mine(-1.0, 1.0);
+    // 3 particles total, all initially on the last rank.
+    if (c.rank() == p - 1)
+      for (std::uint64_t i = 0; i < 3; ++i) {
+        ParticleRec rec;
+        rec.key = i;
+        mine.push_back(rec);
+      }
+    order_maintaining_balance(c, mine);
+    const auto total = c.allreduce_sum<std::uint64_t>(mine.size());
+    EXPECT_EQ(total, 3u);
+    EXPECT_EQ(mine.size(), balanced_count(3, p, c.rank()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, BalanceRanks, ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(Balance, PreservesParticlePayloads) {
+  sim::Machine m(4, sim::CostModel::zero());
+  m.run([](sim::Comm& c) {
+    ParticleArray mine(-1.0, 1.0);
+    if (c.rank() == 2) {
+      for (std::uint64_t i = 0; i < 8; ++i) {
+        ParticleRec rec;
+        rec.key = i;
+        rec.x = 100.0 + static_cast<double>(i);
+        rec.ux = -static_cast<double>(i);
+        mine.push_back(rec);
+      }
+    }
+    order_maintaining_balance(c, mine);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      EXPECT_DOUBLE_EQ(mine.x[i], 100.0 + static_cast<double>(mine.key[i]));
+      EXPECT_DOUBLE_EQ(mine.ux[i], -static_cast<double>(mine.key[i]));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace picpar::core

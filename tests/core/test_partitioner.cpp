@@ -1,0 +1,228 @@
+#include "core/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/indexing.hpp"
+#include "core/load_balance.hpp"
+#include "sfc/hilbert.hpp"
+#include "util/rng.hpp"
+
+namespace picpar::core {
+namespace {
+
+using particles::ParticleArray;
+using particles::ParticleRec;
+
+mesh::GridDesc grid() { return mesh::GridDesc(32, 32); }
+
+/// Seed each rank with an arbitrary chunk of a deterministic population.
+ParticleArray scatter_population(int rank, int nranks, std::uint64_t total,
+                                 std::uint64_t seed = 4242) {
+  picpar::Rng rng(seed);
+  ParticleArray mine(-1.0, 1.0);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    ParticleRec r;
+    r.x = rng.uniform(0.0, 32.0);
+    r.y = rng.uniform(0.0, 32.0);
+    r.ux = rng.normal() * 0.05;
+    r.uy = rng.normal() * 0.05;
+    if (static_cast<int>(i % static_cast<std::uint64_t>(nranks)) == rank)
+      mine.push_back(r);
+  }
+  return mine;
+}
+
+void expect_globally_sorted_and_balanced(sim::Comm& c, ParticleArray& p,
+                                         std::uint64_t total) {
+  EXPECT_TRUE(is_sorted_by_key(p));
+  EXPECT_EQ(p.size(), balanced_count(total, c.size(), c.rank()));
+  // Rank boundaries respect the global order.
+  const std::uint64_t my_min = p.empty() ? 0 : p.key.front();
+  const std::uint64_t my_max = p.empty() ? 0 : p.key.back();
+  const auto mins = c.allgather(my_min);
+  const auto maxs = c.allgather(my_max);
+  for (int r = 0; r + 1 < c.size(); ++r)
+    EXPECT_LE(maxs[static_cast<std::size_t>(r)],
+              mins[static_cast<std::size_t>(r + 1)]);
+}
+
+class PartitionerRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionerRanks, DistributeSortsAndBalances) {
+  const int p = GetParam();
+  const std::uint64_t total = 64ull * static_cast<std::uint64_t>(p);
+  sfc::HilbertCurve curve(32, 32);
+  sim::Machine m(p, sim::CostModel::zero());
+  m.run([&](sim::Comm& c) {
+    auto mine = scatter_population(c.rank(), p, total);
+    ParticlePartitioner part(curve, grid());
+    part.assign_keys(c, mine);
+    const auto rep = part.distribute(c, mine);
+    EXPECT_FALSE(rep.incremental);
+    expect_globally_sorted_and_balanced(c, mine, total);
+  });
+}
+
+TEST_P(PartitionerRanks, RedistributeFallsBackWithoutState) {
+  const int p = GetParam();
+  sfc::HilbertCurve curve(32, 32);
+  sim::Machine m(p, sim::CostModel::zero());
+  m.run([&](sim::Comm& c) {
+    auto mine = scatter_population(c.rank(), p, 64ull * p);
+    ParticlePartitioner part(curve, grid());
+    part.assign_keys(c, mine);
+    const auto rep = part.redistribute(c, mine);
+    EXPECT_FALSE(rep.incremental) << "first call must do a full distribute";
+    EXPECT_TRUE(part.has_state());
+  });
+}
+
+TEST_P(PartitionerRanks, RedistributeAfterPerturbationRestoresInvariants) {
+  const int p = GetParam();
+  const std::uint64_t total = 128ull * static_cast<std::uint64_t>(p);
+  sfc::HilbertCurve curve(32, 32);
+  const auto g = grid();
+  sim::Machine m(p, sim::CostModel::zero());
+  m.run([&](sim::Comm& c) {
+    auto mine = scatter_population(c.rank(), p, total);
+    ParticlePartitioner part(curve, g);
+    part.assign_keys(c, mine);
+    part.distribute(c, mine);
+
+    // Perturb: move every particle a little, recompute keys.
+    picpar::Rng rng(static_cast<std::uint64_t>(c.rank()) + 1);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine.x[i] = g.wrap_x(mine.x[i] + rng.normal() * 0.8);
+      mine.y[i] = g.wrap_y(mine.y[i] + rng.normal() * 0.8);
+    }
+    part.assign_keys(c, mine);
+
+    const auto rep = part.redistribute(c, mine);
+    EXPECT_TRUE(rep.incremental);
+    expect_globally_sorted_and_balanced(c, mine, total);
+  });
+}
+
+TEST_P(PartitionerRanks, IncrementalMovesFewerThanFullResort) {
+  // The headline claim behind Fig 11: after small motion, the incremental
+  // path does less sorting work than a from-scratch distribute.
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP() << "needs real partitioning";
+  const std::uint64_t total = 1024ull * static_cast<std::uint64_t>(p);
+  sfc::HilbertCurve curve(32, 32);
+  const auto g = grid();
+  sim::Machine m(p, sim::CostModel::zero());
+  m.run([&](sim::Comm& c) {
+    auto mine = scatter_population(c.rank(), p, total);
+    ParticlePartitioner inc(curve, g);
+    inc.assign_keys(c, mine);
+    inc.distribute(c, mine);
+
+    picpar::Rng rng(static_cast<std::uint64_t>(c.rank()) + 77);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine.x[i] = g.wrap_x(mine.x[i] + rng.normal() * 0.2);
+      mine.y[i] = g.wrap_y(mine.y[i] + rng.normal() * 0.2);
+    }
+    inc.assign_keys(c, mine);
+
+    auto copy = mine;  // identical perturbed state for the full resort
+    ParticlePartitioner full(curve, g);
+    const auto rep_inc = inc.redistribute(c, mine);
+    const auto rep_full = full.distribute(c, copy);
+
+    EXPECT_LT(rep_inc.work.total_ops(), rep_full.work.total_ops())
+        << "incremental sorting should exploit near-sortedness";
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, PartitionerRanks,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Partitioner, RepeatedRedistributionsStayConsistent) {
+  const int p = 8;
+  const std::uint64_t total = 1024;
+  sfc::HilbertCurve curve(32, 32);
+  const auto g = grid();
+  sim::Machine m(p, sim::CostModel::zero());
+  m.run([&](sim::Comm& c) {
+    auto mine = scatter_population(c.rank(), p, total);
+    ParticlePartitioner part(curve, g);
+    part.assign_keys(c, mine);
+    part.distribute(c, mine);
+    picpar::Rng rng(static_cast<std::uint64_t>(c.rank()) * 13 + 5);
+    for (int round = 0; round < 5; ++round) {
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        mine.x[i] = g.wrap_x(mine.x[i] + rng.normal());
+        mine.y[i] = g.wrap_y(mine.y[i] + rng.normal());
+      }
+      part.assign_keys(c, mine);
+      part.redistribute(c, mine);
+      EXPECT_TRUE(is_sorted_by_key(mine));
+      const auto n = c.allreduce_sum<std::uint64_t>(mine.size());
+      EXPECT_EQ(n, total) << "no particles lost or duplicated";
+    }
+  });
+}
+
+TEST(Partitioner, HighlyIrregularClusterStillBalances) {
+  // All particles in one corner cell: keys collide heavily, balance must
+  // still split counts evenly.
+  const int p = 8;
+  sfc::HilbertCurve curve(32, 32);
+  const auto g = grid();
+  sim::Machine m(p, sim::CostModel::zero());
+  m.run([&](sim::Comm& c) {
+    ParticleArray mine(-1.0, 1.0);
+    for (int i = 0; i < 100; ++i) {
+      ParticleRec r;
+      r.x = 0.5;
+      r.y = 0.5;
+      mine.push_back(r);
+    }
+    ParticlePartitioner part(curve, g);
+    part.assign_keys(c, mine);
+    part.distribute(c, mine);
+    EXPECT_EQ(mine.size(), balanced_count(800, p, c.rank()));
+  });
+}
+
+TEST(Partitioner, RankUpperBoundsAreNonDecreasing) {
+  const int p = 4;
+  sfc::HilbertCurve curve(32, 32);
+  sim::Machine m(p, sim::CostModel::zero());
+  m.run([&](sim::Comm& c) {
+    auto mine = scatter_population(c.rank(), p, 512);
+    ParticlePartitioner part(curve, grid());
+    part.assign_keys(c, mine);
+    part.distribute(c, mine);
+    const auto& bounds = part.rank_upper_bounds();
+    ASSERT_EQ(bounds.size(), 4u);
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+      EXPECT_LE(bounds[i - 1], bounds[i]);
+  });
+}
+
+TEST(Partitioner, ConfigValidation) {
+  sfc::HilbertCurve curve(8, 8);
+  PartitionerConfig bad;
+  bad.buckets_per_rank = 0;
+  EXPECT_THROW(ParticlePartitioner(curve, mesh::GridDesc(8, 8), bad),
+               std::invalid_argument);
+}
+
+TEST(Partitioner, ChargesVirtualTimeForWork) {
+  sfc::HilbertCurve curve(32, 32);
+  sim::CostModel cm = sim::CostModel::zero();
+  cm.delta = 1e-6;
+  sim::Machine m(4, cm);
+  auto res = m.run([&](sim::Comm& c) {
+    auto mine = scatter_population(c.rank(), 4, 1024);
+    ParticlePartitioner part(curve, grid());
+    part.assign_keys(c, mine);
+    part.distribute(c, mine);
+  });
+  EXPECT_GT(res.max_compute(), 0.0) << "sort work must be charged as compute";
+}
+
+}  // namespace
+}  // namespace picpar::core

@@ -1,0 +1,136 @@
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace picpar::core {
+namespace {
+
+TEST(StaticPolicy, NeverTriggers) {
+  StaticPolicy p;
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(p.should_redistribute(i, 1e9));
+  EXPECT_EQ(p.name(), "static");
+}
+
+TEST(PeriodicPolicy, TriggersEveryK) {
+  PeriodicPolicy p(5);
+  std::vector<int> fired;
+  for (int i = 0; i < 20; ++i)
+    if (p.should_redistribute(i, 0.0)) fired.push_back(i);
+  EXPECT_EQ(fired, (std::vector<int>{4, 9, 14, 19}));
+}
+
+TEST(PeriodicPolicy, PeriodOneTriggersAlways) {
+  PeriodicPolicy p(1);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(p.should_redistribute(i, 0.0));
+}
+
+TEST(PeriodicPolicy, RejectsNonPositivePeriod) {
+  EXPECT_THROW(PeriodicPolicy(0), std::invalid_argument);
+  EXPECT_THROW(PeriodicPolicy(-3), std::invalid_argument);
+}
+
+TEST(PeriodicPolicy, NameIncludesPeriod) {
+  EXPECT_EQ(PeriodicPolicy(25).name(), "periodic:25");
+}
+
+TEST(SarPolicy, NeverTriggersWithoutCostEstimate) {
+  SarPolicy p;
+  for (int i = 0; i < 50; ++i)
+    EXPECT_FALSE(p.should_redistribute(i, 1.0 + i));  // no notify yet
+}
+
+TEST(SarPolicy, ImplementsEquationOne) {
+  // (t1 - t0) * (i1 - i0) >= T_redistribution
+  SarPolicy p;
+  p.notify_redistribution(9, 2.0);  // i0 = 9, T = 2.0
+  // First iteration after redistribution establishes t0 = 1.0.
+  EXPECT_FALSE(p.should_redistribute(10, 1.0));
+  // (1.1 - 1.0) * (11 - 9) = 0.22 < 2.0 -> no.
+  EXPECT_FALSE(p.should_redistribute(11, 1.1));
+  // (1.15 - 1.0) * (20 - 9) = 1.65 < 2.0 -> no.
+  EXPECT_FALSE(p.should_redistribute(20, 1.15));
+  // (1.2 - 1.0) * (21 - 9) = 2.4 >= 2.0 -> yes.
+  EXPECT_TRUE(p.should_redistribute(21, 1.2));
+}
+
+TEST(SarPolicy, FlatIterationTimesNeverTrigger) {
+  SarPolicy p;
+  p.notify_redistribution(-1, 0.5);
+  EXPECT_FALSE(p.should_redistribute(0, 1.0));  // t0
+  for (int i = 1; i < 1000; ++i)
+    EXPECT_FALSE(p.should_redistribute(i, 1.0)) << "no rise, no remap";
+}
+
+TEST(SarPolicy, CheaperRedistributionTriggersSooner) {
+  auto first_trigger = [](double redist_cost) {
+    SarPolicy p;
+    p.notify_redistribution(-1, redist_cost);
+    p.should_redistribute(0, 1.0);  // t0
+    for (int i = 1; i < 10000; ++i)
+      if (p.should_redistribute(i, 1.0 + 0.01 * i)) return i;
+    return -1;
+  };
+  const int cheap = first_trigger(0.1);
+  const int costly = first_trigger(10.0);
+  ASSERT_NE(cheap, -1);
+  ASSERT_NE(costly, -1);
+  EXPECT_LT(cheap, costly);
+}
+
+TEST(SarPolicy, ResetsBaseAfterRedistribution) {
+  SarPolicy p;
+  p.notify_redistribution(-1, 1.0);
+  p.should_redistribute(0, 1.0);                 // t0 = 1.0
+  EXPECT_TRUE(p.should_redistribute(5, 2.0));    // (2-1)*(5-(-1)) = 6 >= 1
+  p.notify_redistribution(5, 1.0);
+  // New epoch: first call only sets the new t0, even with a huge time.
+  EXPECT_FALSE(p.should_redistribute(6, 50.0));
+  EXPECT_EQ(p.last_redist_cost(), 1.0);
+}
+
+TEST(ThresholdPolicy, TriggersOnRelativeRise) {
+  ThresholdPolicy p(1.5);
+  EXPECT_FALSE(p.should_redistribute(0, 1.0));  // establishes t0
+  EXPECT_FALSE(p.should_redistribute(1, 1.4));
+  EXPECT_TRUE(p.should_redistribute(2, 1.6));
+}
+
+TEST(ThresholdPolicy, ResetsBaseAfterNotify) {
+  ThresholdPolicy p(1.2);
+  EXPECT_FALSE(p.should_redistribute(0, 1.0));
+  EXPECT_TRUE(p.should_redistribute(1, 2.0));
+  p.notify_redistribution(1, 0.1);
+  EXPECT_FALSE(p.should_redistribute(2, 2.0)) << "2.0 is the new baseline";
+  EXPECT_FALSE(p.should_redistribute(3, 2.3));
+  EXPECT_TRUE(p.should_redistribute(4, 2.5));
+}
+
+TEST(ThresholdPolicy, RejectsFactorsAtOrBelowOne) {
+  EXPECT_THROW(ThresholdPolicy(1.0), std::invalid_argument);
+  EXPECT_THROW(ThresholdPolicy(0.5), std::invalid_argument);
+}
+
+TEST(ThresholdPolicy, NameCarriesFactor) {
+  EXPECT_EQ(ThresholdPolicy(1.5).name(), "threshold:1.5");
+}
+
+TEST(MakePolicy, ParsesThresholdSpec) {
+  EXPECT_EQ(make_policy("threshold:1.25")->name(), "threshold:1.25");
+  EXPECT_THROW(make_policy("threshold:0.9"), std::invalid_argument);
+}
+
+TEST(MakePolicy, ParsesSpecs) {
+  EXPECT_EQ(make_policy("static")->name(), "static");
+  EXPECT_EQ(make_policy("sar")->name(), "sar");
+  EXPECT_EQ(make_policy("dynamic")->name(), "sar");
+  EXPECT_EQ(make_policy("periodic:25")->name(), "periodic:25");
+}
+
+TEST(MakePolicy, RejectsUnknownAndMalformed) {
+  EXPECT_THROW(make_policy("sometimes"), std::invalid_argument);
+  EXPECT_ANY_THROW(make_policy("periodic:abc"));
+  EXPECT_THROW(make_policy("periodic:0"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace picpar::core

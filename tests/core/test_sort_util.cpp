@@ -1,0 +1,149 @@
+#include "core/sort_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace picpar::core {
+namespace {
+
+using particles::ParticleArray;
+using particles::ParticleRec;
+
+ParticleRec rec(std::uint64_t key, double x = 0.0) {
+  ParticleRec r;
+  r.key = key;
+  r.x = x;
+  return r;
+}
+
+TEST(SortByKey, SortsRandomKeys) {
+  ParticleArray p(-1.0, 1.0);
+  picpar::Rng rng(1);
+  for (int i = 0; i < 500; ++i) p.push_back(rec(rng.below(1000)));
+  const auto w = sort_by_key(p);
+  for (std::size_t i = 1; i < p.size(); ++i)
+    EXPECT_LE(p.key[i - 1], p.key[i]);
+  EXPECT_GT(w.comparisons, 0u);
+  EXPECT_EQ(w.moves, 500u);
+}
+
+TEST(SortByKey, StableForEqualKeys) {
+  ParticleArray p(-1.0, 1.0);
+  p.push_back(rec(5, 1.0));
+  p.push_back(rec(3, 2.0));
+  p.push_back(rec(5, 3.0));
+  p.push_back(rec(3, 4.0));
+  sort_by_key(p);
+  EXPECT_EQ(p.x[0], 2.0);
+  EXPECT_EQ(p.x[1], 4.0);
+  EXPECT_EQ(p.x[2], 1.0);
+  EXPECT_EQ(p.x[3], 3.0);
+}
+
+TEST(SortByKey, EmptyAndSingleton) {
+  ParticleArray p(-1.0, 1.0);
+  EXPECT_EQ(sort_by_key(p).comparisons, 0u);
+  p.push_back(rec(1));
+  sort_by_key(p);
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(SortRecords, AlreadySortedIsCheap) {
+  std::vector<ParticleRec> v;
+  for (std::uint64_t i = 0; i < 100; ++i) v.push_back(rec(i));
+  const auto w = sort_records(v);
+  EXPECT_EQ(w.comparisons, 99u) << "sortedness check only";
+  EXPECT_EQ(w.moves, 0u) << "no sorting work on sorted input";
+}
+
+TEST(SortRecords, UnsortedPaysFullCost) {
+  std::vector<ParticleRec> v;
+  for (std::uint64_t i = 0; i < 100; ++i) v.push_back(rec(99 - i));
+  const auto w = sort_records(v);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(),
+                             [](const ParticleRec& a, const ParticleRec& b) {
+                               return a.key < b.key;
+                             }));
+  EXPECT_GT(w.comparisons, 99u);
+  EXPECT_EQ(w.moves, 100u);
+}
+
+TEST(SortRecords, EmptyIsNoop) {
+  std::vector<ParticleRec> v;
+  const auto w = sort_records(v);
+  EXPECT_EQ(w.comparisons, 0u);
+}
+
+TEST(MergeRuns, TwoInterleavedRuns) {
+  std::vector<std::vector<ParticleRec>> runs(2);
+  for (std::uint64_t i = 0; i < 10; i += 2) runs[0].push_back(rec(i));
+  for (std::uint64_t i = 1; i < 10; i += 2) runs[1].push_back(rec(i));
+  ParticleArray p(-1.0, 1.0);
+  merge_runs(runs, p);
+  ASSERT_EQ(p.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(p.key[i], i);
+}
+
+TEST(MergeRuns, ManyRunsWithDuplicates) {
+  picpar::Rng rng(7);
+  std::vector<std::vector<ParticleRec>> runs(8);
+  std::vector<std::uint64_t> all;
+  for (auto& run : runs) {
+    for (int i = 0; i < 50; ++i) {
+      run.push_back(rec(rng.below(64)));
+      all.push_back(run.back().key);
+    }
+    std::sort(run.begin(), run.end(),
+              [](const ParticleRec& a, const ParticleRec& b) {
+                return a.key < b.key;
+              });
+  }
+  ParticleArray p(-1.0, 1.0);
+  merge_runs(runs, p);
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(p.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(p.key[i], all[i]);
+}
+
+TEST(MergeRuns, EmptyRunsHandled) {
+  std::vector<std::vector<ParticleRec>> runs(3);
+  runs[1].push_back(rec(4));
+  ParticleArray p(-1.0, 1.0);
+  merge_runs(runs, p);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.key[0], 4u);
+}
+
+TEST(MergeRuns, ReplacesExistingContents) {
+  std::vector<std::vector<ParticleRec>> runs(1);
+  runs[0].push_back(rec(1));
+  ParticleArray p(-1.0, 1.0);
+  p.push_back(rec(99));
+  merge_runs(runs, p);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.key[0], 1u);
+}
+
+TEST(MergeRuns, StableAcrossRunsForEqualKeys) {
+  std::vector<std::vector<ParticleRec>> runs(2);
+  runs[0].push_back(rec(5, 1.0));
+  runs[1].push_back(rec(5, 2.0));
+  ParticleArray p(-1.0, 1.0);
+  merge_runs(runs, p);
+  EXPECT_EQ(p.x[0], 1.0) << "lower run index first on ties";
+  EXPECT_EQ(p.x[1], 2.0);
+}
+
+TEST(SortWork, AccumulatesWithPlusEquals) {
+  SortWork a{10, 5}, b{1, 2};
+  a += b;
+  EXPECT_EQ(a.comparisons, 11u);
+  EXPECT_EQ(a.moves, 7u);
+  EXPECT_EQ(a.total_ops(), 18u);
+}
+
+}  // namespace
+}  // namespace picpar::core

@@ -1,0 +1,129 @@
+#include "mesh/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sfc/hilbert.hpp"
+#include "sfc/simple_curves.hpp"
+
+namespace picpar::mesh {
+namespace {
+
+void expect_valid_partition(const GridPartition& p) {
+  // Every node owned exactly once; nodes_of and owner agree.
+  std::set<std::uint64_t> seen;
+  for (int r = 0; r < p.nranks(); ++r) {
+    for (const auto id : p.nodes_of(r)) {
+      EXPECT_EQ(p.owner(id), r);
+      EXPECT_TRUE(seen.insert(id).second) << "node " << id << " owned twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), p.grid().nodes());
+}
+
+TEST(BlockPartition, CoversGridExactly) {
+  GridDesc g(16, 8);
+  const auto p = GridPartition::block(g, 4, 2);
+  expect_valid_partition(p);
+  EXPECT_EQ(p.nranks(), 8);
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(p.count_of(r), 16u);
+}
+
+TEST(BlockPartition, UnevenDimsStayNearlyBalanced) {
+  GridDesc g(10, 7);
+  const auto p = GridPartition::block(g, 3, 2);
+  expect_valid_partition(p);
+  // 10x7 into 3x2 blocks: widest block is 4x4=16 vs mean 70/6.
+  EXPECT_LT(p.imbalance(), 1.5);
+}
+
+TEST(BlockPartition, BlocksAreRectangles) {
+  GridDesc g(8, 8);
+  const auto p = GridPartition::block(g, 2, 2);
+  // Rank 0 block must be the lower-left 4x4.
+  for (std::uint32_t y = 0; y < 4; ++y)
+    for (std::uint32_t x = 0; x < 4; ++x)
+      EXPECT_EQ(p.owner(g.node_id(x, y)), 0);
+  EXPECT_EQ(p.owner(g.node_id(4, 0)), 1);
+  EXPECT_EQ(p.owner(g.node_id(0, 4)), 2);
+}
+
+TEST(BlockPartition, RejectsBadRankGrid) {
+  GridDesc g(8, 8);
+  EXPECT_THROW(GridPartition::block(g, 0, 2), std::invalid_argument);
+}
+
+TEST(BlockAutoPartition, PicksFactorization) {
+  GridDesc g(128, 64);
+  const auto p = GridPartition::block_auto(g, 32);
+  expect_valid_partition(p);
+  EXPECT_EQ(p.nranks(), 32);
+  EXPECT_LT(p.imbalance(), 1.05);
+}
+
+TEST(BlockAutoPartition, PrimeRankCountStillWorks) {
+  GridDesc g(21, 13);
+  const auto p = GridPartition::block_auto(g, 7);
+  expect_valid_partition(p);
+}
+
+class CurvePartition : public ::testing::TestWithParam<sfc::CurveKind> {};
+
+TEST_P(CurvePartition, CoversGridAndBalances) {
+  GridDesc g(32, 16);
+  const auto curve = sfc::make_curve(GetParam(), 32, 16);
+  const auto p = GridPartition::curve(g, 8, *curve);
+  expect_valid_partition(p);
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(p.count_of(r), 64u);
+}
+
+TEST_P(CurvePartition, RunsAreContiguousInCurveOrder) {
+  GridDesc g(16, 16);
+  const auto curve = sfc::make_curve(GetParam(), 16, 16);
+  const auto p = GridPartition::curve(g, 4, *curve);
+  // Walking cells in curve order, the owner must be non-decreasing.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> order;  // (key, id)
+  for (std::uint64_t id = 0; id < g.nodes(); ++id)
+    order.emplace_back(curve->index(g.node_x(id), g.node_y(id)), id);
+  std::sort(order.begin(), order.end());
+  int prev = 0;
+  for (const auto& [key, id] : order) {
+    const int o = p.owner(id);
+    EXPECT_GE(o, prev);
+    prev = o;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, CurvePartition,
+                         ::testing::Values(sfc::CurveKind::kHilbert,
+                                           sfc::CurveKind::kSnake,
+                                           sfc::CurveKind::kRowMajor));
+
+TEST(CurvePartitionChecks, DimMismatchThrows) {
+  GridDesc g(16, 16);
+  sfc::HilbertCurve wrong(8, 8);
+  EXPECT_THROW(GridPartition::curve(g, 4, wrong), std::invalid_argument);
+}
+
+TEST(CurvePartitionChecks, UnevenCountsDifferByAtMostOne) {
+  GridDesc g(10, 10);
+  sfc::SnakeCurve c(10, 10);
+  const auto p = GridPartition::curve(g, 7, c);
+  std::size_t lo = 1000, hi = 0;
+  for (int r = 0; r < 7; ++r) {
+    lo = std::min(lo, p.count_of(r));
+    hi = std::max(hi, p.count_of(r));
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(GridPartitionMeta, MethodNames) {
+  GridDesc g(8, 8);
+  sfc::HilbertCurve h(8, 8);
+  EXPECT_EQ(GridPartition::block(g, 2, 2).method(), "block");
+  EXPECT_EQ(GridPartition::curve(g, 4, h).method(), "curve:hilbert");
+}
+
+}  // namespace
+}  // namespace picpar::mesh

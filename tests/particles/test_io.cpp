@@ -1,0 +1,91 @@
+#include "particles/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "particles/init.hpp"
+
+namespace picpar::particles {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ParticleIo : public ::testing::Test {
+protected:
+  void SetUp() override {
+    path_ = (fs::temp_directory_path() /
+             ("picpar_io_test_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+    fs::remove(path_);
+  }
+  void TearDown() override { fs::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(ParticleIo, RoundTripsPopulation) {
+  mesh::GridDesc g(32, 32);
+  InitParams params;
+  params.total = 500;
+  const auto original = generate(Distribution::kGaussian, g, params);
+
+  save_particles(path_, original);
+  const auto loaded = load_particles(path_);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.charge(), original.charge());
+  EXPECT_EQ(loaded.mass(), original.mass());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.x[i], original.x[i]);
+    EXPECT_EQ(loaded.y[i], original.y[i]);
+    EXPECT_EQ(loaded.ux[i], original.ux[i]);
+    EXPECT_EQ(loaded.uy[i], original.uy[i]);
+    EXPECT_EQ(loaded.uz[i], original.uz[i]);
+    EXPECT_EQ(loaded.key[i], original.key[i]);
+  }
+}
+
+TEST_F(ParticleIo, RoundTripsEmptyArray) {
+  ParticleArray p(-2.5, 3.0);
+  save_particles(path_, p);
+  const auto loaded = load_particles(path_);
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_EQ(loaded.charge(), -2.5);
+  EXPECT_EQ(loaded.mass(), 3.0);
+}
+
+TEST_F(ParticleIo, MissingFileThrows) {
+  EXPECT_THROW(load_particles("/nonexistent/dir/x.bin"), std::runtime_error);
+}
+
+TEST_F(ParticleIo, BadMagicThrows) {
+  std::ofstream f(path_, std::ios::binary);
+  const char garbage[64] = "this is not a particle checkpoint at all";
+  f.write(garbage, sizeof(garbage));
+  f.close();
+  EXPECT_THROW(load_particles(path_), std::runtime_error);
+}
+
+TEST_F(ParticleIo, TruncatedPayloadThrows) {
+  ParticleArray p(-1.0, 1.0);
+  for (int i = 0; i < 10; ++i) p.push_back(ParticleRec{});
+  save_particles(path_, p);
+  // Chop off the last record.
+  const auto size = fs::file_size(path_);
+  fs::resize_file(path_, size - 10);
+  EXPECT_THROW(load_particles(path_), std::runtime_error);
+}
+
+TEST_F(ParticleIo, OverwritesExistingFile) {
+  ParticleArray small(-1.0, 1.0);
+  small.push_back(ParticleRec{});
+  ParticleArray big(-1.0, 1.0);
+  for (int i = 0; i < 100; ++i) big.push_back(ParticleRec{});
+  save_particles(path_, big);
+  save_particles(path_, small);
+  EXPECT_EQ(load_particles(path_).size(), 1u);
+}
+
+}  // namespace
+}  // namespace picpar::particles

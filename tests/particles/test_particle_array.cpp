@@ -1,0 +1,124 @@
+#include "particles/particle_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace picpar::particles {
+namespace {
+
+ParticleRec rec(double x, std::uint64_t key) {
+  ParticleRec r;
+  r.x = x;
+  r.y = 2 * x;
+  r.ux = 0.1;
+  r.key = key;
+  return r;
+}
+
+TEST(ParticleArray, RejectsNonPositiveMass) {
+  EXPECT_THROW(ParticleArray(-1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ParticleArray(-1.0, -2.0), std::invalid_argument);
+}
+
+TEST(ParticleArray, PushBackAndRecRoundTrip) {
+  ParticleArray p(-1.0, 1.0);
+  ParticleRec r{1.0, 2.0, 0.1, 0.2, 0.3, 77};
+  p.push_back(r);
+  ASSERT_EQ(p.size(), 1u);
+  const auto got = p.rec(0);
+  EXPECT_EQ(got.x, r.x);
+  EXPECT_EQ(got.y, r.y);
+  EXPECT_EQ(got.ux, r.ux);
+  EXPECT_EQ(got.uy, r.uy);
+  EXPECT_EQ(got.uz, r.uz);
+  EXPECT_EQ(got.key, r.key);
+}
+
+TEST(ParticleArray, SetOverwrites) {
+  ParticleArray p(-1.0, 1.0);
+  p.push_back(rec(1.0, 1));
+  p.set(0, rec(9.0, 9));
+  EXPECT_EQ(p.x[0], 9.0);
+  EXPECT_EQ(p.key[0], 9u);
+}
+
+TEST(ParticleArray, SwapRemoveMiddle) {
+  ParticleArray p(-1.0, 1.0);
+  for (int i = 0; i < 4; ++i) p.push_back(rec(i, static_cast<std::uint64_t>(i)));
+  p.swap_remove(1);
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.key[1], 3u);  // last element swapped in
+}
+
+TEST(ParticleArray, SwapRemoveLast) {
+  ParticleArray p(-1.0, 1.0);
+  p.push_back(rec(0, 0));
+  p.push_back(rec(1, 1));
+  p.swap_remove(1);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.key[0], 0u);
+}
+
+TEST(ParticleArray, ClearEmpties) {
+  ParticleArray p(-1.0, 1.0);
+  p.push_back(rec(0, 0));
+  p.clear();
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(ParticleArray, ApplyPermutationReordersAllArrays) {
+  ParticleArray p(-1.0, 1.0);
+  for (int i = 0; i < 4; ++i) p.push_back(rec(i, static_cast<std::uint64_t>(10 - i)));
+  p.apply_permutation({3, 2, 1, 0});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(p.x[static_cast<std::size_t>(i)], 3.0 - i);
+    EXPECT_EQ(p.key[static_cast<std::size_t>(i)],
+              static_cast<std::uint64_t>(7 + i));
+    EXPECT_EQ(p.y[static_cast<std::size_t>(i)], 2.0 * (3 - i));
+  }
+}
+
+TEST(ParticleArray, ApplyPermutationSizeMismatchThrows) {
+  ParticleArray p(-1.0, 1.0);
+  p.push_back(rec(0, 0));
+  EXPECT_THROW(p.apply_permutation({0, 1}), std::invalid_argument);
+}
+
+TEST(ParticleArray, GammaOfRestParticleIsOne) {
+  ParticleArray p(-1.0, 1.0);
+  p.push_back(ParticleRec{});
+  EXPECT_DOUBLE_EQ(p.gamma(0), 1.0);
+}
+
+TEST(ParticleArray, GammaMatchesFormula) {
+  ParticleArray p(-1.0, 1.0);
+  ParticleRec r;
+  r.ux = 3.0;
+  r.uy = 4.0;
+  p.push_back(r);
+  EXPECT_DOUBLE_EQ(p.gamma(0), std::sqrt(26.0));
+}
+
+TEST(ParticleArray, KineticEnergySumsGammaMinusOne) {
+  ParticleArray p(-1.0, 2.0);  // mass 2
+  ParticleRec r;
+  r.ux = 3.0;
+  r.uy = 4.0;  // gamma = sqrt(26)
+  p.push_back(r);
+  p.push_back(ParticleRec{});  // at rest, contributes 0
+  EXPECT_DOUBLE_EQ(p.kinetic_energy(), 2.0 * (std::sqrt(26.0) - 1.0));
+}
+
+TEST(ParticleArray, ReserveDoesNotChangeSize) {
+  ParticleArray p(-1.0, 1.0);
+  p.reserve(100);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(ParticleRec, IsTightlyPacked) {
+  EXPECT_EQ(sizeof(ParticleRec), 48u);
+}
+
+}  // namespace
+}  // namespace picpar::particles

@@ -1,0 +1,108 @@
+#include "sfc/hilbert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+namespace picpar::sfc {
+namespace {
+
+class HilbertOrder : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HilbertOrder, IndexIsBijective) {
+  const auto order = GetParam();
+  const std::uint64_t side = 1ULL << order;
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t y = 0; y < side; ++y)
+    for (std::uint32_t x = 0; x < side; ++x)
+      seen.insert(hilbert2d_index(order, x, y));
+  EXPECT_EQ(seen.size(), side * side);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), side * side - 1);
+}
+
+TEST_P(HilbertOrder, CoordsInvertsIndex) {
+  const auto order = GetParam();
+  const std::uint64_t side = 1ULL << order;
+  for (std::uint64_t d = 0; d < side * side; ++d) {
+    const auto [x, y] = hilbert2d_coords(order, d);
+    EXPECT_EQ(hilbert2d_index(order, x, y), d);
+  }
+}
+
+TEST_P(HilbertOrder, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining locality property: the curve visits a unit-step neighbor
+  // at every move. Snake has it too, but Hilbert keeps it in both
+  // dimensions at every scale.
+  const auto order = GetParam();
+  const std::uint64_t side = 1ULL << order;
+  auto [px, py] = hilbert2d_coords(order, 0);
+  for (std::uint64_t d = 1; d < side * side; ++d) {
+    const auto [x, y] = hilbert2d_coords(order, d);
+    const int manhattan = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                          std::abs(static_cast<int>(y) - static_cast<int>(py));
+    ASSERT_EQ(manhattan, 1) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HilbertOrder, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(HilbertCurve, NonSquareGridUsesEnclosingSquare) {
+  HilbertCurve c(128, 64);
+  EXPECT_EQ(c.order(), 7u);  // 2^7 = 128 encloses both dims
+  // All indices distinct over the actual grid.
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t y = 0; y < 64; ++y)
+    for (std::uint32_t x = 0; x < 128; ++x) seen.insert(c.index(x, y));
+  EXPECT_EQ(seen.size(), 128u * 64u);
+}
+
+TEST(HilbertCurve, CoordsRoundTripOnRectangular) {
+  HilbertCurve c(16, 8);
+  for (std::uint32_t y = 0; y < 8; ++y)
+    for (std::uint32_t x = 0; x < 16; ++x) {
+      const auto [rx, ry] = c.coords(c.index(x, y));
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+}
+
+TEST(HilbertCurve, RejectsZeroDims) {
+  EXPECT_THROW(HilbertCurve(0, 4), std::invalid_argument);
+  EXPECT_THROW(HilbertCurve(4, 0), std::invalid_argument);
+}
+
+TEST(HilbertCurve, KnownOrder1Values) {
+  // Order-1 curve visits (0,0) (0,1) (1,1) (1,0).
+  EXPECT_EQ(hilbert2d_index(1, 0, 0), 0u);
+  EXPECT_EQ(hilbert2d_index(1, 0, 1), 1u);
+  EXPECT_EQ(hilbert2d_index(1, 1, 1), 2u);
+  EXPECT_EQ(hilbert2d_index(1, 1, 0), 3u);
+}
+
+TEST(HilbertCurve, NameReported) {
+  HilbertCurve c(8, 8);
+  EXPECT_EQ(c.name(), "hilbert");
+}
+
+TEST(HilbertCurve, QuadrantLocality) {
+  // The first quarter of the order-4 curve stays inside one half of the
+  // square — Hilbert's multi-dimensional locality.
+  const std::uint32_t order = 4;
+  const std::uint64_t side = 1u << order;
+  const std::uint64_t quarter = side * side / 4;
+  std::uint32_t max_x = 0, max_y = 0;
+  for (std::uint64_t d = 0; d < quarter; ++d) {
+    const auto [x, y] = hilbert2d_coords(order, d);
+    max_x = std::max(max_x, x);
+    max_y = std::max(max_y, y);
+  }
+  EXPECT_LT(max_x, side / 2 + 1);
+  EXPECT_LT(max_y, side / 2 + 1);
+}
+
+}  // namespace
+}  // namespace picpar::sfc

@@ -1,0 +1,112 @@
+// Quantitative locality: the property the paper relies on — curve-order
+// segments are compact for Hilbert and long thin strips for snake.
+#include "sfc/locality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sfc/hilbert.hpp"
+#include "sfc/simple_curves.hpp"
+
+namespace picpar::sfc {
+namespace {
+
+TEST(BoundingBox, SingleCell) {
+  const auto b = bounding_box({{3, 4}});
+  EXPECT_EQ(b.width(), 1u);
+  EXPECT_EQ(b.height(), 1u);
+  EXPECT_EQ(b.area(), 1u);
+  EXPECT_DOUBLE_EQ(b.aspect_ratio(), 1.0);
+}
+
+TEST(BoundingBox, SpansExtremes) {
+  const auto b = bounding_box({{1, 2}, {5, 2}, {3, 7}});
+  EXPECT_EQ(b.min_x, 1u);
+  EXPECT_EQ(b.max_x, 5u);
+  EXPECT_EQ(b.min_y, 2u);
+  EXPECT_EQ(b.max_y, 7u);
+  EXPECT_EQ(b.half_perimeter(), 5u + 6u);
+}
+
+TEST(BoundingBox, AspectRatioAtLeastOne) {
+  const auto wide = bounding_box({{0, 0}, {9, 0}});
+  const auto tall = bounding_box({{0, 0}, {0, 9}});
+  EXPECT_DOUBLE_EQ(wide.aspect_ratio(), 10.0);
+  EXPECT_DOUBLE_EQ(tall.aspect_ratio(), 10.0);
+}
+
+TEST(MeasurePartition, SegmentsCoverAllCells) {
+  HilbertCurve c(16, 16);
+  const auto segs = measure_partition(c, 8);
+  ASSERT_EQ(segs.size(), 8u);
+  std::uint64_t total = 0;
+  for (const auto& s : segs) total += s.cells;
+  EXPECT_EQ(total, 256u);
+  for (const auto& s : segs) EXPECT_EQ(s.cells, 32u);
+}
+
+TEST(MeasurePartition, RejectsNonPositiveParts) {
+  HilbertCurve c(8, 8);
+  EXPECT_THROW(measure_partition(c, 0), std::invalid_argument);
+}
+
+TEST(MeasurePartition, SinglePartHasOnlyOuterBoundary) {
+  // With one part and periodic treatment disabled (grid-edge counts as
+  // boundary), boundary edges == grid perimeter cells' outside edges.
+  HilbertCurve c(4, 4);
+  const auto segs = measure_partition(c, 1);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].boundary_edges, 16u);  // 4 sides x 4 cells
+}
+
+struct LocalityCase {
+  std::uint32_t nx, ny;
+  int parts;
+};
+
+class HilbertBeatsSnake : public ::testing::TestWithParam<LocalityCase> {};
+
+TEST_P(HilbertBeatsSnake, MeanHalfPerimeterLower) {
+  const auto [nx, ny, parts] = GetParam();
+  HilbertCurve h(nx, ny);
+  SnakeCurve s(nx, ny);
+  const auto hs = measure_partition(h, parts);
+  const auto ss = measure_partition(s, parts);
+  EXPECT_LT(mean_half_perimeter(hs), mean_half_perimeter(ss))
+      << "hilbert should produce more compact segments";
+}
+
+TEST_P(HilbertBeatsSnake, BoundaryEdgesLower) {
+  const auto [nx, ny, parts] = GetParam();
+  HilbertCurve h(nx, ny);
+  SnakeCurve s(nx, ny);
+  const auto hs = measure_partition(h, parts);
+  const auto ss = measure_partition(s, parts);
+  EXPECT_LT(mean_boundary_edges(hs), mean_boundary_edges(ss));
+}
+
+TEST_P(HilbertBeatsSnake, SnakeSegmentsHaveHighAspect) {
+  const auto [nx, ny, parts] = GetParam();
+  SnakeCurve s(nx, ny);
+  const auto ss = measure_partition(s, parts);
+  double worst = 0.0;
+  for (const auto& seg : ss) worst = std::max(worst, seg.box.aspect_ratio());
+  EXPECT_GT(worst, 4.0) << "snake segments should be thin strips";
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, HilbertBeatsSnake,
+                         ::testing::Values(LocalityCase{32, 32, 16},
+                                           LocalityCase{64, 32, 32},
+                                           LocalityCase{128, 64, 32}),
+                         [](const ::testing::TestParamInfo<LocalityCase>& i) {
+                           return std::to_string(i.param.nx) + "x" +
+                                  std::to_string(i.param.ny) + "p" +
+                                  std::to_string(i.param.parts);
+                         });
+
+TEST(MeanMetrics, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(mean_half_perimeter({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_boundary_edges({}), 0.0);
+}
+
+}  // namespace
+}  // namespace picpar::sfc

@@ -1,0 +1,136 @@
+#include "sfc/simple_curves.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "sfc/curve.hpp"
+
+namespace picpar::sfc {
+namespace {
+
+TEST(RowMajor, IndexFormula) {
+  RowMajorCurve c(10, 5);
+  EXPECT_EQ(c.index(0, 0), 0u);
+  EXPECT_EQ(c.index(9, 0), 9u);
+  EXPECT_EQ(c.index(0, 1), 10u);
+  EXPECT_EQ(c.index(3, 4), 43u);
+}
+
+TEST(RowMajor, RoundTrip) {
+  RowMajorCurve c(7, 9);
+  for (std::uint32_t y = 0; y < 9; ++y)
+    for (std::uint32_t x = 0; x < 7; ++x) {
+      const auto [rx, ry] = c.coords(c.index(x, y));
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+}
+
+TEST(Snake, AlternatesRowDirection) {
+  SnakeCurve c(4, 3);
+  EXPECT_EQ(c.index(0, 0), 0u);
+  EXPECT_EQ(c.index(3, 0), 3u);
+  EXPECT_EQ(c.index(3, 1), 4u);  // second row starts at the right edge
+  EXPECT_EQ(c.index(0, 1), 7u);
+  EXPECT_EQ(c.index(0, 2), 8u);
+}
+
+TEST(Snake, ConsecutiveIndicesAreAlwaysNeighbors) {
+  SnakeCurve c(8, 6);
+  auto [px, py] = c.coords(0);
+  for (std::uint64_t d = 1; d < 48; ++d) {
+    const auto [x, y] = c.coords(d);
+    const int manhattan = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                          std::abs(static_cast<int>(y) - static_cast<int>(py));
+    ASSERT_EQ(manhattan, 1) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(Snake, RoundTrip) {
+  SnakeCurve c(6, 5);
+  for (std::uint32_t y = 0; y < 5; ++y)
+    for (std::uint32_t x = 0; x < 6; ++x) {
+      const auto [rx, ry] = c.coords(c.index(x, y));
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+}
+
+TEST(Snake, IndexIsDenseBijection) {
+  SnakeCurve c(5, 4);
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t y = 0; y < 4; ++y)
+    for (std::uint32_t x = 0; x < 5; ++x) seen.insert(c.index(x, y));
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(*seen.rbegin(), 19u);
+}
+
+TEST(Morton, InterleavesBits) {
+  MortonCurve c(8, 8);
+  EXPECT_EQ(c.index(0, 0), 0u);
+  EXPECT_EQ(c.index(1, 0), 1u);
+  EXPECT_EQ(c.index(0, 1), 2u);
+  EXPECT_EQ(c.index(1, 1), 3u);
+  EXPECT_EQ(c.index(2, 0), 4u);
+}
+
+TEST(Morton, RoundTripLargeCoords) {
+  MortonCurve c(1u << 16, 1u << 16);
+  for (std::uint32_t v : {0u, 1u, 255u, 4096u, 65535u}) {
+    const auto [x, y] = c.coords(c.index(v, v / 2 + 1));
+    EXPECT_EQ(x, v);
+    EXPECT_EQ(y, v / 2 + 1);
+  }
+}
+
+TEST(Factory, MakesEveryKind) {
+  for (auto kind : {CurveKind::kRowMajor, CurveKind::kSnake,
+                    CurveKind::kMorton, CurveKind::kHilbert}) {
+    const auto c = make_curve(kind, 16, 8);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->name(), curve_kind_name(kind));
+    EXPECT_EQ(c->nx(), 16u);
+    EXPECT_EQ(c->ny(), 8u);
+  }
+}
+
+TEST(Factory, ParseNamesRoundTrip) {
+  EXPECT_EQ(parse_curve_kind("hilbert"), CurveKind::kHilbert);
+  EXPECT_EQ(parse_curve_kind("snake"), CurveKind::kSnake);
+  EXPECT_EQ(parse_curve_kind("rowmajor"), CurveKind::kRowMajor);
+  EXPECT_EQ(parse_curve_kind("morton"), CurveKind::kMorton);
+  EXPECT_THROW(parse_curve_kind("zigzag"), std::invalid_argument);
+}
+
+class CurveRoundTrip : public ::testing::TestWithParam<CurveKind> {};
+
+TEST_P(CurveRoundTrip, AllCellsInvert) {
+  const auto c = make_curve(GetParam(), 12, 20);
+  for (std::uint32_t y = 0; y < 20; ++y)
+    for (std::uint32_t x = 0; x < 12; ++x) {
+      const auto [rx, ry] = c->coords(c->index(x, y));
+      ASSERT_EQ(rx, x);
+      ASSERT_EQ(ry, y);
+    }
+}
+
+TEST_P(CurveRoundTrip, IndicesAreDistinct) {
+  const auto c = make_curve(GetParam(), 9, 11);
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t y = 0; y < 11; ++y)
+    for (std::uint32_t x = 0; x < 9; ++x) seen.insert(c->index(x, y));
+  EXPECT_EQ(seen.size(), 99u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, CurveRoundTrip,
+                         ::testing::Values(CurveKind::kRowMajor,
+                                           CurveKind::kSnake,
+                                           CurveKind::kMorton,
+                                           CurveKind::kHilbert));
+
+}  // namespace
+}  // namespace picpar::sfc

@@ -1,0 +1,94 @@
+#include "sfc/skilling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+namespace picpar::sfc {
+namespace {
+
+struct NdCase {
+  int dims;
+  int bits;
+};
+
+class SkillingNd : public ::testing::TestWithParam<NdCase> {};
+
+TEST_P(SkillingNd, IndexIsBijective) {
+  const auto [dims, bits] = GetParam();
+  const std::uint64_t side = 1ULL << bits;
+  std::uint64_t total = 1;
+  for (int i = 0; i < dims; ++i) total *= side;
+  std::set<std::uint64_t> seen;
+  std::vector<std::uint32_t> coord(static_cast<std::size_t>(dims), 0);
+  for (std::uint64_t n = 0; n < total; ++n) {
+    std::uint64_t rem = n;
+    for (int i = 0; i < dims; ++i) {
+      coord[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(rem % side);
+      rem /= side;
+    }
+    seen.insert(hilbert_nd_index(coord, bits));
+  }
+  EXPECT_EQ(seen.size(), total);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), total - 1);
+}
+
+TEST_P(SkillingNd, CoordsInvertsIndex) {
+  const auto [dims, bits] = GetParam();
+  const std::uint64_t side = 1ULL << bits;
+  std::uint64_t total = 1;
+  for (int i = 0; i < dims; ++i) total *= side;
+  for (std::uint64_t d = 0; d < total; ++d) {
+    const auto c = hilbert_nd_coords(d, bits, dims);
+    EXPECT_EQ(hilbert_nd_index(c, bits), d) << "d=" << d;
+  }
+}
+
+TEST_P(SkillingNd, ConsecutiveIndicesAreNeighbors) {
+  const auto [dims, bits] = GetParam();
+  const std::uint64_t side = 1ULL << bits;
+  std::uint64_t total = 1;
+  for (int i = 0; i < dims; ++i) total *= side;
+  auto prev = hilbert_nd_coords(0, bits, dims);
+  for (std::uint64_t d = 1; d < total; ++d) {
+    const auto cur = hilbert_nd_coords(d, bits, dims);
+    int manhattan = 0;
+    for (int i = 0; i < dims; ++i)
+      manhattan += std::abs(static_cast<int>(cur[static_cast<std::size_t>(i)]) -
+                            static_cast<int>(prev[static_cast<std::size_t>(i)]));
+    ASSERT_EQ(manhattan, 1) << "jump at d=" << d;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsBits, SkillingNd,
+    ::testing::Values(NdCase{2, 2}, NdCase{2, 4}, NdCase{3, 2}, NdCase{3, 3},
+                      NdCase{4, 2}),
+    [](const ::testing::TestParamInfo<NdCase>& info) {
+      return "d" + std::to_string(info.param.dims) + "b" +
+             std::to_string(info.param.bits);
+    });
+
+TEST(Skilling, TooManyBitsThrows) {
+  EXPECT_THROW(hilbert_nd_index({0, 0, 0}, 22), std::invalid_argument);
+  EXPECT_THROW(hilbert_nd_coords(0, 33, 2), std::invalid_argument);
+}
+
+TEST(Skilling, TransposeRoundTrip) {
+  std::vector<std::uint32_t> x{5, 9, 2};
+  auto orig = x;
+  axes_to_transpose(x, 4);
+  transpose_to_axes(x, 4);
+  EXPECT_EQ(x, orig);
+}
+
+TEST(Skilling, OriginMapsToZero) {
+  EXPECT_EQ(hilbert_nd_index({0, 0}, 5), 0u);
+  EXPECT_EQ(hilbert_nd_index({0, 0, 0}, 5), 0u);
+}
+
+}  // namespace
+}  // namespace picpar::sfc

@@ -1,0 +1,141 @@
+// Virtual-time accounting under the two-level cost model.
+#include <gtest/gtest.h>
+
+#include "sim/comm.hpp"
+
+namespace picpar::sim {
+namespace {
+
+TEST(Clocks, ChargeAdvancesClock) {
+  Machine m(1, CostModel::zero());
+  m.run([](Comm& c) {
+    EXPECT_DOUBLE_EQ(c.clock(), 0.0);
+    c.charge(1.5);
+    EXPECT_DOUBLE_EQ(c.clock(), 1.5);
+  });
+}
+
+TEST(Clocks, ChargeOpsUsesDelta) {
+  CostModel cm = CostModel::zero();
+  cm.delta = 2e-6;
+  Machine m(1, cm);
+  m.run([](Comm& c) {
+    c.charge_ops(1000);
+    EXPECT_DOUBLE_EQ(c.clock(), 2e-3);
+  });
+}
+
+TEST(Clocks, SenderPaysTauPlusBytesMu) {
+  CostModel cm = CostModel::zero();
+  cm.tau = 1e-3;
+  cm.mu = 1e-6;
+  Machine m(2, cm);
+  auto res = m.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::uint8_t> payload(100, 1);
+      c.send(1, 1, payload);
+      EXPECT_DOUBLE_EQ(c.clock(), 1e-3 + 100e-6);
+    } else {
+      (void)c.recv<std::uint8_t>(0, 1);
+    }
+  });
+  EXPECT_DOUBLE_EQ(res.ranks[0].clock, 1e-3 + 100e-6);
+}
+
+TEST(Clocks, ReceiverAdvancesToArrival) {
+  CostModel cm = CostModel::zero();
+  cm.tau = 1e-3;
+  Machine m(2, cm);
+  m.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.charge(5.0);             // sender far ahead
+      c.send_value(1, 1, 0);     // arrival at 5.0 + tau
+    } else {
+      (void)c.recv_value<int>(0, 1);
+      EXPECT_DOUBLE_EQ(c.clock(), 5.0 + 1e-3);
+    }
+  });
+}
+
+TEST(Clocks, ReceiverAheadKeepsOwnClock) {
+  CostModel cm = CostModel::zero();
+  cm.tau = 1e-3;
+  Machine m(2, cm);
+  m.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 1, 0);  // arrival ~1e-3
+    } else {
+      c.charge(10.0);  // receiver way ahead
+      (void)c.recv_value<int>(0, 1);
+      EXPECT_DOUBLE_EQ(c.clock(), 10.0);
+    }
+  });
+}
+
+TEST(Clocks, RecvCopyMuChargesReceiver) {
+  CostModel cm = CostModel::zero();
+  cm.recv_copy_mu = 1e-6;
+  Machine m(2, cm);
+  m.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::uint8_t> payload(1000, 0);
+      c.send(1, 1, payload);
+    } else {
+      (void)c.recv<std::uint8_t>(0, 1);
+      EXPECT_DOUBLE_EQ(c.clock(), 1000e-6);
+    }
+  });
+}
+
+TEST(Clocks, MessageCostHelper) {
+  CostModel cm;
+  cm.tau = 2.0;
+  cm.mu = 0.5;
+  EXPECT_DOUBLE_EQ(cm.message_cost(10), 2.0 + 5.0);
+}
+
+TEST(Clocks, ZeroModelMakesFreeCommunication) {
+  Machine m(4, CostModel::zero());
+  auto res = m.run([](Comm& c) {
+    c.barrier();
+    (void)c.allreduce_sum<int>(1);
+  });
+  EXPECT_DOUBLE_EQ(res.makespan(), 0.0);
+}
+
+TEST(Clocks, Cm5PresetHasPositiveConstants) {
+  const auto cm = CostModel::cm5();
+  EXPECT_GT(cm.tau, 0.0);
+  EXPECT_GT(cm.mu, 0.0);
+  EXPECT_GT(cm.delta, 0.0);
+}
+
+TEST(Clocks, ModernClusterFasterThanCm5) {
+  const auto cm5 = CostModel::cm5();
+  const auto mod = CostModel::modern_cluster();
+  EXPECT_LT(mod.tau, cm5.tau);
+  EXPECT_LT(mod.mu, cm5.mu);
+  EXPECT_LT(mod.delta, cm5.delta);
+}
+
+TEST(Clocks, BarrierSynchronizesLaggards) {
+  CostModel cm = CostModel::zero();
+  cm.tau = 1e-3;
+  Machine m(4, cm);
+  auto res = m.run([](Comm& c) {
+    if (c.rank() == 2) c.charge(1.0);
+    c.barrier();
+    // After the barrier everyone's clock must be >= the slowest entrant.
+    EXPECT_GE(c.clock(), 1.0);
+  });
+  EXPECT_GE(res.makespan(), 1.0);
+}
+
+TEST(Clocks, MakespanIsMaxClock) {
+  Machine m(3, CostModel::zero());
+  auto res = m.run([](Comm& c) { c.charge(static_cast<double>(c.rank())); });
+  EXPECT_DOUBLE_EQ(res.makespan(), 2.0);
+}
+
+}  // namespace
+}  // namespace picpar::sim

@@ -1,0 +1,185 @@
+// Collectives, parameterized over machine sizes including non-powers of two.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/comm.hpp"
+
+namespace picpar::sim {
+namespace {
+
+class Collectives : public ::testing::TestWithParam<int> {
+protected:
+  int p() const { return GetParam(); }
+  Machine machine() { return Machine(p(), CostModel::zero()); }
+};
+
+TEST_P(Collectives, BarrierCompletes) {
+  auto m = machine();
+  m.run([](Comm& c) {
+    for (int i = 0; i < 3; ++i) c.barrier();
+  });
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  auto m = machine();
+  for (int root = 0; root < p(); ++root) {
+    m.run([root](Comm& c) {
+      std::vector<int> data;
+      if (c.rank() == root) data = {root, root * 2, root * 3};
+      else data = {0, 0, 0};
+      data = c.bcast(std::move(data), root);
+      EXPECT_EQ(data, (std::vector<int>{root, root * 2, root * 3}));
+    });
+  }
+}
+
+TEST_P(Collectives, BcastValue) {
+  auto m = machine();
+  m.run([](Comm& c) {
+    const double v = c.bcast_value(c.rank() == 0 ? 3.5 : 0.0, 0);
+    EXPECT_DOUBLE_EQ(v, 3.5);
+  });
+}
+
+TEST_P(Collectives, AllreduceSum) {
+  auto m = machine();
+  const int n = p();
+  m.run([n](Comm& c) {
+    EXPECT_EQ(c.allreduce_sum<long>(c.rank() + 1),
+              static_cast<long>(n) * (n + 1) / 2);
+  });
+}
+
+TEST_P(Collectives, AllreduceMaxMin) {
+  auto m = machine();
+  const int n = p();
+  m.run([n](Comm& c) {
+    EXPECT_EQ(c.allreduce_max<int>(c.rank()), n - 1);
+    EXPECT_EQ(c.allreduce_min<int>(c.rank() + 10), 10);
+  });
+}
+
+TEST_P(Collectives, AllreduceVectorElementwise) {
+  auto m = machine();
+  const int n = p();
+  m.run([n](Comm& c) {
+    std::vector<double> v{1.0, static_cast<double>(c.rank())};
+    v = c.allreduce(std::move(v), [](double a, double b) { return a + b; });
+    EXPECT_DOUBLE_EQ(v[0], n);
+    EXPECT_DOUBLE_EQ(v[1], n * (n - 1) / 2.0);
+  });
+}
+
+TEST_P(Collectives, AllgatherOrderedByRank) {
+  auto m = machine();
+  const int n = p();
+  m.run([n](Comm& c) {
+    const auto v = c.allgather<int>(c.rank() * 10);
+    ASSERT_EQ(static_cast<int>(v.size()), n);
+    for (int r = 0; r < n; ++r) EXPECT_EQ(v[static_cast<std::size_t>(r)], r * 10);
+  });
+}
+
+TEST_P(Collectives, AllgathervVariableBlocks) {
+  auto m = machine();
+  const int n = p();
+  m.run([n](Comm& c) {
+    // Rank r contributes r+1 copies of r.
+    std::vector<int> mine(static_cast<std::size_t>(c.rank() + 1), c.rank());
+    std::vector<std::size_t> offsets;
+    const auto cat = c.allgatherv(mine, &offsets);
+    ASSERT_EQ(static_cast<int>(cat.size()), n * (n + 1) / 2);
+    ASSERT_EQ(static_cast<int>(offsets.size()), n);
+    for (int r = 0; r < n; ++r) {
+      for (int k = 0; k <= r; ++k)
+        EXPECT_EQ(cat[offsets[static_cast<std::size_t>(r)] +
+                      static_cast<std::size_t>(k)],
+                  r);
+    }
+  });
+}
+
+TEST_P(Collectives, AllgathervWithEmptyBlocks) {
+  auto m = machine();
+  m.run([](Comm& c) {
+    std::vector<double> mine;
+    if (c.rank() % 2 == 0) mine = {static_cast<double>(c.rank())};
+    std::vector<std::size_t> offsets;
+    const auto cat = c.allgatherv(mine, &offsets);
+    std::size_t expect = 0;
+    for (int r = 0; r < c.size(); ++r)
+      if (r % 2 == 0) ++expect;
+    EXPECT_EQ(cat.size(), expect);
+  });
+}
+
+TEST_P(Collectives, ExscanSum) {
+  auto m = machine();
+  m.run([](Comm& c) {
+    EXPECT_EQ(c.exscan_sum<int>(2), 2 * c.rank());
+  });
+}
+
+TEST_P(Collectives, AllToManyFullExchange) {
+  auto m = machine();
+  const int n = p();
+  m.run([n](Comm& c) {
+    std::vector<std::vector<int>> send(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d)
+      send[static_cast<std::size_t>(d)] = {c.rank() * 1000 + d};
+    auto recv = c.all_to_many(std::move(send));
+    ASSERT_EQ(static_cast<int>(recv.size()), n);
+    for (int s = 0; s < n; ++s) {
+      ASSERT_EQ(recv[static_cast<std::size_t>(s)].size(), 1u);
+      EXPECT_EQ(recv[static_cast<std::size_t>(s)][0], s * 1000 + c.rank());
+    }
+  });
+}
+
+TEST_P(Collectives, AllToManySparsePattern) {
+  auto m = machine();
+  const int n = p();
+  m.run([n](Comm& c) {
+    // Send only to rank (self+1)%p, three elements.
+    std::vector<std::vector<long>> send(static_cast<std::size_t>(n));
+    const int dst = (c.rank() + 1) % n;
+    send[static_cast<std::size_t>(dst)] = {1, 2, 3};
+    auto recv = c.all_to_many(std::move(send));
+    const int src = (c.rank() - 1 + n) % n;
+    for (int s = 0; s < n; ++s) {
+      if (s == src)
+        EXPECT_EQ(recv[static_cast<std::size_t>(s)],
+                  (std::vector<long>{1, 2, 3}));
+      else if (s != c.rank() || src != c.rank())
+        EXPECT_TRUE(s == src || recv[static_cast<std::size_t>(s)].empty());
+    }
+  });
+}
+
+TEST_P(Collectives, AllToManyAllEmpty) {
+  auto m = machine();
+  const int n = p();
+  m.run([n](Comm& c) {
+    std::vector<std::vector<int>> send(static_cast<std::size_t>(n));
+    auto recv = c.all_to_many(std::move(send));
+    for (const auto& b : recv) EXPECT_TRUE(b.empty());
+  });
+}
+
+TEST_P(Collectives, AllToManyWrongSizeThrows) {
+  auto m = machine();
+  EXPECT_THROW(m.run([](Comm& c) {
+                 std::vector<std::vector<int>> send(
+                     static_cast<std::size_t>(c.size()) + 1);
+                 (void)c.all_to_many(std::move(send));
+               }),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, Collectives,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 32),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace picpar::sim

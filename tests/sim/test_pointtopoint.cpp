@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sim/comm.hpp"
+
+namespace picpar::sim {
+namespace {
+
+TEST(PointToPoint, SendRecvValue) {
+  Machine m(2, CostModel::zero());
+  m.run([](Comm& c) {
+    if (c.rank() == 0) c.send_value(1, 5, 123);
+    if (c.rank() == 1) EXPECT_EQ(c.recv_value<int>(0, 5), 123);
+  });
+}
+
+TEST(PointToPoint, VectorPayloadRoundTrips) {
+  Machine m(2, CostModel::zero());
+  m.run([](Comm& c) {
+    std::vector<double> data{1.5, -2.5, 3.25};
+    if (c.rank() == 0) c.send(1, 1, data);
+    if (c.rank() == 1) EXPECT_EQ(c.recv<double>(0, 1), data);
+  });
+}
+
+TEST(PointToPoint, EmptyMessageDelivered) {
+  Machine m(2, CostModel::zero());
+  m.run([](Comm& c) {
+    if (c.rank() == 0) c.send(1, 1, std::vector<int>{});
+    if (c.rank() == 1) EXPECT_TRUE(c.recv<int>(0, 1).empty());
+  });
+}
+
+TEST(PointToPoint, FifoOrderPerSenderAndTag) {
+  Machine m(2, CostModel::zero());
+  m.run([](Comm& c) {
+    if (c.rank() == 0)
+      for (int i = 0; i < 10; ++i) c.send_value(1, 3, i);
+    if (c.rank() == 1)
+      for (int i = 0; i < 10; ++i) EXPECT_EQ(c.recv_value<int>(0, 3), i);
+  });
+}
+
+TEST(PointToPoint, TagMatchingSkipsOtherTags) {
+  Machine m(2, CostModel::zero());
+  m.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 7, 70);
+      c.send_value(1, 8, 80);
+    }
+    if (c.rank() == 1) {
+      EXPECT_EQ(c.recv_value<int>(0, 8), 80);  // later message, earlier tag 8
+      EXPECT_EQ(c.recv_value<int>(0, 7), 70);
+    }
+  });
+}
+
+TEST(PointToPoint, AnySourceReportsActualSender) {
+  Machine m(3, CostModel::zero());
+  m.run([](Comm& c) {
+    if (c.rank() != 0) c.send_value(0, 1, c.rank());
+    if (c.rank() == 0) {
+      int seen = 0;
+      for (int i = 0; i < 2; ++i) {
+        int src = -1;
+        auto v = c.recv<int>(kAnySource, 1, &src);
+        EXPECT_EQ(v[0], src);
+        seen += src;
+      }
+      EXPECT_EQ(seen, 3);  // ranks 1 and 2
+    }
+  });
+}
+
+TEST(PointToPoint, AnyTagMatchesFirstAvailable) {
+  Machine m(2, CostModel::zero());
+  m.run([](Comm& c) {
+    if (c.rank() == 0) c.send_value(1, 99, 1);
+    if (c.rank() == 1) {
+      auto msg = c.recv_msg(0, kAnyTag);
+      EXPECT_EQ(msg.tag, 99);
+    }
+  });
+}
+
+TEST(PointToPoint, IprobeSeesPendingMessage) {
+  Machine m(2, CostModel::zero());
+  m.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 4, 0);
+      c.send_value(1, 0, 1);  // rank 1 waits on this to sequence the probe
+    }
+    if (c.rank() == 1) {
+      (void)c.recv_value<int>(0, 0);
+      EXPECT_TRUE(c.iprobe(0, 4));
+      EXPECT_FALSE(c.iprobe(0, 5));
+      (void)c.recv_value<int>(0, 4);
+      EXPECT_FALSE(c.iprobe(0, 4));
+    }
+  });
+}
+
+TEST(PointToPoint, SelfSendIsDeliverable) {
+  Machine m(1, CostModel::zero());
+  m.run([](Comm& c) {
+    c.send_value(0, 1, 42);
+    EXPECT_EQ(c.recv_value<int>(0, 1), 42);
+  });
+}
+
+TEST(PointToPoint, BadDestinationThrows) {
+  Machine m(2, CostModel::zero());
+  EXPECT_THROW(m.run([](Comm& c) { c.send_value(5, 1, 0); }),
+               std::out_of_range);
+}
+
+TEST(Machine, DeadlockDetected) {
+  Machine m(2, CostModel::zero());
+  EXPECT_THROW(m.run([](Comm& c) { (void)c.recv_msg(); }), DeadlockError);
+}
+
+TEST(Machine, PartialDeadlockDetected) {
+  // Rank 0 finishes; rank 1 waits forever.
+  Machine m(2, CostModel::zero());
+  EXPECT_THROW(m.run([](Comm& c) {
+                 if (c.rank() == 1) (void)c.recv_msg(0, 1);
+               }),
+               DeadlockError);
+}
+
+TEST(Machine, RankExceptionPropagates) {
+  Machine m(4, CostModel::zero());
+  EXPECT_THROW(m.run([](Comm& c) {
+                 if (c.rank() == 2) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+}
+
+TEST(Machine, ZeroRanksRejected) {
+  EXPECT_THROW(Machine(0, CostModel::zero()), std::invalid_argument);
+}
+
+TEST(Machine, ReusableForSequentialRuns) {
+  Machine m(3, CostModel::zero());
+  for (int round = 0; round < 3; ++round) {
+    auto res = m.run([](Comm& c) { c.barrier(); });
+    EXPECT_EQ(res.ranks.size(), 3u);
+  }
+}
+
+TEST(Machine, RunReturnsPerRankReports) {
+  Machine m(4, CostModel::zero());
+  auto res = m.run([](Comm& c) { c.charge(1.0 * (c.rank() + 1)); });
+  ASSERT_EQ(res.ranks.size(), 4u);
+  EXPECT_DOUBLE_EQ(res.makespan(), 4.0);
+  EXPECT_DOUBLE_EQ(res.max_compute(), 4.0);
+  EXPECT_DOUBLE_EQ(res.overhead(), 0.0);
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Machine m(8, CostModel::cm5());
+    auto res = m.run([](Comm& c) {
+      for (int i = 0; i < 5; ++i) {
+        auto v = c.allgather<int>(c.rank() * i);
+        c.charge_ops(static_cast<std::uint64_t>(v[0] + 10));
+        c.barrier();
+      }
+    });
+    return res.makespan();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace picpar::sim

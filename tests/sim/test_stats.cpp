@@ -1,0 +1,121 @@
+// Traffic accounting and phase attribution.
+#include <gtest/gtest.h>
+
+#include "sim/comm.hpp"
+
+namespace picpar::sim {
+namespace {
+
+TEST(CommStats, CountsMessagesAndBytes) {
+  Machine m(2, CostModel::zero());
+  auto res = m.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::uint8_t> payload(64, 0);
+      c.send(1, 1, payload);
+      c.send(1, 2, payload);
+    } else {
+      (void)c.recv<std::uint8_t>(0, 1);
+      (void)c.recv<std::uint8_t>(0, 2);
+    }
+  });
+  const auto s0 = res.ranks[0].stats.total();
+  const auto s1 = res.ranks[1].stats.total();
+  EXPECT_EQ(s0.msgs_sent, 2u);
+  EXPECT_EQ(s0.bytes_sent, 128u);
+  EXPECT_EQ(s1.msgs_recv, 2u);
+  EXPECT_EQ(s1.bytes_recv, 128u);
+}
+
+TEST(CommStats, PhaseAttribution) {
+  Machine m(2, CostModel::zero());
+  auto res = m.run([](Comm& c) {
+    c.set_phase(Phase::kScatter);
+    if (c.rank() == 0) c.send_value(1, 1, 7);
+    if (c.rank() == 1) (void)c.recv_value<int>(0, 1);
+    c.set_phase(Phase::kGather);
+    if (c.rank() == 1) c.send_value(0, 2, 8);
+    if (c.rank() == 0) (void)c.recv_value<int>(1, 2);
+  });
+  const auto& st0 = res.ranks[0].stats;
+  EXPECT_EQ(st0.phase(Phase::kScatter).msgs_sent, 1u);
+  EXPECT_EQ(st0.phase(Phase::kGather).msgs_recv, 1u);
+  EXPECT_EQ(st0.phase(Phase::kScatter).msgs_recv, 0u);
+}
+
+TEST(CommStats, ComputeAttribution) {
+  Machine m(1, CostModel::zero());
+  auto res = m.run([](Comm& c) {
+    c.set_phase(Phase::kPush);
+    c.charge(0.25);
+    c.set_phase(Phase::kFieldSolve);
+    c.charge(0.5);
+  });
+  const auto& st = res.ranks[0].stats;
+  EXPECT_DOUBLE_EQ(st.phase(Phase::kPush).compute_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(st.phase(Phase::kFieldSolve).compute_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(st.total().compute_seconds, 0.75);
+}
+
+TEST(CommStats, DiffIsolatesInterval) {
+  Machine m(2, CostModel::zero());
+  m.run([](Comm& c) {
+    c.set_phase(Phase::kScatter);
+    if (c.rank() == 0) {
+      c.send_value(1, 1, 1);
+      const auto snapshot = c.stats();
+      c.send_value(1, 1, 2);
+      c.send_value(1, 1, 3);
+      const auto d = c.stats().diff(snapshot).phase(Phase::kScatter);
+      EXPECT_EQ(d.msgs_sent, 2u);
+    } else {
+      for (int i = 0; i < 3; ++i) (void)c.recv_value<int>(0, 1);
+    }
+  });
+}
+
+TEST(CommStats, SummaryListsActivePhases) {
+  CommStats s;
+  s.phase(Phase::kScatter).msgs_sent = 3;
+  s.phase(Phase::kScatter).bytes_sent = 300;
+  const auto text = s.summary();
+  EXPECT_NE(text.find("scatter"), std::string::npos);
+  EXPECT_EQ(text.find("gather"), std::string::npos);
+}
+
+TEST(CommStats, PhaseNames) {
+  EXPECT_STREQ(phase_name(Phase::kScatter), "scatter");
+  EXPECT_STREQ(phase_name(Phase::kFieldSolve), "field_solve");
+  EXPECT_STREQ(phase_name(Phase::kGather), "gather");
+  EXPECT_STREQ(phase_name(Phase::kPush), "push");
+  EXPECT_STREQ(phase_name(Phase::kRedistribute), "redistribute");
+  EXPECT_STREQ(phase_name(Phase::kOther), "other");
+}
+
+TEST(CommStats, CommSecondsAccumulateOnSender) {
+  CostModel cm = CostModel::zero();
+  cm.tau = 1e-3;
+  Machine m(2, cm);
+  auto res = m.run([](Comm& c) {
+    if (c.rank() == 0) c.send_value(1, 1, 0);
+    if (c.rank() == 1) (void)c.recv_value<int>(0, 1);
+  });
+  EXPECT_DOUBLE_EQ(res.ranks[0].stats.total().comm_seconds, 1e-3);
+}
+
+TEST(CommStats, WaitTimeCountedAsCommOnReceiver) {
+  CostModel cm = CostModel::zero();
+  Machine m(2, cm);
+  auto res = m.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.charge(2.0);
+      c.send_value(1, 1, 0);
+    } else {
+      (void)c.recv_value<int>(0, 1);  // waits until virtual t=2.0
+    }
+  });
+  EXPECT_DOUBLE_EQ(res.ranks[1].stats.total().comm_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(res.ranks[1].clock, 2.0);
+}
+
+}  // namespace
+}  // namespace picpar::sim

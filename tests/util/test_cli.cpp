@@ -1,0 +1,111 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace picpar {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(Cli, DefaultsSurviveEmptyParse) {
+  Cli cli("t", "test");
+  auto n = cli.flag<int>("n", 5, "count");
+  auto s = cli.flag<std::string>("name", "abc", "label");
+  auto v = argv_of({});
+  cli.parse(static_cast<int>(v.size()), v.data());
+  EXPECT_EQ(*n, 5);
+  EXPECT_EQ(*s, "abc");
+}
+
+TEST(Cli, ParsesSeparateValue) {
+  Cli cli("t", "test");
+  auto n = cli.flag<int>("n", 0, "count");
+  auto v = argv_of({"--n", "42"});
+  cli.parse(static_cast<int>(v.size()), v.data());
+  EXPECT_EQ(*n, 42);
+}
+
+TEST(Cli, ParsesEqualsSyntax) {
+  Cli cli("t", "test");
+  auto d = cli.flag<double>("x", 0.0, "value");
+  auto v = argv_of({"--x=2.5"});
+  cli.parse(static_cast<int>(v.size()), v.data());
+  EXPECT_DOUBLE_EQ(*d, 2.5);
+}
+
+TEST(Cli, BoolFlagTakesNoValue) {
+  Cli cli("t", "test");
+  auto b = cli.flag<bool>("full", false, "run full scale");
+  auto v = argv_of({"--full"});
+  cli.parse(static_cast<int>(v.size()), v.data());
+  EXPECT_TRUE(*b);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli("t", "test");
+  auto v = argv_of({"--bogus"});
+  EXPECT_THROW(cli.parse(static_cast<int>(v.size()), v.data()),
+               std::runtime_error);
+}
+
+TEST(Cli, MissingValueThrows) {
+  Cli cli("t", "test");
+  auto n = cli.flag<int>("n", 0, "count");
+  (void)n;
+  auto v = argv_of({"--n"});
+  EXPECT_THROW(cli.parse(static_cast<int>(v.size()), v.data()),
+               std::runtime_error);
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  Cli cli("t", "test");
+  auto n = cli.flag<int>("n", 0, "count");
+  (void)n;
+  auto v = argv_of({"--n", "notanumber"});
+  EXPECT_THROW(cli.parse(static_cast<int>(v.size()), v.data()),
+               std::runtime_error);
+}
+
+TEST(Cli, PositionalArgumentThrows) {
+  Cli cli("t", "test");
+  auto v = argv_of({"stray"});
+  EXPECT_THROW(cli.parse(static_cast<int>(v.size()), v.data()),
+               std::runtime_error);
+}
+
+TEST(Cli, MultipleFlagsAnyOrder) {
+  Cli cli("t", "test");
+  auto a = cli.flag<int>("a", 0, "");
+  auto b = cli.flag<std::string>("b", "", "");
+  auto c = cli.flag<bool>("c", false, "");
+  auto v = argv_of({"--b", "hello", "--c", "--a=7"});
+  cli.parse(static_cast<int>(v.size()), v.data());
+  EXPECT_EQ(*a, 7);
+  EXPECT_EQ(*b, "hello");
+  EXPECT_TRUE(*c);
+}
+
+TEST(Cli, UsageListsFlagsAndDefaults) {
+  Cli cli("prog", "does things");
+  auto n = cli.flag<int>("iters", 200, "iteration count");
+  (void)n;
+  const auto u = cli.usage();
+  EXPECT_NE(u.find("--iters"), std::string::npos);
+  EXPECT_NE(u.find("200"), std::string::npos);
+  EXPECT_NE(u.find("does things"), std::string::npos);
+}
+
+TEST(Cli, LastValueWins) {
+  Cli cli("t", "test");
+  auto n = cli.flag<int>("n", 0, "");
+  auto v = argv_of({"--n", "1", "--n", "2"});
+  cli.parse(static_cast<int>(v.size()), v.data());
+  EXPECT_EQ(*n, 2);
+}
+
+}  // namespace
+}  // namespace picpar

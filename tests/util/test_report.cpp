@@ -1,0 +1,97 @@
+#include "util/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace picpar {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream f(p);
+  return std::string(std::istreambuf_iterator<char>(f), {});
+}
+
+class ReportIo : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("picpar_report_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(ReportIo, WritesSeriesDatFiles) {
+  Report r("fig_test");
+  r.add_series("static", {0, 1, 2}, {1.0, 2.0, 4.0});
+  r.add_series("periodic", {0, 1, 2}, {1.0, 1.1, 1.2});
+  r.write(dir_.string());
+  const auto base = dir_ / "fig_test";
+  ASSERT_TRUE(fs::exists(base / "static.dat"));
+  ASSERT_TRUE(fs::exists(base / "periodic.dat"));
+  const auto text = slurp(base / "static.dat");
+  EXPECT_NE(text.find("0 1"), std::string::npos);
+  EXPECT_NE(text.find("2 4"), std::string::npos);
+}
+
+TEST_F(ReportIo, WritesGnuplotScript) {
+  Report r("fig_test");
+  r.add_series("curve a", {0}, {1});
+  r.set_axis_labels("iteration", "seconds");
+  r.write(dir_.string());
+  const auto gp = slurp(dir_ / "fig_test" / "fig_test.gp");
+  EXPECT_NE(gp.find("set xlabel 'iteration'"), std::string::npos);
+  EXPECT_NE(gp.find("set ylabel 'seconds'"), std::string::npos);
+  EXPECT_NE(gp.find("curve_a.dat"), std::string::npos);
+  EXPECT_NE(gp.find("title 'curve a'"), std::string::npos);
+}
+
+TEST_F(ReportIo, WritesCsvTables) {
+  Report r("tbl");
+  Table t({"a", "b"});
+  t.row().add("1").add("2");
+  r.add_table("results", std::move(t));
+  r.write(dir_.string());
+  EXPECT_EQ(slurp(dir_ / "tbl" / "results.csv"), "a,b\n1,2\n");
+}
+
+TEST_F(ReportIo, SanitizesAwkwardNames) {
+  Report r("fig 16: static/periodic");
+  r.add_series("p=32 (s)", {0}, {1});
+  r.write(dir_.string());
+  EXPECT_TRUE(fs::exists(dir_ / "fig_16__static_periodic"));
+  EXPECT_TRUE(
+      fs::exists(dir_ / "fig_16__static_periodic" / "p_32__s_.dat"));
+}
+
+TEST(Report, RejectsMismatchedSeries) {
+  Report r("x");
+  EXPECT_THROW(r.add_series("bad", {1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(Report, RejectsEmptyName) {
+  EXPECT_THROW(Report(""), std::invalid_argument);
+}
+
+TEST(Report, ScriptWithoutSeriesIsValid) {
+  Report r("empty");
+  const auto gp = r.gnuplot_script();
+  EXPECT_NE(gp.find("(no series)"), std::string::npos);
+}
+
+TEST(Report, CountsAreTracked) {
+  Report r("c");
+  r.add_series("s", {}, {});
+  Table t({"h"});
+  r.add_table("t", std::move(t));
+  EXPECT_EQ(r.series_count(), 1u);
+  EXPECT_EQ(r.table_count(), 1u);
+}
+
+}  // namespace
+}  // namespace picpar

@@ -1,0 +1,110 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace picpar {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(5);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMomentsMatchStandardNormal) {
+  Rng r(13);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaleAndShift) {
+  Rng r(17);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 0.5);
+  EXPECT_NEAR(sum / n, 10.0, 0.02);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace picpar

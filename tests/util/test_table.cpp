@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace picpar {
+namespace {
+
+TEST(Table, HeaderAppearsInAscii) {
+  Table t({"alpha", "beta"});
+  const auto s = t.ascii();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+}
+
+TEST(Table, CellsRoundTrip) {
+  Table t({"a", "b"});
+  t.row().add("x").add(std::size_t{42});
+  t.row().add(3.14159, 2).add("y");
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cell(0, 0), "x");
+  EXPECT_EQ(t.cell(0, 1), "42");
+  EXPECT_EQ(t.cell(1, 0), "3.14");
+  EXPECT_EQ(t.cell(1, 1), "y");
+}
+
+TEST(Table, AddWithoutRowStartsOne) {
+  Table t({"a"});
+  t.add("implicit");
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cell(0, 0), "implicit");
+}
+
+TEST(Table, TitleShownWhenSet) {
+  Table t({"a"});
+  t.set_title("My Table");
+  EXPECT_NE(t.ascii().find("My Table"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"h"});
+  t.row().add("wide-cell-content");
+  const auto s = t.ascii();
+  // Every data row line must be at least as wide as the widest cell + frame.
+  std::istringstream is(s);
+  std::string line;
+  std::size_t minw = 1000;
+  while (std::getline(is, line))
+    if (!line.empty()) minw = std::min(minw, line.size());
+  EXPECT_GE(minw, std::string("wide-cell-content").size());
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"a", "b"});
+  t.row().add("1").add("2");
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvQuotesCommasAndQuotes) {
+  Table t({"a"});
+  t.row().add("x,y");
+  t.row().add("he said \"hi\"");
+  const auto csv = t.csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, NegativeAndIntegerFormats) {
+  Table t({"v"});
+  t.row().add(-5);
+  t.row().add(static_cast<long long>(1) << 40);
+  EXPECT_EQ(t.cell(0, 0), "-5");
+  EXPECT_EQ(t.cell(1, 0), std::to_string(1LL << 40));
+}
+
+TEST(PrintSeries, EmitsAllPoints) {
+  std::ostringstream os;
+  print_series(os, "curve", {1.0, 2.0}, {10.0, 20.0});
+  const auto s = os.str();
+  EXPECT_NE(s.find("# series: curve"), std::string::npos);
+  EXPECT_NE(s.find("1 10"), std::string::npos);
+  EXPECT_NE(s.find("2 20"), std::string::npos);
+}
+
+TEST(PrintSeries, MismatchedLengthsThrow) {
+  std::ostringstream os;
+  EXPECT_THROW(print_series(os, "bad", {1.0}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace picpar
