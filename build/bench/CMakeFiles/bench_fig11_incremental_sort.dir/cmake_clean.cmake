@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_incremental_sort.dir/bench_fig11_incremental_sort.cpp.o"
+  "CMakeFiles/bench_fig11_incremental_sort.dir/bench_fig11_incremental_sort.cpp.o.d"
+  "bench_fig11_incremental_sort"
+  "bench_fig11_incremental_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_incremental_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_static_vs_periodic.dir/bench_fig16_static_vs_periodic.cpp.o"
+  "CMakeFiles/bench_fig16_static_vs_periodic.dir/bench_fig16_static_vs_periodic.cpp.o.d"
+  "bench_fig16_static_vs_periodic"
+  "bench_fig16_static_vs_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_static_vs_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig21_overhead_uniform.cpp" "bench/CMakeFiles/bench_fig21_overhead_uniform.dir/bench_fig21_overhead_uniform.cpp.o" "gcc" "bench/CMakeFiles/bench_fig21_overhead_uniform.dir/bench_fig21_overhead_uniform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pic/CMakeFiles/picpar_pic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/picpar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/particles/CMakeFiles/picpar_particles.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/picpar_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/picpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/picpar_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/picpar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

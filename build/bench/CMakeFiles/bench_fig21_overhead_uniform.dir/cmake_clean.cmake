@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_overhead_uniform.dir/bench_fig21_overhead_uniform.cpp.o"
+  "CMakeFiles/bench_fig21_overhead_uniform.dir/bench_fig21_overhead_uniform.cpp.o.d"
+  "bench_fig21_overhead_uniform"
+  "bench_fig21_overhead_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_overhead_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

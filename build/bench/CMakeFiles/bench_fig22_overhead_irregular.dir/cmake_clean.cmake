@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_overhead_irregular.dir/bench_fig22_overhead_irregular.cpp.o"
+  "CMakeFiles/bench_fig22_overhead_irregular.dir/bench_fig22_overhead_irregular.cpp.o.d"
+  "bench_fig22_overhead_irregular"
+  "bench_fig22_overhead_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_overhead_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

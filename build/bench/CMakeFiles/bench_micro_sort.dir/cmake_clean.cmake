@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_sort.dir/bench_micro_sort.cpp.o"
+  "CMakeFiles/bench_micro_sort.dir/bench_micro_sort.cpp.o.d"
+  "bench_micro_sort"
+  "bench_micro_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

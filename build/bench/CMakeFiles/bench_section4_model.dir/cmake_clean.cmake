@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section4_model.dir/bench_section4_model.cpp.o"
+  "CMakeFiles/bench_section4_model.dir/bench_section4_model.cpp.o.d"
+  "bench_section4_model"
+  "bench_section4_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section4_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

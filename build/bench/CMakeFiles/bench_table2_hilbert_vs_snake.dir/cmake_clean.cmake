@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hilbert_vs_snake.dir/bench_table2_hilbert_vs_snake.cpp.o"
+  "CMakeFiles/bench_table2_hilbert_vs_snake.dir/bench_table2_hilbert_vs_snake.cpp.o.d"
+  "bench_table2_hilbert_vs_snake"
+  "bench_table2_hilbert_vs_snake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hilbert_vs_snake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_hilbert_vs_snake.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curve_playground.dir/curve_playground.cpp.o"
+  "CMakeFiles/curve_playground.dir/curve_playground.cpp.o.d"
+  "curve_playground"
+  "curve_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curve_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

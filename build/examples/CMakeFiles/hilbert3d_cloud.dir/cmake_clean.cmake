@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilbert3d_cloud.dir/hilbert3d_cloud.cpp.o"
+  "CMakeFiles/hilbert3d_cloud.dir/hilbert3d_cloud.cpp.o.d"
+  "hilbert3d_cloud"
+  "hilbert3d_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilbert3d_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

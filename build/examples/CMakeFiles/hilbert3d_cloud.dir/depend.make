@@ -1,0 +1,2 @@
+# Empty dependencies file for hilbert3d_cloud.
+# This may be replaced when dependencies are built.

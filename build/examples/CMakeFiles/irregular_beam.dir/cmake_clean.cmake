@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_beam.dir/irregular_beam.cpp.o"
+  "CMakeFiles/irregular_beam.dir/irregular_beam.cpp.o.d"
+  "irregular_beam"
+  "irregular_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ghost_exchange.cpp" "src/core/CMakeFiles/picpar_core.dir/ghost_exchange.cpp.o" "gcc" "src/core/CMakeFiles/picpar_core.dir/ghost_exchange.cpp.o.d"
+  "/root/repo/src/core/indexing.cpp" "src/core/CMakeFiles/picpar_core.dir/indexing.cpp.o" "gcc" "src/core/CMakeFiles/picpar_core.dir/indexing.cpp.o.d"
+  "/root/repo/src/core/load_balance.cpp" "src/core/CMakeFiles/picpar_core.dir/load_balance.cpp.o" "gcc" "src/core/CMakeFiles/picpar_core.dir/load_balance.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/core/CMakeFiles/picpar_core.dir/partitioner.cpp.o" "gcc" "src/core/CMakeFiles/picpar_core.dir/partitioner.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/picpar_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/picpar_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/sort_util.cpp" "src/core/CMakeFiles/picpar_core.dir/sort_util.cpp.o" "gcc" "src/core/CMakeFiles/picpar_core.dir/sort_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/picpar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/picpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/picpar_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/picpar_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/particles/CMakeFiles/picpar_particles.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

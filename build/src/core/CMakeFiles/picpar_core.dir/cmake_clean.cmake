@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picpar_core.dir/ghost_exchange.cpp.o"
+  "CMakeFiles/picpar_core.dir/ghost_exchange.cpp.o.d"
+  "CMakeFiles/picpar_core.dir/indexing.cpp.o"
+  "CMakeFiles/picpar_core.dir/indexing.cpp.o.d"
+  "CMakeFiles/picpar_core.dir/load_balance.cpp.o"
+  "CMakeFiles/picpar_core.dir/load_balance.cpp.o.d"
+  "CMakeFiles/picpar_core.dir/partitioner.cpp.o"
+  "CMakeFiles/picpar_core.dir/partitioner.cpp.o.d"
+  "CMakeFiles/picpar_core.dir/policy.cpp.o"
+  "CMakeFiles/picpar_core.dir/policy.cpp.o.d"
+  "CMakeFiles/picpar_core.dir/sort_util.cpp.o"
+  "CMakeFiles/picpar_core.dir/sort_util.cpp.o.d"
+  "libpicpar_core.a"
+  "libpicpar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picpar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/local_grid.cpp" "src/mesh/CMakeFiles/picpar_mesh.dir/local_grid.cpp.o" "gcc" "src/mesh/CMakeFiles/picpar_mesh.dir/local_grid.cpp.o.d"
+  "/root/repo/src/mesh/maxwell.cpp" "src/mesh/CMakeFiles/picpar_mesh.dir/maxwell.cpp.o" "gcc" "src/mesh/CMakeFiles/picpar_mesh.dir/maxwell.cpp.o.d"
+  "/root/repo/src/mesh/partition.cpp" "src/mesh/CMakeFiles/picpar_mesh.dir/partition.cpp.o" "gcc" "src/mesh/CMakeFiles/picpar_mesh.dir/partition.cpp.o.d"
+  "/root/repo/src/mesh/poisson.cpp" "src/mesh/CMakeFiles/picpar_mesh.dir/poisson.cpp.o" "gcc" "src/mesh/CMakeFiles/picpar_mesh.dir/poisson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/picpar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/picpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/picpar_sfc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picpar_mesh.dir/local_grid.cpp.o"
+  "CMakeFiles/picpar_mesh.dir/local_grid.cpp.o.d"
+  "CMakeFiles/picpar_mesh.dir/maxwell.cpp.o"
+  "CMakeFiles/picpar_mesh.dir/maxwell.cpp.o.d"
+  "CMakeFiles/picpar_mesh.dir/partition.cpp.o"
+  "CMakeFiles/picpar_mesh.dir/partition.cpp.o.d"
+  "CMakeFiles/picpar_mesh.dir/poisson.cpp.o"
+  "CMakeFiles/picpar_mesh.dir/poisson.cpp.o.d"
+  "libpicpar_mesh.a"
+  "libpicpar_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picpar_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/particles/init.cpp" "src/particles/CMakeFiles/picpar_particles.dir/init.cpp.o" "gcc" "src/particles/CMakeFiles/picpar_particles.dir/init.cpp.o.d"
+  "/root/repo/src/particles/io.cpp" "src/particles/CMakeFiles/picpar_particles.dir/io.cpp.o" "gcc" "src/particles/CMakeFiles/picpar_particles.dir/io.cpp.o.d"
+  "/root/repo/src/particles/particle_array.cpp" "src/particles/CMakeFiles/picpar_particles.dir/particle_array.cpp.o" "gcc" "src/particles/CMakeFiles/picpar_particles.dir/particle_array.cpp.o.d"
+  "/root/repo/src/particles/pusher.cpp" "src/particles/CMakeFiles/picpar_particles.dir/pusher.cpp.o" "gcc" "src/particles/CMakeFiles/picpar_particles.dir/pusher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/picpar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/picpar_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/picpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/picpar_sfc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

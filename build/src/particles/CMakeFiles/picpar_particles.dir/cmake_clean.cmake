@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picpar_particles.dir/init.cpp.o"
+  "CMakeFiles/picpar_particles.dir/init.cpp.o.d"
+  "CMakeFiles/picpar_particles.dir/io.cpp.o"
+  "CMakeFiles/picpar_particles.dir/io.cpp.o.d"
+  "CMakeFiles/picpar_particles.dir/particle_array.cpp.o"
+  "CMakeFiles/picpar_particles.dir/particle_array.cpp.o.d"
+  "CMakeFiles/picpar_particles.dir/pusher.cpp.o"
+  "CMakeFiles/picpar_particles.dir/pusher.cpp.o.d"
+  "libpicpar_particles.a"
+  "libpicpar_particles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picpar_particles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

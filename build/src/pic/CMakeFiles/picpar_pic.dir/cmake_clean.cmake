@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picpar_pic.dir/eulerian.cpp.o"
+  "CMakeFiles/picpar_pic.dir/eulerian.cpp.o.d"
+  "CMakeFiles/picpar_pic.dir/model.cpp.o"
+  "CMakeFiles/picpar_pic.dir/model.cpp.o.d"
+  "CMakeFiles/picpar_pic.dir/replicated.cpp.o"
+  "CMakeFiles/picpar_pic.dir/replicated.cpp.o.d"
+  "CMakeFiles/picpar_pic.dir/simulation.cpp.o"
+  "CMakeFiles/picpar_pic.dir/simulation.cpp.o.d"
+  "libpicpar_pic.a"
+  "libpicpar_pic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picpar_pic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

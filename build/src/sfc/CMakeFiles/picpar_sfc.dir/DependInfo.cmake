@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfc/factory.cpp" "src/sfc/CMakeFiles/picpar_sfc.dir/factory.cpp.o" "gcc" "src/sfc/CMakeFiles/picpar_sfc.dir/factory.cpp.o.d"
+  "/root/repo/src/sfc/hilbert.cpp" "src/sfc/CMakeFiles/picpar_sfc.dir/hilbert.cpp.o" "gcc" "src/sfc/CMakeFiles/picpar_sfc.dir/hilbert.cpp.o.d"
+  "/root/repo/src/sfc/locality.cpp" "src/sfc/CMakeFiles/picpar_sfc.dir/locality.cpp.o" "gcc" "src/sfc/CMakeFiles/picpar_sfc.dir/locality.cpp.o.d"
+  "/root/repo/src/sfc/simple_curves.cpp" "src/sfc/CMakeFiles/picpar_sfc.dir/simple_curves.cpp.o" "gcc" "src/sfc/CMakeFiles/picpar_sfc.dir/simple_curves.cpp.o.d"
+  "/root/repo/src/sfc/skilling.cpp" "src/sfc/CMakeFiles/picpar_sfc.dir/skilling.cpp.o" "gcc" "src/sfc/CMakeFiles/picpar_sfc.dir/skilling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/picpar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picpar_sfc.dir/factory.cpp.o"
+  "CMakeFiles/picpar_sfc.dir/factory.cpp.o.d"
+  "CMakeFiles/picpar_sfc.dir/hilbert.cpp.o"
+  "CMakeFiles/picpar_sfc.dir/hilbert.cpp.o.d"
+  "CMakeFiles/picpar_sfc.dir/locality.cpp.o"
+  "CMakeFiles/picpar_sfc.dir/locality.cpp.o.d"
+  "CMakeFiles/picpar_sfc.dir/simple_curves.cpp.o"
+  "CMakeFiles/picpar_sfc.dir/simple_curves.cpp.o.d"
+  "CMakeFiles/picpar_sfc.dir/skilling.cpp.o"
+  "CMakeFiles/picpar_sfc.dir/skilling.cpp.o.d"
+  "libpicpar_sfc.a"
+  "libpicpar_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picpar_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picpar_sim.dir/comm.cpp.o"
+  "CMakeFiles/picpar_sim.dir/comm.cpp.o.d"
+  "CMakeFiles/picpar_sim.dir/comm_stats.cpp.o"
+  "CMakeFiles/picpar_sim.dir/comm_stats.cpp.o.d"
+  "CMakeFiles/picpar_sim.dir/machine.cpp.o"
+  "CMakeFiles/picpar_sim.dir/machine.cpp.o.d"
+  "libpicpar_sim.a"
+  "libpicpar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picpar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picpar_util.dir/cli.cpp.o"
+  "CMakeFiles/picpar_util.dir/cli.cpp.o.d"
+  "CMakeFiles/picpar_util.dir/log.cpp.o"
+  "CMakeFiles/picpar_util.dir/log.cpp.o.d"
+  "CMakeFiles/picpar_util.dir/report.cpp.o"
+  "CMakeFiles/picpar_util.dir/report.cpp.o.d"
+  "CMakeFiles/picpar_util.dir/rng.cpp.o"
+  "CMakeFiles/picpar_util.dir/rng.cpp.o.d"
+  "CMakeFiles/picpar_util.dir/stats.cpp.o"
+  "CMakeFiles/picpar_util.dir/stats.cpp.o.d"
+  "CMakeFiles/picpar_util.dir/table.cpp.o"
+  "CMakeFiles/picpar_util.dir/table.cpp.o.d"
+  "libpicpar_util.a"
+  "libpicpar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picpar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

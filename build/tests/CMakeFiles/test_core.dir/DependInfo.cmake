@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_equivalence.cpp" "tests/CMakeFiles/test_core.dir/core/test_equivalence.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_equivalence.cpp.o.d"
+  "/root/repo/tests/core/test_ghost_exchange.cpp" "tests/CMakeFiles/test_core.dir/core/test_ghost_exchange.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ghost_exchange.cpp.o.d"
+  "/root/repo/tests/core/test_indexing.cpp" "tests/CMakeFiles/test_core.dir/core/test_indexing.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_indexing.cpp.o.d"
+  "/root/repo/tests/core/test_load_balance.cpp" "tests/CMakeFiles/test_core.dir/core/test_load_balance.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_load_balance.cpp.o.d"
+  "/root/repo/tests/core/test_partitioner.cpp" "tests/CMakeFiles/test_core.dir/core/test_partitioner.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_partitioner.cpp.o.d"
+  "/root/repo/tests/core/test_policy.cpp" "tests/CMakeFiles/test_core.dir/core/test_policy.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_policy.cpp.o.d"
+  "/root/repo/tests/core/test_sort_util.cpp" "tests/CMakeFiles/test_core.dir/core/test_sort_util.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sort_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/picpar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/picpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/picpar_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/picpar_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/particles/CMakeFiles/picpar_particles.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/picpar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pic/CMakeFiles/picpar_pic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_equivalence.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_equivalence.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ghost_exchange.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ghost_exchange.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_indexing.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_indexing.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_load_balance.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_load_balance.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_partitioner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_partitioner.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_policy.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_policy.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_sort_util.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_sort_util.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mesh/test_grid.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_grid.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_grid.cpp.o.d"
+  "/root/repo/tests/mesh/test_local_grid.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_local_grid.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_local_grid.cpp.o.d"
+  "/root/repo/tests/mesh/test_partition.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_partition.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_partition.cpp.o.d"
+  "/root/repo/tests/mesh/test_solvers.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_solvers.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_solvers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/picpar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/picpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/picpar_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/picpar_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/particles/CMakeFiles/picpar_particles.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/picpar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pic/CMakeFiles/picpar_pic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh.dir/mesh/test_grid.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_grid.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_local_grid.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_local_grid.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_partition.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_partition.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_solvers.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_solvers.cpp.o.d"
+  "test_mesh"
+  "test_mesh.pdb"
+  "test_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

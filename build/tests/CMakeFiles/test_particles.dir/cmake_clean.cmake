@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_particles.dir/particles/test_init.cpp.o"
+  "CMakeFiles/test_particles.dir/particles/test_init.cpp.o.d"
+  "CMakeFiles/test_particles.dir/particles/test_io.cpp.o"
+  "CMakeFiles/test_particles.dir/particles/test_io.cpp.o.d"
+  "CMakeFiles/test_particles.dir/particles/test_particle_array.cpp.o"
+  "CMakeFiles/test_particles.dir/particles/test_particle_array.cpp.o.d"
+  "CMakeFiles/test_particles.dir/particles/test_pusher.cpp.o"
+  "CMakeFiles/test_particles.dir/particles/test_pusher.cpp.o.d"
+  "test_particles"
+  "test_particles.pdb"
+  "test_particles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_particles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

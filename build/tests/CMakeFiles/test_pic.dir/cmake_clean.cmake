@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pic.dir/pic/test_baselines.cpp.o"
+  "CMakeFiles/test_pic.dir/pic/test_baselines.cpp.o.d"
+  "CMakeFiles/test_pic.dir/pic/test_model.cpp.o"
+  "CMakeFiles/test_pic.dir/pic/test_model.cpp.o.d"
+  "CMakeFiles/test_pic.dir/pic/test_physics.cpp.o"
+  "CMakeFiles/test_pic.dir/pic/test_physics.cpp.o.d"
+  "CMakeFiles/test_pic.dir/pic/test_sampling.cpp.o"
+  "CMakeFiles/test_pic.dir/pic/test_sampling.cpp.o.d"
+  "CMakeFiles/test_pic.dir/pic/test_simulation.cpp.o"
+  "CMakeFiles/test_pic.dir/pic/test_simulation.cpp.o.d"
+  "test_pic"
+  "test_pic.pdb"
+  "test_pic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

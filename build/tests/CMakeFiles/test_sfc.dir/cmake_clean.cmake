@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sfc.dir/sfc/test_hilbert.cpp.o"
+  "CMakeFiles/test_sfc.dir/sfc/test_hilbert.cpp.o.d"
+  "CMakeFiles/test_sfc.dir/sfc/test_locality.cpp.o"
+  "CMakeFiles/test_sfc.dir/sfc/test_locality.cpp.o.d"
+  "CMakeFiles/test_sfc.dir/sfc/test_simple_curves.cpp.o"
+  "CMakeFiles/test_sfc.dir/sfc/test_simple_curves.cpp.o.d"
+  "CMakeFiles/test_sfc.dir/sfc/test_skilling.cpp.o"
+  "CMakeFiles/test_sfc.dir/sfc/test_skilling.cpp.o.d"
+  "test_sfc"
+  "test_sfc.pdb"
+  "test_sfc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
