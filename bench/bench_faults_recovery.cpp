@@ -1,0 +1,83 @@
+// Robustness sweep beyond the paper: how the adaptive machinery behaves on
+// an unreliable machine. Sweeps wire-fault intensity (corruption +
+// duplication + jitter) and memory-fault rate across decision rules,
+// reporting makespan, overhead, transport recovery traffic and
+// checkpoint rollbacks. The zero-fault row doubles as the baseline: with
+// the model disabled the run is bit-identical to a build without the
+// fault subsystem.
+#include "common.hpp"
+#include "pic/simulation.hpp"
+
+using namespace picpar;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_faults_recovery",
+          "Fault injection and recovery across decision rules");
+  auto ranks = cli.flag<int>("ranks", 32, "simulated processors");
+  const auto scale = bench::parse_scale(cli, argc, argv);
+  const int iters = scale.full ? 400 : 100;
+  const std::uint64_t n = scale.particles(32768);
+
+  bench::print_header(
+      "Robustness — fault injection and recovery",
+      std::to_string(iters) + " iterations, irregular blob, " +
+          std::to_string(*ranks) + " ranks; wire faults recovered by the "
+          "transport, memory faults by checkpoint rollback");
+
+  struct FaultLevel {
+    const char* label;
+    double wire;    // corrupt/duplicate probability per message
+    double memory;  // bit-flip probability per rank per iteration
+  };
+  const FaultLevel levels[] = {
+      {"none", 0.0, 0.0},
+      {"wire:1%", 0.01, 0.0},
+      {"wire:5%", 0.05, 0.0},
+      {"wire:5%+mem", 0.05, 0.02},
+  };
+  const std::vector<std::string> policies = {"static", "periodic:25", "sar"};
+
+  Table table({"faults", "policy", "total (s)", "overhead (s)", "retries",
+               "dup drops", "rollbacks", "particles ok"});
+  table.set_title("Makespan and recovery work by fault level and policy");
+
+  for (const auto& level : levels) {
+    for (const auto& policy : policies) {
+      auto params = bench::paper_params("irregular", 128, 64, n, *ranks);
+      params.iterations = iters;
+      params.policy = policy;
+      params.init.drift_ux = 0.12;
+      params.init.drift_uy = 0.07;
+      params.faults.corrupt_prob = level.wire;
+      params.faults.duplicate_prob = level.wire;
+      params.faults.latency_jitter_prob = level.wire;
+      params.faults.latency_jitter_max_seconds = 1e-4;
+      params.faults.max_retries = 20;
+      params.faults.memory_fault_prob = level.memory;
+      if (level.memory > 0.0) {
+        params.validate.check_every = 1;
+        params.validate.checkpoint_every = 1;
+      }
+
+      const auto r = pic::run_pic(params);
+      const auto t = r.machine.transport_total();
+      table.row()
+          .add(level.label)
+          .add(policy)
+          .add(r.total_seconds, 2)
+          .add(r.overhead_seconds(), 2)
+          .add(t.retries)
+          .add(t.dup_discards)
+          .add(r.recoveries)
+          .add(r.final_particles == r.initial_particles ? "yes" : "NO");
+      std::cout << "." << std::flush;
+    }
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nExpected: recovery work grows with the fault rate while "
+               "'particles ok' stays yes everywhere; sar keeps its edge over "
+               "static under faults, paying only virtual-time overhead for "
+               "retransmits and rollbacks.\n";
+  return 0;
+}

@@ -17,12 +17,27 @@ std::string PeriodicPolicy::name() const {
   return "periodic:" + std::to_string(period_);
 }
 
+SarPolicy::SarPolicy(int confirmations) : confirmations_(confirmations) {
+  if (confirmations <= 0)
+    throw std::invalid_argument("SarPolicy: confirmations must be > 0");
+}
+
 bool SarPolicy::should_redistribute(int iter, double iter_seconds) {
+  // Fault-induced noise can hand us garbage timings; a negative or NaN
+  // sample is treated as zero rather than poisoning the state.
+  if (!(iter_seconds >= 0.0)) iter_seconds = 0.0;
   if (base_iter_seconds_ < 0.0) {
     // First iteration since the last redistribution defines t0.
     base_iter_seconds_ = iter_seconds;
+    consecutive_ = 0;
     return false;
   }
+  // t0 is the *minimum* iteration time since the last redistribution. If
+  // the first post-redistribution iteration happened to be slow (straggler
+  // hiccup), every later t1 would sit below it and Eq. 1's left side would
+  // go negative — silently disabling SAR for the rest of the epoch. Adopt
+  // the lower time as the new baseline instead.
+  if (iter_seconds < base_iter_seconds_) base_iter_seconds_ = iter_seconds;
   if (redist_cost_ < 0.0) {
     // No cost estimate yet (initial distribution was not timed as a
     // redistribution): stay conservative until notified once.
@@ -31,51 +46,83 @@ bool SarPolicy::should_redistribute(int iter, double iter_seconds) {
   const double t0 = base_iter_seconds_;
   const double t1 = iter_seconds;
   const int i0 = last_redist_iter_;
-  const double expected_saving =
-      (t1 - t0) * static_cast<double>(iter - i0);
-  return expected_saving >= redist_cost_;
+  const double expected_saving = (t1 - t0) * static_cast<double>(iter - i0);
+  if (expected_saving >= redist_cost_) {
+    if (++consecutive_ >= confirmations_) return true;
+  } else {
+    consecutive_ = 0;
+  }
+  return false;
 }
 
 void SarPolicy::notify_redistribution(int iter, double redist_seconds) {
   last_redist_iter_ = iter;
   redist_cost_ = redist_seconds;
   base_iter_seconds_ = -1.0;  // next iteration re-establishes t0
+  consecutive_ = 0;
 }
 
-ThresholdPolicy::ThresholdPolicy(double factor) : factor_(factor) {
+std::string SarPolicy::name() const {
+  return confirmations_ == 1 ? "sar" : "sar:" + std::to_string(confirmations_);
+}
+
+ThresholdPolicy::ThresholdPolicy(double factor, int confirmations)
+    : factor_(factor), confirmations_(confirmations) {
   if (factor <= 1.0)
     throw std::invalid_argument("ThresholdPolicy: factor must be > 1");
+  if (confirmations <= 0)
+    throw std::invalid_argument("ThresholdPolicy: confirmations must be > 0");
 }
 
 bool ThresholdPolicy::should_redistribute(int, double iter_seconds) {
+  if (!(iter_seconds >= 0.0)) iter_seconds = 0.0;
   if (base_iter_seconds_ < 0.0) {
     base_iter_seconds_ = iter_seconds;
+    consecutive_ = 0;
     return false;
   }
-  return iter_seconds > factor_ * base_iter_seconds_;
+  if (iter_seconds < base_iter_seconds_) base_iter_seconds_ = iter_seconds;
+  if (iter_seconds > factor_ * base_iter_seconds_) {
+    if (++consecutive_ >= confirmations_) return true;
+  } else {
+    consecutive_ = 0;
+  }
+  return false;
 }
 
 void ThresholdPolicy::notify_redistribution(int, double) {
   base_iter_seconds_ = -1.0;
+  consecutive_ = 0;
 }
 
 std::string ThresholdPolicy::name() const {
   std::string f = std::to_string(factor_);
   f.erase(f.find_last_not_of('0') + 1);
   if (!f.empty() && f.back() == '.') f.pop_back();
-  return "threshold:" + f;
+  std::string n = "threshold:" + f;
+  if (confirmations_ != 1) n += ":" + std::to_string(confirmations_);
+  return n;
 }
 
 std::unique_ptr<RedistributionPolicy> make_policy(const std::string& spec) {
   if (spec == "static") return std::make_unique<StaticPolicy>();
   if (spec == "sar" || spec == "dynamic") return std::make_unique<SarPolicy>();
+  if (spec.rfind("sar:", 0) == 0) {
+    const int c = std::stoi(spec.substr(4));
+    return std::make_unique<SarPolicy>(c);
+  }
   if (spec.rfind("periodic:", 0) == 0) {
     const int k = std::stoi(spec.substr(9));
     return std::make_unique<PeriodicPolicy>(k);
   }
   if (spec.rfind("threshold:", 0) == 0) {
-    const double f = std::stod(spec.substr(10));
-    return std::make_unique<ThresholdPolicy>(f);
+    const std::string rest = spec.substr(10);
+    const auto colon = rest.find(':');
+    const double f = std::stod(rest.substr(0, colon));
+    const int c = colon == std::string::npos
+                      ? 1
+                      : std::stoi(rest.substr(colon + 1));
+    return std::make_unique<ThresholdPolicy>(f, c);
   }
   throw std::invalid_argument("unknown policy spec: " + spec);
 }

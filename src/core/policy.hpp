@@ -52,17 +52,27 @@ private:
 
 class SarPolicy final : public RedistributionPolicy {
 public:
-  SarPolicy() = default;
+  /// `confirmations` hardens the rule against fault-induced timing noise:
+  /// Eq. 1 must hold on that many consecutive iterations before the policy
+  /// fires. 1 (the default) is the paper's behaviour — a single spike can
+  /// trigger. Independently of this, the baseline t0 tracks the *minimum*
+  /// iteration time seen since the last redistribution, so a noisy
+  /// (non-monotonic) first sample can neither disable SAR (negative
+  /// t1 - t0 is clamped via the min) nor inflate the trigger threshold.
+  explicit SarPolicy(int confirmations = 1);
 
   bool should_redistribute(int iter, double iter_seconds) override;
   void notify_redistribution(int iter, double redist_seconds) override;
-  std::string name() const override { return "sar"; }
+  std::string name() const override;
 
   double last_redist_cost() const { return redist_cost_; }
+  double baseline() const { return base_iter_seconds_; }
 
 private:
+  int confirmations_;
+  int consecutive_ = 0;
   int last_redist_iter_ = -1;
-  double base_iter_seconds_ = -1.0;  ///< t0: first iteration after redist
+  double base_iter_seconds_ = -1.0;  ///< t0: min iteration time since redist
   double redist_cost_ = -1.0;        ///< T_redistribution
 };
 
@@ -72,7 +82,11 @@ private:
 /// ablation bench can compare decision rules.
 class ThresholdPolicy final : public RedistributionPolicy {
 public:
-  explicit ThresholdPolicy(double factor);
+  /// `confirmations` consecutive exceedances are required before firing
+  /// (default 1 = original behaviour). The baseline tracks the minimum
+  /// iteration time since the last redistribution, so a spiky first sample
+  /// cannot permanently raise the bar.
+  explicit ThresholdPolicy(double factor, int confirmations = 1);
 
   bool should_redistribute(int iter, double iter_seconds) override;
   void notify_redistribution(int iter, double redist_seconds) override;
@@ -80,11 +94,14 @@ public:
 
 private:
   double factor_;
+  int confirmations_;
+  int consecutive_ = 0;
   double base_iter_seconds_ = -1.0;
 };
 
-/// Factory: "static", "periodic:K" (e.g. "periodic:25"), "sar", or
-/// "threshold:F" (e.g. "threshold:1.15").
+/// Factory: "static", "periodic:K" (e.g. "periodic:25"), "sar" or "sar:C"
+/// (C = confirmations), "threshold:F" or "threshold:F:C"
+/// (e.g. "threshold:1.15:2").
 std::unique_ptr<RedistributionPolicy> make_policy(const std::string& spec);
 
 }  // namespace picpar::core

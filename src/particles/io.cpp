@@ -1,5 +1,6 @@
 #include "particles/io.hpp"
 
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -10,7 +11,8 @@ namespace picpar::particles {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x70696370617274ULL;  // "picpart"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersionNoCrc = 1;
 
 struct Header {
   std::uint64_t magic = kMagic;
@@ -21,6 +23,33 @@ struct Header {
   double mass = 0.0;
 };
 static_assert(sizeof(Header) == 40);
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+const std::array<std::uint32_t, 256>& crc32_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t n) {
+  const auto& table = crc32_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
+std::uint32_t crc32_finish(std::uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+constexpr std::uint32_t kCrcInit = 0xFFFFFFFFu;
 
 }  // namespace
 
@@ -40,6 +69,14 @@ void save_particles(const std::string& path, const ParticleArray& p) {
   if (!recs.empty())
     f.write(reinterpret_cast<const char*>(recs.data()),
             static_cast<std::streamsize>(recs.size() * sizeof(ParticleRec)));
+
+  // v2 trailer: CRC-32 over header + records, so a bit flip anywhere in the
+  // file (not just a short read) is detected at load time.
+  std::uint32_t crc = crc32_update(kCrcInit, &h, sizeof(h));
+  if (!recs.empty())
+    crc = crc32_update(crc, recs.data(), recs.size() * sizeof(ParticleRec));
+  crc = crc32_finish(crc);
+  f.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
   if (!f) throw std::runtime_error("save_particles: write failed for " + path);
 }
 
@@ -51,7 +88,7 @@ ParticleArray load_particles(const std::string& path) {
   f.read(reinterpret_cast<char*>(&h), sizeof(h));
   if (!f || h.magic != kMagic)
     throw std::runtime_error("load_particles: bad magic in " + path);
-  if (h.version != kVersion)
+  if (h.version != kVersion && h.version != kVersionNoCrc)
     throw std::runtime_error("load_particles: unsupported version " +
                              std::to_string(h.version));
 
@@ -62,6 +99,17 @@ ParticleArray load_particles(const std::string& path) {
     f.read(reinterpret_cast<char*>(recs.data()),
            static_cast<std::streamsize>(h.count * sizeof(ParticleRec)));
     if (!f) throw std::runtime_error("load_particles: truncated " + path);
+  }
+  if (h.version >= kVersion) {
+    std::uint32_t stored = 0;
+    f.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!f)
+      throw std::runtime_error("load_particles: missing checksum in " + path);
+    std::uint32_t crc = crc32_update(kCrcInit, &h, sizeof(h));
+    if (h.count > 0)
+      crc = crc32_update(crc, recs.data(), recs.size() * sizeof(ParticleRec));
+    if (crc32_finish(crc) != stored)
+      throw std::runtime_error("load_particles: checksum mismatch in " + path);
   }
   for (const auto& r : recs) p.push_back(r);
   return p;

@@ -2,9 +2,10 @@
 //
 // Long PIC campaigns on the CM-5 era machines (and today) run in windows;
 // checkpoint/restart of the particle population is the minimal persistence
-// a production code needs. Format: little-endian, fixed 40-byte header
-// (magic, version, count, charge, mass) followed by count ParticleRec
-// records.
+// a production code needs. Format (v2): little-endian, fixed 40-byte header
+// (magic, version, count, charge, mass), count ParticleRec records, then a
+// CRC-32 (IEEE) trailer over header + records so silent corruption is
+// detected at load time. v1 files (no trailer) still load.
 #pragma once
 
 #include <string>
@@ -18,7 +19,8 @@ namespace picpar::particles {
 void save_particles(const std::string& path, const ParticleArray& p);
 
 /// Read an array written by save_particles. Throws std::runtime_error on
-/// I/O failure, bad magic, version mismatch or truncated payload.
+/// I/O failure, bad magic, version mismatch, truncated payload or checksum
+/// mismatch (v2 files).
 ParticleArray load_particles(const std::string& path);
 
 }  // namespace picpar::particles

@@ -5,11 +5,13 @@
 #include <string>
 
 #include "core/ghost_exchange.hpp"
+#include "core/invariants.hpp"
 #include "core/partitioner.hpp"
 #include "mesh/grid.hpp"
 #include "particles/init.hpp"
 #include "sfc/curve.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/faults.hpp"
 
 namespace picpar::pic {
 
@@ -40,6 +42,31 @@ struct PhaseCosts {
   double push_per_particle = 90.0;    ///< T_push, per particle
 };
 
+/// Runtime validation and checkpoint-based recovery. Everything defaults
+/// to off: a default-configured run performs no extra collectives and no
+/// state copies, so results are bit-identical to a build without this
+/// subsystem.
+struct ValidationParams {
+  /// Run the invariant checker every k iterations (0 = off). Use 1 when
+  /// memory faults are active so corruption is caught (and rolled back or
+  /// scrubbed) before it feeds the next scatter.
+  int check_every = 0;
+  /// Keep an in-memory particle checkpoint every k iterations (0 = off).
+  /// A baseline checkpoint is always taken right after the initial
+  /// distribution when enabled. Checkpoints are only refreshed on
+  /// iterations whose invariant check passed (when checks are on), so a
+  /// rollback target is never itself corrupt.
+  int checkpoint_every = 0;
+  /// Give up after this many rollbacks (violations are still recorded).
+  int max_recoveries = 8;
+  /// Invariant tolerances; see core/invariants.hpp.
+  core::InvariantConfig invariants{};
+  /// Abstract ops charged per particle copied into a checkpoint.
+  double checkpoint_ops_per_particle = 2.0;
+
+  bool enabled() const { return check_every > 0 || checkpoint_every > 0; }
+};
+
 struct PicParams {
   mesh::GridDesc grid{128, 64};
   int nranks = 32;
@@ -61,6 +88,14 @@ struct PicParams {
   core::PartitionerConfig partitioner{};
   PhaseCosts costs{};
   sim::CostModel machine = sim::CostModel::cm5();
+
+  /// Fault injection (sim::FaultConfig; default: no faults). Memory faults
+  /// (faults.memory_fault_prob) flip one bit of a random particle field on
+  /// the drawing rank once per iteration — pair them with `validate` so
+  /// the invariant checker can catch what checksums cannot.
+  sim::FaultConfig faults{};
+  /// Invariant validation + checkpoint/rollback recovery (default: off).
+  ValidationParams validate{};
 
   /// Record global field/kinetic energy every k iterations (0 = off).
   /// Sampling performs an extra allreduce, so it adds (real) virtual time;

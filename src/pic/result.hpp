@@ -29,6 +29,12 @@ struct IterRecord {
   bool redistributed = false;
   double redist_seconds = 0.0;        ///< global (max-rank) cost
   std::uint64_t redist_particles_moved = 0;  ///< summed over ranks
+
+  /// OR of core::Invariant bits that fired this iteration (0 = clean).
+  std::uint32_t violation_mask = 0;
+  /// True when a violation triggered rollback to the last checkpoint plus
+  /// a forced full redistribution.
+  bool recovered = false;
 };
 
 struct EnergySample {
@@ -50,6 +56,12 @@ struct PicResult {
   int redistributions = 0;
   double redist_seconds_total = 0.0;
   double initial_distribution_seconds = 0.0;
+
+  // Robustness diagnostics (populated when validation/faults are enabled).
+  int recoveries = 0;                 ///< rollback + forced redistribution
+  int violation_iterations = 0;       ///< iterations with any violation
+  std::uint64_t initial_particles = 0;
+  std::uint64_t final_particles = 0;  ///< summed over ranks at run end
 
   // Physics diagnostics at the end of the run (summed over ranks).
   double field_energy = 0.0;

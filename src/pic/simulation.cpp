@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/indexing.hpp"
+#include "core/invariants.hpp"
 #include "core/policy.hpp"
 #include "mesh/local_grid.hpp"
 #include "mesh/maxwell.hpp"
@@ -52,6 +53,8 @@ struct LocalIter {
   bool redistributed = false;
   double redist_seconds_global = 0.0;
   std::uint64_t redist_sent = 0;
+  std::uint32_t violation_mask = 0;
+  bool recovered = false;
 };
 
 struct RankOutput {
@@ -61,8 +64,48 @@ struct RankOutput {
   double field_energy = 0.0;
   double kinetic_energy = 0.0;
   double total_charge = 0.0;
+  std::uint64_t final_particles = 0;
+  int recoveries = 0;
   std::vector<EnergySample> energy;  // filled by rank 0 only
 };
+
+/// One bit flipped in one random field of one random particle — the host
+/// memory corruption the transport checksums cannot see. Drawn from the
+/// fault model's per-rank stream so runs stay reproducible.
+void inject_memory_fault(sim::FaultModel& fm, int rank, ParticleArray& p) {
+  if (p.empty()) return;
+  const auto i = static_cast<std::size_t>(fm.draw_below(rank, p.size()));
+  const auto field = fm.draw_below(rank, 6);
+  double* fields[5] = {&p.x[i], &p.y[i], &p.ux[i], &p.uy[i], &p.uz[i]};
+  if (field < 5) {
+    auto* target = reinterpret_cast<std::byte*>(fields[field]);
+    fm.flip_random_bit(rank, target, sizeof(double));
+  } else {
+    auto* target = reinterpret_cast<std::byte*>(&p.key[i]);
+    fm.flip_random_bit(rank, target, sizeof(std::uint64_t));
+  }
+}
+
+/// Last-resort repair when a violation is detected but rollback is
+/// unavailable (no checkpoint, or the recovery budget is spent): clamp the
+/// state back to validity so the run degrades instead of feeding corrupt
+/// positions into the next scatter (whose float-to-int casts assume a
+/// wrapped domain). Momenta are zeroed only when non-finite; positions are
+/// re-wrapped, with values too large to wrap meaningfully reset to origin.
+void scrub_particles(const sfc::Curve& curve, const mesh::GridDesc& grid,
+                     ParticleArray& p) {
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (!std::isfinite(p.ux[i])) p.ux[i] = 0.0;
+    if (!std::isfinite(p.uy[i])) p.uy[i] = 0.0;
+    if (!std::isfinite(p.uz[i])) p.uz[i] = 0.0;
+    double x = p.x[i], y = p.y[i];
+    if (!std::isfinite(x) || std::abs(x) > 64.0 * grid.lx) x = 0.0;
+    if (!std::isfinite(y) || std::abs(y) > 64.0 * grid.ly) y = 0.0;
+    p.x[i] = grid.wrap_x(x);
+    p.y[i] = grid.wrap_y(y);
+    p.key[i] = core::key_of(curve, grid, p.x[i], p.y[i]);
+  }
+}
 
 }  // namespace
 
@@ -131,6 +174,24 @@ PicResult run_pic(const PicParams& params) {
 
     const double q = mine.charge();
     const double m = mine.mass();
+
+    // ---- validation / recovery state ----
+    const ValidationParams& vp = params.validate;
+    core::InvariantChecker checker(*curve, grid, vp.invariants);
+    if (vp.check_every > 0)
+      checker.set_reference_count(comm.allreduce_sum<std::uint64_t>(
+          static_cast<std::uint64_t>(mine.size())));
+    ParticleArray ckpt(global.charge(), global.mass());
+    bool ckpt_valid = false;
+    int recoveries = 0;
+    const auto take_checkpoint = [&] {
+      ckpt = mine;
+      ckpt_valid = true;
+      comm.charge_ops(static_cast<std::uint64_t>(
+          static_cast<double>(mine.size()) * vp.checkpoint_ops_per_particle));
+    };
+    // Baseline checkpoint: the freshly balanced initial state.
+    if (vp.checkpoint_every > 0) take_checkpoint();
 
     for (int iter = 0; iter < params.iterations; ++iter) {
       LocalIter rec;
@@ -236,6 +297,13 @@ PicResult run_pic(const PicParams& params) {
       }
       comm.charge(static_cast<double>(n) * pc.push_per_particle * delta);
 
+      // Host-memory corruption the transport checksums cannot see: flip a
+      // bit in local particle state. Detection is the checker's job.
+      if (params.faults.memory_fault_prob > 0.0) {
+        auto& fm = comm.fault_model();
+        if (fm.should_memory_fault(rank)) inject_memory_fault(fm, rank, mine);
+      }
+
       // ---- Iteration timing and redistribution decision ----
       comm.set_phase(Phase::kOther);
       rec.loop_seconds_global =
@@ -252,6 +320,53 @@ PicResult run_pic(const PicParams& params) {
         rec.redistributed = true;
         rec.redist_sent = rrep.sent_particles;
       }
+
+      // ---- Invariant check, rollback, checkpoint refresh ----
+      bool checked_bad = false;
+      if (vp.check_every > 0 && (iter + 1) % vp.check_every == 0) {
+        double local_energy = -1.0;
+        if (vp.invariants.energy_factor > 0.0)
+          local_energy = f.energy(lg) + mine.kinetic_energy();
+        const auto report = checker.check(
+            comm, mine, iter,
+            rec.redistributed ? &partitioner.rank_upper_bounds() : nullptr,
+            local_energy);
+        rec.violation_mask = report.mask;
+        checked_bad = !report.ok();
+        if (checked_bad && ckpt_valid && recoveries < vp.max_recoveries) {
+          // Every rank saw the same OR-combined mask, so all of them take
+          // this branch together: restore the last good checkpoint and
+          // force a full redistribution to re-enter a balanced state.
+          comm.set_phase(Phase::kRedistribute);
+          const double tr = comm.clock();
+          mine = ckpt;
+          comm.charge_ops(static_cast<std::uint64_t>(
+              static_cast<double>(mine.size()) *
+              vp.checkpoint_ops_per_particle));
+          partitioner.assign_keys(comm, mine);
+          partitioner.distribute(comm, mine);
+          comm.set_phase(Phase::kOther);
+          const double cost = comm.allreduce_max(comm.clock() - tr);
+          policy->notify_redistribution(iter, cost);
+          rec.recovered = true;
+          rec.redistributed = true;
+          rec.redist_seconds_global += cost;
+          ++recoveries;
+        } else if (checked_bad) {
+          // Rollback unavailable: repair in place so the run continues in a
+          // degraded but well-defined state.
+          scrub_particles(*curve, grid, mine);
+          comm.charge_ops(static_cast<std::uint64_t>(mine.size()));
+        }
+      }
+      if (vp.checkpoint_every > 0 && (iter + 1) % vp.checkpoint_every == 0) {
+        // With checks enabled, only refresh on an iteration whose check
+        // just passed — a rollback target must never itself be corrupt.
+        const bool checked_ok =
+            vp.check_every > 0 && (iter + 1) % vp.check_every == 0 &&
+            !checked_bad && !rec.recovered;
+        if (vp.check_every == 0 || checked_ok) take_checkpoint();
+      }
       rec.clock_end = comm.clock();
       out.iters.push_back(rec);
 
@@ -263,6 +378,9 @@ PicResult run_pic(const PicParams& params) {
       }
     }
 
+    out.final_particles = static_cast<std::uint64_t>(mine.size());
+    out.recoveries = recoveries;
+
     // Final physics diagnostics (local sums; merged by the aggregator).
     out.field_energy = f.energy(lg);
     out.kinetic_energy = mine.kinetic_energy();
@@ -271,7 +389,7 @@ PicResult run_pic(const PicParams& params) {
     out.total_charge = charge_sum * grid.dx() * grid.dy();
   };
 
-  sim::Machine machine(params.nranks, params.machine);
+  sim::Machine machine(params.nranks, params.machine, params.faults);
   auto run = machine.run(program);
 
   // ---- Aggregate ----
@@ -307,6 +425,8 @@ PicResult run_pic(const PicParams& params) {
       rec.redistributed = rec.redistributed || li.redistributed;
       rec.redist_seconds = std::max(rec.redist_seconds, li.redist_seconds_global);
       rec.redist_particles_moved += li.redist_sent;
+      rec.violation_mask |= li.violation_mask;
+      rec.recovered = rec.recovered || li.recovered;
     }
     const auto& li0 = outputs[0].iters[static_cast<std::size_t>(i)];
     rec.loop_seconds = li0.loop_seconds_global;
@@ -316,8 +436,13 @@ PicResult run_pic(const PicParams& params) {
       ++result.redistributions;
       result.redist_seconds_total += rec.redist_seconds;
     }
+    if (rec.violation_mask != 0) ++result.violation_iterations;
     (void)pre;
   }
+
+  result.initial_particles = static_cast<std::uint64_t>(global.size());
+  result.recoveries = outputs.empty() ? 0 : outputs[0].recoveries;
+  for (const auto& o : outputs) result.final_particles += o.final_particles;
 
   for (const auto& o : outputs) {
     result.field_energy += o.field_energy;

@@ -43,6 +43,12 @@ public:
 
   const CommStats& stats() const { return machine_->ranks_[rank_].stats; }
 
+  /// Fault model active on the underlying machine (disabled by default).
+  /// Drivers use it to inject host-side faults into their own state and to
+  /// read per-rank injection counters.
+  FaultModel& fault_model() { return machine_->faults_; }
+  const FaultModel& fault_model() const { return machine_->faults_; }
+
   // ---- point to point ----
 
   void send_bytes(int dst, int tag, std::vector<std::byte> payload) {
@@ -177,6 +183,14 @@ private:
   static constexpr int kTagGatherRing = -400;
   static constexpr int kTagAllToMany = -500;
   static constexpr int kTagScan = -600;
+
+public:
+  /// Reserved control channel for the transport's retransmit protocol
+  /// (NACK + redelivery). Control traffic is accounted against the
+  /// receiving rank's current phase; see Machine::recover_corruption.
+  static constexpr int kTagRetransmit = -900;
+
+private:
 
   Machine* machine_;
   int rank_;

@@ -22,6 +22,33 @@ double RunResult::max_compute() const {
   return m;
 }
 
+LinkStats RankReport::transport_total() const {
+  LinkStats t;
+  for (const auto& l : links) {
+    t.retries += l.retries;
+    t.dup_discards += l.dup_discards;
+    t.corruptions_detected += l.corruptions_detected;
+  }
+  return t;
+}
+
+LinkStats RunResult::transport_total() const {
+  LinkStats t;
+  for (const auto& r : ranks) {
+    const LinkStats rt = r.transport_total();
+    t.retries += rt.retries;
+    t.dup_discards += rt.dup_discards;
+    t.corruptions_detected += rt.corruptions_detected;
+  }
+  return t;
+}
+
+FaultCounters RunResult::faults_total() const {
+  FaultCounters t;
+  for (const auto& r : ranks) t += r.faults;
+  return t;
+}
+
 struct Machine::Sync {
   std::mutex mutex;
   std::condition_variable cv;
@@ -31,6 +58,11 @@ struct Machine::Sync {
 Machine::Machine(int nranks, CostModel cost)
     : nranks_(nranks), cost_(cost), sync_(std::make_unique<Sync>()) {
   if (nranks <= 0) throw std::invalid_argument("Machine: nranks must be > 0");
+}
+
+Machine::Machine(int nranks, CostModel cost, const FaultConfig& faults)
+    : Machine(nranks, cost) {
+  set_fault_model(faults);
 }
 
 Machine::~Machine() = default;
@@ -56,14 +88,35 @@ int Machine::pick_next(int from) const {
   return -1;
 }
 
+std::vector<BlockedInfo> Machine::blocked_ranks() const {
+  std::vector<BlockedInfo> blocked;
+  for (const auto& rs : ranks_) {
+    if (rs.done) continue;
+    blocked.push_back({rs.id, rs.want_src, rs.want_tag, rs.mailbox.size()});
+  }
+  return blocked;
+}
+
 std::string Machine::deadlock_report() const {
+  // Emit the wait graph: each blocked rank, what it wants, and the state of
+  // the rank it is waiting on (done ranks can never satisfy a recv — the
+  // most common deadlock cause).
   std::ostringstream os;
   os << "simulated machine deadlock: all live ranks blocked in recv\n";
   for (const auto& rs : ranks_) {
     if (rs.done) continue;
     os << "  rank " << rs.id << " waiting for (src=" << rs.want_src
        << ", tag=" << rs.want_tag << "), mailbox holds " << rs.mailbox.size()
-       << " message(s)\n";
+       << " message(s)";
+    if (rs.want_src >= 0 && rs.want_src < nranks_) {
+      const auto& peer = ranks_[static_cast<std::size_t>(rs.want_src)];
+      if (peer.done)
+        os << "; rank " << rs.want_src << " already finished";
+      else if (peer.waiting)
+        os << "; rank " << rs.want_src << " is itself blocked on (src="
+           << peer.want_src << ", tag=" << peer.want_tag << ")";
+    }
+    os << "\n";
   }
   return os.str();
 }
@@ -76,7 +129,14 @@ void Machine::yield_from(int rank) {
   if (next == -1) {
     if (live_ > 0) {
       // Everyone (including us, who must be waiting or done) is blocked.
-      deadlocked_ = true;
+      // Snapshot the wait graph on the *first* detection only: ranks
+      // unwinding afterwards re-enter here (their final yield re-detects
+      // the same deadlock) and must not clobber the original picture.
+      if (!deadlocked_) {
+        deadlocked_ = true;
+        deadlock_report_str_ = deadlock_report();
+        deadlock_blocked_ = blocked_ranks();
+      }
       current_ = -1;
       sync_->cv.notify_all();
       // Park forever; run() will detect deadlock and unwind via exception
@@ -118,23 +178,124 @@ void Machine::do_send(int src, int dst, int tag,
   m.tag = tag;
   m.arrival = s.clock;
   m.payload = std::move(payload);
-  ranks_[dst].mailbox.push_back(std::move(m));
-  // The receiver (if parked on a matching recv) becomes runnable; the
-  // scheduler re-evaluates predicates on the next yield, so nothing else
-  // to do here.
+
+  auto& dstbox = ranks_[dst].mailbox;
+  if (!faults_.message_faults()) {
+    dstbox.push_back(std::move(m));
+    // The receiver (if parked on a matching recv) becomes runnable; the
+    // scheduler re-evaluates predicates on the next yield, so nothing else
+    // to do here.
+    return;
+  }
+
+  // ---- faulty-fabric path: envelope the payload, then perturb ----
+  if (s.next_seq.empty())
+    s.next_seq.assign(static_cast<std::size_t>(nranks_), 0);
+  m.seq = s.next_seq[static_cast<std::size_t>(dst)]++;
+  m.checksum = fnv1a(m.payload.data(), m.payload.size());
+  m.arrival += faults_.latency_jitter(src);
+
+  const bool duplicate = faults_.should_duplicate(src);
+  // Cross-flow reordering only: the new message may overtake the youngest
+  // queued message of a *different* (src, tag) flow. Per-flow FIFO holds,
+  // like per-channel ordering on a real fabric, so tag-selective matching
+  // absorbs the disorder.
+  if (faults_.should_reorder(src) && !dstbox.empty() &&
+      (dstbox.back().src != m.src || dstbox.back().tag != m.tag)) {
+    dstbox.insert(dstbox.end() - 1, m);
+  } else {
+    dstbox.push_back(m);
+  }
+  if (duplicate) {
+    Message copy = std::move(m);
+    copy.arrival += faults_.latency_jitter(src);
+    dstbox.push_back(std::move(copy));
+  }
+}
+
+LinkStats& Machine::link_stats(RankState& rs, int src) {
+  if (rs.links.empty())
+    rs.links.assign(static_cast<std::size_t>(nranks_), LinkStats{});
+  return rs.links[static_cast<std::size_t>(src)];
+}
+
+/// Receiver-side recovery of a delivery the fault model corrupted on the
+/// wire: prove detection (flip a real bit, watch the FNV-1a checksum
+/// mismatch), then model a NACK on the control channel (kTagRetransmit)
+/// plus a retransmission from the sender's NIC buffer, with exponential
+/// backoff in virtual time. The sender's *program* is never interrupted —
+/// the wire copy is retransmitted below it, so the whole round-trip is
+/// charged to the receiver as added latency. Throws TransportError once
+/// the retry budget is exhausted.
+void Machine::recover_corruption(int rank, const Message& m) {
+  auto& rs = ranks_[rank];
+  const int max_retries = faults_.config().max_retries;
+  static constexpr std::size_t kNackBytes = 16;  // seq + checksum echo
+  int attempt = 0;
+  std::vector<std::byte> tainted;
+  while (faults_.should_corrupt_delivery(rank)) {
+    tainted = m.payload;
+    faults_.flip_random_bit(rank, tainted.data(), tainted.size());
+    if (!tainted.empty() &&
+        fnv1a(tainted.data(), tainted.size()) == m.checksum) {
+      // Checksum collision: a single flipped bit always changes FNV-1a, so
+      // this is unreachable; guard anyway rather than loop on a bad model.
+      break;
+    }
+    ++attempt;
+    auto& ls = link_stats(rs, m.src);
+    ls.corruptions_detected += 1;
+    if (attempt > max_retries)
+      throw TransportError(
+          "transport: message src=" + std::to_string(m.src) +
+          " dst=" + std::to_string(m.dst) + " tag=" + std::to_string(m.tag) +
+          " seq=" + std::to_string(m.seq) + " still corrupt after " +
+          std::to_string(max_retries) + " retransmissions");
+    ls.retries += 1;
+    // NACK out, fresh copy back, doubling the wait each attempt.
+    const double backoff =
+        (cost_.message_cost(kNackBytes) + cost_.message_cost(m.bytes())) *
+        static_cast<double>(1ULL << std::min(attempt - 1, 20));
+    // The backoff advances the clock here; the caller's arrival-to-delivery
+    // delta picks it up as comm time, so only traffic is counted directly.
+    rs.clock += backoff;
+    auto& pc = rs.stats.phase(rs.phase);
+    pc.msgs_sent += 1;
+    pc.bytes_sent += kNackBytes;
+    pc.msgs_recv += 1;
+    pc.bytes_recv += m.bytes();
+  }
 }
 
 Message Machine::do_recv(int rank, int src, int tag) {
   auto& rs = ranks_[rank];
+  const bool mf = faults_.message_faults();
+  const bool dedup = mf && faults_.config().duplicate_prob > 0.0;
   for (;;) {
-    for (auto it = rs.mailbox.begin(); it != rs.mailbox.end(); ++it) {
-      if (!match(*it, src, tag)) continue;
+    for (auto it = rs.mailbox.begin(); it != rs.mailbox.end();) {
+      if (!match(*it, src, tag)) {
+        ++it;
+        continue;
+      }
+      if (dedup) {
+        if (rs.seen_seq.empty())
+          rs.seen_seq.resize(static_cast<std::size_t>(nranks_));
+        auto& seen = rs.seen_seq[static_cast<std::size_t>(it->src)];
+        if (!seen.insert(it->seq).second) {
+          // Duplicate delivery: the transport silently drops it.
+          link_stats(rs, it->src).dup_discards += 1;
+          it = rs.mailbox.erase(it);
+          continue;
+        }
+      }
       Message m = std::move(*it);
       rs.mailbox.erase(it);
       const double before = rs.clock;
       rs.clock = std::max(rs.clock, m.arrival);
       if (cost_.recv_copy_mu > 0.0)
         rs.clock += cost_.recv_copy_mu * static_cast<double>(m.bytes());
+      if (mf && faults_.config().corrupt_prob > 0.0)
+        recover_corruption(rank, m);
       auto& pc = rs.stats.phase(rs.phase);
       pc.msgs_recv += 1;
       pc.bytes_recv += m.bytes();
@@ -158,6 +319,8 @@ bool Machine::do_iprobe(int rank, int src, int tag) const {
 
 void Machine::charge(int rank, double seconds, bool is_compute) {
   auto& rs = ranks_[rank];
+  if (is_compute && faults_.compute_faults())
+    seconds *= faults_.compute_factor(rank);
   rs.clock += seconds;
   auto& pc = rs.stats.phase(rs.phase);
   if (is_compute)
@@ -199,9 +362,12 @@ void Machine::rank_main(int rank, const std::function<void(Comm&)>& program) {
 RunResult Machine::run(const std::function<void(Comm&)>& program) {
   ranks_.assign(static_cast<std::size_t>(nranks_), RankState{});
   for (int i = 0; i < nranks_; ++i) ranks_[i].id = i;
+  faults_.reset();  // identical fault streams on every run of this Machine
   live_ = nranks_;
   deadlocked_ = false;
   current_ = -1;
+  deadlock_report_str_.clear();
+  deadlock_blocked_.clear();
 
   sync_->threads.clear();
   sync_->threads.reserve(static_cast<std::size_t>(nranks_));
@@ -214,13 +380,13 @@ RunResult Machine::run(const std::function<void(Comm&)>& program) {
     sync_->cv.notify_all();
     sync_->cv.wait(lk, [&] { return live_ == 0 || deadlocked_; });
     if (deadlocked_) {
-      const std::string report = deadlock_report();
       // Let every parked rank unwind so threads can be joined.
       sync_->cv.notify_all();
       lk.unlock();
       for (auto& t : sync_->threads) t.join();
       sync_->threads.clear();
-      throw DeadlockError(report);
+      throw DeadlockError(deadlock_report_str_,
+                          std::move(deadlock_blocked_));
     }
   }
   for (auto& t : sync_->threads) t.join();
@@ -236,6 +402,8 @@ RunResult Machine::run(const std::function<void(Comm&)>& program) {
     rep.rank = rs.id;
     rep.clock = rs.clock;
     rep.stats = rs.stats;
+    if (faults_.enabled()) rep.faults = faults_.counters(rs.id);
+    rep.links = rs.links;
     result.ranks.push_back(std::move(rep));
   }
   return result;

@@ -19,26 +19,65 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/comm_stats.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/faults.hpp"
 #include "sim/message.hpp"
 
 namespace picpar::sim {
 
 class Comm;
 
+/// One blocked rank in a deadlock: what it was waiting for.
+struct BlockedInfo {
+  int rank = 0;
+  int want_src = kAnySource;
+  int want_tag = kAnyTag;
+  std::size_t mailbox_size = 0;
+};
+
 /// Thrown by Machine::run when every live rank is blocked in a receive.
+/// Carries the per-rank wait graph (who wants what from whom) so callers
+/// and tests can diagnose the cycle structurally, not by parsing what().
 class DeadlockError : public std::runtime_error {
 public:
   explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+  DeadlockError(const std::string& what, std::vector<BlockedInfo> blocked)
+      : std::runtime_error(what), blocked_(std::move(blocked)) {}
+
+  const std::vector<BlockedInfo>& blocked() const { return blocked_; }
+
+private:
+  std::vector<BlockedInfo> blocked_;
+};
+
+/// Thrown when the transport exhausts its retransmit budget on one message
+/// (every attempt arrived corrupted). Models an unrecoverable link.
+class TransportError : public std::runtime_error {
+public:
+  explicit TransportError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Receive-side transport counters for one link (indexed by source rank).
+struct LinkStats {
+  std::uint64_t retries = 0;               ///< retransmissions requested
+  std::uint64_t dup_discards = 0;          ///< duplicate deliveries dropped
+  std::uint64_t corruptions_detected = 0;  ///< checksum mismatches caught
 };
 
 struct RankReport {
   int rank = 0;
   double clock = 0.0;   ///< final virtual time
   CommStats stats;
+  FaultCounters faults;          ///< faults injected *by* this rank
+  std::vector<LinkStats> links;  ///< per-source transport recovery counters
+                                 ///< (empty when no fault model is active)
+
+  LinkStats transport_total() const;
 };
 
 struct RunResult {
@@ -50,11 +89,17 @@ struct RunResult {
   double max_compute() const;
   /// makespan - max_compute: the paper's "overhead" metric.
   double overhead() const { return makespan() - max_compute(); }
+
+  /// Summed transport recovery counters over all ranks and links.
+  LinkStats transport_total() const;
+  /// Summed injected-fault counters over all ranks.
+  FaultCounters faults_total() const;
 };
 
 class Machine {
 public:
   Machine(int nranks, CostModel cost);
+  Machine(int nranks, CostModel cost, const FaultConfig& faults);
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -62,6 +107,13 @@ public:
 
   int size() const { return nranks_; }
   const CostModel& cost() const { return cost_; }
+
+  /// Install (or replace) the fault model. Must not be called mid-run.
+  void set_fault_model(const FaultConfig& cfg) {
+    faults_ = FaultModel(cfg, nranks_);
+  }
+  FaultModel& fault_model() { return faults_; }
+  const FaultModel& fault_model() const { return faults_; }
 
   /// Run an SPMD program to completion on all ranks; returns per-rank
   /// clocks and traffic. Throws DeadlockError on global deadlock and
@@ -83,6 +135,10 @@ private:
     CommStats stats;
     Phase phase = Phase::kOther;
     std::exception_ptr error;
+    // ---- transport state (allocated only when a fault model is active) ----
+    std::vector<std::uint64_t> next_seq;           ///< per-destination sender seq
+    std::vector<std::unordered_set<std::uint64_t>> seen_seq;  ///< per-source
+    std::vector<LinkStats> links;                  ///< per-source counters
   };
 
   // --- used by Comm (always called while holding the handoff lock
@@ -91,6 +147,8 @@ private:
   Message do_recv(int rank, int src, int tag);
   bool do_iprobe(int rank, int src, int tag) const;
   void charge(int rank, double seconds, bool is_compute);
+  LinkStats& link_stats(RankState& rs, int src);
+  void recover_corruption(int rank, const Message& m);
 
   // --- scheduler ---
   void yield_from(int rank);       ///< hand execution to the next runnable rank
@@ -99,10 +157,16 @@ private:
   bool match(const Message& m, int src, int tag) const;
   void rank_main(int rank, const std::function<void(Comm&)>& program);
   std::string deadlock_report() const;
+  std::vector<BlockedInfo> blocked_ranks() const;
 
   int nranks_;
   CostModel cost_;
+  FaultModel faults_;
   std::vector<RankState> ranks_;
+  // Wait-graph snapshot taken at the moment deadlock is detected (ranks
+  // may unwind and flip to done before run() gets to look).
+  std::string deadlock_report_str_;
+  std::vector<BlockedInfo> deadlock_blocked_;
 
   struct Sync;                      // mutex/cv bundle (keeps header light)
   std::unique_ptr<Sync> sync_;

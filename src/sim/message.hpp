@@ -17,6 +17,12 @@ struct Message {
   int tag = 0;
   /// Virtual time at which the message is available at the receiver.
   double arrival = 0.0;
+  /// Transport envelope: per-(src, dst)-link sequence number and FNV-1a
+  /// payload checksum. The checksum is only computed when a fault model
+  /// with message faults is active; envelope fields ride as struct
+  /// metadata, so they never change the modeled byte counts or costs.
+  std::uint64_t seq = 0;
+  std::uint64_t checksum = 0;
   std::vector<std::byte> payload;
 
   std::size_t bytes() const { return payload.size(); }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace picpar::core {
 namespace {
 
@@ -88,6 +90,67 @@ TEST(SarPolicy, ResetsBaseAfterRedistribution) {
   EXPECT_EQ(p.last_redist_cost(), 1.0);
 }
 
+TEST(SarPolicy, NoisyFirstSampleCannotDisableSar) {
+  // Regression: if the first post-redistribution iteration is a straggler
+  // spike, every later sample sits below it and (t1 - t0) goes negative.
+  // The baseline must slide down to the true minimum so real growth still
+  // triggers Eq. 1.
+  SarPolicy p;
+  p.notify_redistribution(-1, 0.5);
+  EXPECT_FALSE(p.should_redistribute(0, 9.0));  // spike establishes t0
+  EXPECT_FALSE(p.should_redistribute(1, 1.0));  // baseline slides to 1.0
+  EXPECT_EQ(p.baseline(), 1.0);
+  // Growth from the *minimum*: (1.3 - 1.0) * (4 - (-1)) = 1.5 >= 0.5.
+  EXPECT_FALSE(p.should_redistribute(2, 1.0));
+  EXPECT_FALSE(p.should_redistribute(3, 1.05));
+  EXPECT_TRUE(p.should_redistribute(4, 1.3));
+}
+
+TEST(SarPolicy, NonMonotonicTimingsUseMinimumBaseline) {
+  // Jittery timings around a flat mean must not fire Eq. 1: the expected
+  // saving is measured against the minimum, not the first sample.
+  SarPolicy p;
+  p.notify_redistribution(-1, 2.0);
+  const double noise[] = {1.2, 0.9, 1.1, 0.8, 1.15, 0.95, 1.05, 1.0};
+  int iter = 0;
+  for (const double t : noise)
+    EXPECT_FALSE(p.should_redistribute(iter++, t)) << "iter " << iter;
+  EXPECT_EQ(p.baseline(), 0.8);
+  // (1.0 - 0.8) * (50 - (-1)) = 10.2 >= 2.0: sustained rise above the
+  // minimum still triggers far out.
+  EXPECT_TRUE(p.should_redistribute(50, 1.0));
+}
+
+TEST(SarPolicy, NegativeAndNanTimingsAreClamped) {
+  SarPolicy p;
+  p.notify_redistribution(-1, 1.0);
+  EXPECT_FALSE(p.should_redistribute(0, -5.0));  // treated as 0.0
+  EXPECT_EQ(p.baseline(), 0.0);
+  const double nan = std::nan("");
+  EXPECT_FALSE(p.should_redistribute(1, nan));  // must not poison state
+  EXPECT_EQ(p.baseline(), 0.0);
+  // Recovery: growth from the clamped baseline still follows Eq. 1.
+  EXPECT_TRUE(p.should_redistribute(2, 0.5));  // (0.5-0)*(2-(-1)) = 1.5 >= 1
+}
+
+TEST(SarPolicy, ConfirmationsFilterSingleSpikes) {
+  SarPolicy p(2);
+  p.notify_redistribution(-1, 0.1);
+  EXPECT_FALSE(p.should_redistribute(0, 1.0));  // t0
+  // One-iteration spike satisfies Eq. 1 once, then drops back: no trigger.
+  EXPECT_FALSE(p.should_redistribute(1, 3.0));
+  EXPECT_FALSE(p.should_redistribute(2, 1.0));
+  // Sustained rise: second consecutive exceedance fires.
+  EXPECT_FALSE(p.should_redistribute(3, 3.0));
+  EXPECT_TRUE(p.should_redistribute(4, 3.0));
+  EXPECT_EQ(p.name(), "sar:2");
+}
+
+TEST(SarPolicy, RejectsNonPositiveConfirmations) {
+  EXPECT_THROW(SarPolicy(0), std::invalid_argument);
+  EXPECT_THROW(SarPolicy(-1), std::invalid_argument);
+}
+
 TEST(ThresholdPolicy, TriggersOnRelativeRise) {
   ThresholdPolicy p(1.5);
   EXPECT_FALSE(p.should_redistribute(0, 1.0));  // establishes t0
@@ -103,6 +166,36 @@ TEST(ThresholdPolicy, ResetsBaseAfterNotify) {
   EXPECT_FALSE(p.should_redistribute(2, 2.0)) << "2.0 is the new baseline";
   EXPECT_FALSE(p.should_redistribute(3, 2.3));
   EXPECT_TRUE(p.should_redistribute(4, 2.5));
+}
+
+TEST(ThresholdPolicy, SpikyBaselineSlidesToMinimum) {
+  // Regression: a slow first sample used to set the bar permanently high.
+  ThresholdPolicy p(1.5);
+  EXPECT_FALSE(p.should_redistribute(0, 10.0));  // straggler spike as t0
+  EXPECT_FALSE(p.should_redistribute(1, 1.0));   // baseline slides to 1.0
+  EXPECT_TRUE(p.should_redistribute(2, 1.6)) << "rise vs the true baseline";
+}
+
+TEST(ThresholdPolicy, ClampsNegativeAndNanTimings) {
+  ThresholdPolicy p(1.5);
+  EXPECT_FALSE(p.should_redistribute(0, 1.0));
+  EXPECT_FALSE(p.should_redistribute(1, std::nan("")));
+  EXPECT_FALSE(p.should_redistribute(2, -3.0));
+  // NaN/negative clamp to 0, which becomes the new minimum baseline; any
+  // positive sample is now a relative rise.
+  EXPECT_TRUE(p.should_redistribute(3, 0.5));
+}
+
+TEST(ThresholdPolicy, ConfirmationsRequireSustainedRise) {
+  ThresholdPolicy p(1.5, 3);
+  EXPECT_FALSE(p.should_redistribute(0, 1.0));
+  EXPECT_FALSE(p.should_redistribute(1, 2.0));  // 1st exceedance
+  EXPECT_FALSE(p.should_redistribute(2, 2.0));  // 2nd
+  EXPECT_FALSE(p.should_redistribute(3, 1.0));  // relapse resets the count
+  EXPECT_FALSE(p.should_redistribute(4, 2.0));
+  EXPECT_FALSE(p.should_redistribute(5, 2.0));
+  EXPECT_TRUE(p.should_redistribute(6, 2.0));   // 3rd consecutive
+  EXPECT_EQ(p.name(), "threshold:1.5:3");
 }
 
 TEST(ThresholdPolicy, RejectsFactorsAtOrBelowOne) {
@@ -124,6 +217,14 @@ TEST(MakePolicy, ParsesSpecs) {
   EXPECT_EQ(make_policy("sar")->name(), "sar");
   EXPECT_EQ(make_policy("dynamic")->name(), "sar");
   EXPECT_EQ(make_policy("periodic:25")->name(), "periodic:25");
+}
+
+TEST(MakePolicy, ParsesConfirmationSpecs) {
+  EXPECT_EQ(make_policy("sar:2")->name(), "sar:2");
+  EXPECT_EQ(make_policy("sar:1")->name(), "sar");
+  EXPECT_EQ(make_policy("threshold:1.5:2")->name(), "threshold:1.5:2");
+  EXPECT_THROW(make_policy("sar:0"), std::invalid_argument);
+  EXPECT_THROW(make_policy("threshold:1.5:0"), std::invalid_argument);
 }
 
 TEST(MakePolicy, RejectsUnknownAndMalformed) {

@@ -77,6 +77,64 @@ TEST_F(ParticleIo, TruncatedPayloadThrows) {
   EXPECT_THROW(load_particles(path_), std::runtime_error);
 }
 
+TEST_F(ParticleIo, FlippedByteFailsChecksum) {
+  mesh::GridDesc g(32, 32);
+  InitParams params;
+  params.total = 64;
+  save_particles(path_, generate(Distribution::kUniform, g, params));
+
+  // Flip one payload byte in the middle of the records; the length is
+  // untouched, so only the CRC trailer can catch this.
+  const auto size = fs::file_size(path_);
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(static_cast<std::streamoff>(size / 2));
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x10);
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  f.write(&b, 1);
+  f.close();
+
+  EXPECT_THROW(load_particles(path_), std::runtime_error);
+}
+
+TEST_F(ParticleIo, MissingTrailerThrows) {
+  ParticleArray p(-1.0, 1.0);
+  for (int i = 0; i < 4; ++i) p.push_back(ParticleRec{});
+  save_particles(path_, p);
+  // Chop exactly the 4-byte CRC trailer: records are intact but a v2 file
+  // without its checksum must be rejected, not silently accepted.
+  fs::resize_file(path_, fs::file_size(path_) - 4);
+  EXPECT_THROW(load_particles(path_), std::runtime_error);
+}
+
+TEST_F(ParticleIo, LoadsVersion1FilesWithoutTrailer) {
+  // Hand-write a v1 file (pre-CRC format): header with version 1, records,
+  // no trailer. Loaders must stay backward compatible.
+  struct V1Header {
+    std::uint64_t magic = 0x70696370617274ULL;
+    std::uint32_t version = 1;
+    std::uint32_t reserved = 0;
+    std::uint64_t count = 2;
+    double charge = -1.5;
+    double mass = 2.0;
+  } h;
+  ParticleRec recs[2];
+  recs[0] = {1.0, 2.0, 0.1, 0.2, 0.3, 42};
+  recs[1] = {3.0, 4.0, 0.4, 0.5, 0.6, 99};
+  std::ofstream f(path_, std::ios::binary);
+  f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  f.write(reinterpret_cast<const char*>(recs), sizeof(recs));
+  f.close();
+
+  const auto loaded = load_particles(path_);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.charge(), -1.5);
+  EXPECT_EQ(loaded.mass(), 2.0);
+  EXPECT_EQ(loaded.x[0], 1.0);
+  EXPECT_EQ(loaded.key[1], 99u);
+}
+
 TEST_F(ParticleIo, OverwritesExistingFile) {
   ParticleArray small(-1.0, 1.0);
   small.push_back(ParticleRec{});

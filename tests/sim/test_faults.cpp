@@ -1,0 +1,243 @@
+// Fault injection and transport recovery: determinism, zero-overhead when
+// disabled, checksum-detected corruption with retransmit, duplicate
+// suppression, ordering guarantees, and deadlock diagnostics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "sim/faults.hpp"
+
+namespace picpar::sim {
+namespace {
+
+/// Ring exchange with payload verification: each rank streams `count`
+/// numbered vectors to its successor and checks the stream it receives from
+/// its predecessor, then the group agrees on a sum.
+void ring_program(Comm& c, int count) {
+  const int p = c.size();
+  const int next = (c.rank() + 1) % p;
+  const int prev = (c.rank() + p - 1) % p;
+  for (int k = 0; k < count; ++k) {
+    std::vector<int> payload(8, c.rank() * 1000 + k);
+    payload.back() = k;
+    c.send(next, 3, payload);
+  }
+  for (int k = 0; k < count; ++k) {
+    const auto got = c.recv<int>(prev, 3);
+    ASSERT_EQ(got.size(), 8u);
+    EXPECT_EQ(got[0], prev * 1000 + k) << "corrupted or reordered payload";
+    EXPECT_EQ(got.back(), k) << "stream out of order";
+  }
+  const auto sum = c.allreduce_sum<long>(c.rank());
+  EXPECT_EQ(sum, static_cast<long>(p) * (p - 1) / 2);
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.ranks.size(), b.ranks.size());
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    EXPECT_EQ(a.ranks[r].clock, b.ranks[r].clock) << "rank " << r;
+    const auto ta = a.ranks[r].stats.total();
+    const auto tb = b.ranks[r].stats.total();
+    EXPECT_EQ(ta.msgs_sent, tb.msgs_sent);
+    EXPECT_EQ(ta.bytes_sent, tb.bytes_sent);
+    EXPECT_EQ(ta.msgs_recv, tb.msgs_recv);
+    EXPECT_EQ(ta.bytes_recv, tb.bytes_recv);
+    EXPECT_EQ(ta.comm_seconds, tb.comm_seconds);
+    EXPECT_EQ(a.ranks[r].faults.total(), b.ranks[r].faults.total());
+  }
+}
+
+TEST(Faults, DisabledModelIsBitIdentical) {
+  // A default FaultConfig must be indistinguishable from no model at all:
+  // same clocks, same traffic, bit for bit.
+  const int p = 6;
+  Machine plain(p, CostModel::cm5());
+  Machine configured(p, CostModel::cm5(), FaultConfig{});
+  const auto a = plain.run([](Comm& c) { ring_program(c, 12); });
+  const auto b = configured.run([](Comm& c) { ring_program(c, 12); });
+  expect_identical(a, b);
+  EXPECT_EQ(b.faults_total().total(), 0u);
+  EXPECT_EQ(b.transport_total().retries, 0u);
+}
+
+TEST(Faults, SameSeedSameRun) {
+  FaultConfig cfg;
+  cfg.seed = 2026;
+  cfg.transient_slow_prob = 0.1;
+  cfg.latency_jitter_prob = 0.2;
+  cfg.latency_jitter_max_seconds = 1e-3;
+  cfg.corrupt_prob = 0.1;
+  cfg.duplicate_prob = 0.1;
+  cfg.reorder_prob = 0.1;
+
+  Machine m1(5, CostModel::cm5(), cfg);
+  Machine m2(5, CostModel::cm5(), cfg);
+  const auto a = m1.run([](Comm& c) { ring_program(c, 20); });
+  const auto b = m2.run([](Comm& c) { ring_program(c, 20); });
+  expect_identical(a, b);
+  EXPECT_GT(a.faults_total().total(), 0u);
+}
+
+TEST(Faults, RepeatedRunsOnOneMachineStayReproducible) {
+  FaultConfig cfg;
+  cfg.corrupt_prob = 0.15;
+  cfg.duplicate_prob = 0.15;
+  Machine m(4, CostModel::cm5(), cfg);
+  const auto a = m.run([](Comm& c) { ring_program(c, 15); });
+  const auto b = m.run([](Comm& c) { ring_program(c, 15); });
+  expect_identical(a, b);
+}
+
+TEST(Faults, CorruptionIsDetectedAndRecovered) {
+  FaultConfig cfg;
+  cfg.corrupt_prob = 0.3;
+  cfg.max_retries = 20;  // corruption re-drawn per retry; give headroom
+  Machine m(4, CostModel::cm5(), cfg);
+  // ring_program asserts every payload arrives intact — recovery must be
+  // invisible to the application.
+  const auto run = m.run([](Comm& c) { ring_program(c, 30); });
+
+  const auto t = run.transport_total();
+  const auto f = run.faults_total();
+  EXPECT_GT(f.corrupted_deliveries, 0u) << "fault model never fired";
+  EXPECT_EQ(t.corruptions_detected, f.corrupted_deliveries)
+      << "every injected corruption must be caught by the checksum";
+  EXPECT_EQ(t.retries, t.corruptions_detected);
+}
+
+TEST(Faults, RecoveryCostsVirtualTime) {
+  const auto program = [](Comm& c) { ring_program(c, 25); };
+  Machine clean(4, CostModel::cm5());
+  FaultConfig cfg;
+  cfg.corrupt_prob = 0.5;
+  cfg.max_retries = 20;
+  Machine faulty(4, CostModel::cm5(), cfg);
+  const auto a = clean.run(program);
+  const auto b = faulty.run(program);
+  EXPECT_GT(b.makespan(), a.makespan())
+      << "retransmits must show up as virtual-time overhead";
+}
+
+TEST(Faults, UnrecoverableLinkThrowsTransportError) {
+  FaultConfig cfg;
+  cfg.corrupt_prob = 1.0;  // every delivery attempt corrupted
+  cfg.max_retries = 3;
+  Machine m(2, CostModel::cm5(), cfg);
+  EXPECT_THROW(m.run([](Comm& c) {
+                 if (c.rank() == 0) c.send_value(1, 1, 42);
+                 if (c.rank() == 1) (void)c.recv_value<int>(0, 1);
+               }),
+               TransportError);
+}
+
+TEST(Faults, DuplicatesAreDiscarded) {
+  FaultConfig cfg;
+  cfg.duplicate_prob = 1.0;  // duplicate every message
+  Machine m(4, CostModel::cm5(), cfg);
+  const auto run = m.run([](Comm& c) { ring_program(c, 20); });
+  // Dups of the final message on a flow may sit undrained in the mailbox at
+  // program end, so discards can trail injections — never exceed them.
+  EXPECT_GT(run.transport_total().dup_discards, 0u);
+  EXPECT_LE(run.transport_total().dup_discards,
+            run.faults_total().duplicated_messages);
+}
+
+TEST(Faults, ReorderingPreservesPerFlowFifo) {
+  FaultConfig cfg;
+  cfg.reorder_prob = 1.0;
+  Machine m(4, CostModel::cm5(), cfg);
+  // ring_program's per-stream sequence check is exactly the per-flow FIFO
+  // guarantee; interleaving across tags exercises cross-flow overtaking.
+  m.run([](Comm& c) {
+    const int p = c.size();
+    const int next = (c.rank() + 1) % p;
+    const int prev = (c.rank() + p - 1) % p;
+    for (int k = 0; k < 10; ++k) {
+      c.send_value(next, 1, k);        // two interleaved flows to the same
+      c.send_value(next, 2, 100 + k);  // destination: tags 1 and 2
+    }
+    for (int k = 0; k < 10; ++k)
+      EXPECT_EQ(c.recv_value<int>(prev, 1), k) << "flow (tag 1) reordered";
+    for (int k = 0; k < 10; ++k)
+      EXPECT_EQ(c.recv_value<int>(prev, 2), 100 + k)
+          << "flow (tag 2) reordered";
+  });
+}
+
+TEST(Faults, StragglerRaisesMakespan) {
+  const auto program = [](Comm& c) {
+    for (int i = 0; i < 10; ++i) {
+      c.charge(1e-3);
+      c.barrier();
+    }
+  };
+  Machine clean(4, CostModel::cm5());
+  FaultConfig cfg;
+  cfg.straggler_ranks = {2};
+  cfg.straggler_factor = 3.0;
+  Machine slow(4, CostModel::cm5(), cfg);
+  const auto a = clean.run(program);
+  const auto b = slow.run(program);
+  EXPECT_GT(b.makespan(), a.makespan() * 1.5);
+  // Only compute is slowed: rank 2's compute charge triples.
+  EXPECT_NEAR(b.ranks[2].stats.total().compute_seconds,
+              3.0 * a.ranks[2].stats.total().compute_seconds, 1e-12);
+}
+
+TEST(Faults, JitterDelaysButDelivers) {
+  FaultConfig cfg;
+  cfg.latency_jitter_prob = 1.0;
+  cfg.latency_jitter_max_seconds = 1e-3;
+  Machine m(4, CostModel::cm5(), cfg);
+  const auto run = m.run([](Comm& c) { ring_program(c, 10); });
+  EXPECT_GT(run.faults_total().jittered_messages, 0u);
+}
+
+TEST(Faults, Fnv1aDetectsSingleBitFlips) {
+  std::vector<std::byte> buf(64);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<std::byte>(i * 7 + 1);
+  const auto ref = fnv1a(buf.data(), buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      buf[i] ^= static_cast<std::byte>(1u << b);
+      EXPECT_NE(fnv1a(buf.data(), buf.size()), ref)
+          << "missed flip at byte " << i << " bit " << b;
+      buf[i] ^= static_cast<std::byte>(1u << b);
+    }
+  }
+  EXPECT_EQ(fnv1a(buf.data(), buf.size()), ref);
+}
+
+TEST(DeadlockDiagnostics, ReportsBlockedRanksAndWaitGraph) {
+  Machine m(3, CostModel::cm5());
+  try {
+    m.run([](Comm& c) {
+      // Rank 0 finishes; 1 and 2 each wait on a message that never comes.
+      if (c.rank() == 1) (void)c.recv_value<int>(2, 7);
+      if (c.rank() == 2) (void)c.recv_value<int>(1, 9);
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag=7"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag=9"), std::string::npos) << what;
+
+    ASSERT_EQ(e.blocked().size(), 2u);
+    const auto& b1 = e.blocked()[0];
+    const auto& b2 = e.blocked()[1];
+    EXPECT_EQ(b1.rank, 1);
+    EXPECT_EQ(b1.want_src, 2);
+    EXPECT_EQ(b1.want_tag, 7);
+    EXPECT_EQ(b2.rank, 2);
+    EXPECT_EQ(b2.want_src, 1);
+    EXPECT_EQ(b2.want_tag, 9);
+  }
+}
+
+}  // namespace
+}  // namespace picpar::sim

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "sim/comm.hpp"
+#include "sim/faults.hpp"
 #include "util/rng.hpp"
 
 namespace picpar::sim {
@@ -51,6 +52,61 @@ INSTANTIATE_TEST_SUITE_P(
     Patterns, AllToManyFuzz,
     ::testing::Values(FuzzCase{2, 1}, FuzzCase{3, 2}, FuzzCase{5, 3},
                       FuzzCase{8, 4}, FuzzCase{13, 5}, FuzzCase{16, 6}),
+    [](const ::testing::TestParamInfo<FuzzCase>& i) {
+      return "p" + std::to_string(i.param.ranks) + "s" +
+             std::to_string(i.param.seed);
+    });
+
+class FaultyFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(FaultyFuzz, AllToManySurvivesActiveFaultModel) {
+  // Same reference exchange as AllToManyFuzz, but over a fabric that
+  // jitters, duplicates, reorders and corrupts. The transport must hide
+  // all of it: every payload arrives exactly once, bit-identical.
+  const auto [ranks, seed] = GetParam();
+  picpar::Rng pattern(seed);
+  std::vector<std::vector<std::vector<int>>> traffic(
+      static_cast<std::size_t>(ranks));
+  for (int s = 0; s < ranks; ++s) {
+    traffic[static_cast<std::size_t>(s)].resize(static_cast<std::size_t>(ranks));
+    for (int d = 0; d < ranks; ++d) {
+      const auto len = pattern.below(5);
+      for (std::uint64_t k = 0; k < len; ++k)
+        traffic[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)]
+            .push_back(static_cast<int>(s * 10000 + d * 100 + static_cast<int>(k)));
+    }
+  }
+
+  FaultConfig cfg;
+  cfg.seed = seed * 1000 + 17;
+  cfg.latency_jitter_prob = 0.5;
+  cfg.latency_jitter_max_seconds = 1e-4;
+  cfg.duplicate_prob = 0.3;
+  cfg.reorder_prob = 0.3;
+  cfg.corrupt_prob = 0.1;
+  cfg.max_retries = 20;
+  Machine m(ranks, CostModel::cm5(), cfg);
+  const auto run = m.run([&](Comm& c) {
+    // Two rounds back to back: leftover duplicates from round one must not
+    // bleed into round two's matching.
+    for (int round = 0; round < 2; ++round) {
+      auto send = traffic[static_cast<std::size_t>(c.rank())];
+      auto recv = c.all_to_many(std::move(send));
+      for (int s = 0; s < ranks; ++s) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(s)],
+                  traffic[static_cast<std::size_t>(s)]
+                         [static_cast<std::size_t>(c.rank())])
+            << "round " << round << " rank " << c.rank() << " from " << s;
+      }
+    }
+  });
+  EXPECT_GT(run.faults_total().total(), 0u) << "fault model never fired";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, FaultyFuzz,
+    ::testing::Values(FuzzCase{2, 11}, FuzzCase{3, 12}, FuzzCase{5, 13},
+                      FuzzCase{8, 14}, FuzzCase{13, 15}),
     [](const ::testing::TestParamInfo<FuzzCase>& i) {
       return "p" + std::to_string(i.param.ranks) + "s" +
              std::to_string(i.param.seed);
