@@ -1,0 +1,94 @@
+// Cost of the happens-before analysis layer (src/analysis).
+//
+// Two claims to verify. First, the analyzer is opt-in with zero cost on
+// the fast path: with analysis disabled, the simulated run — virtual
+// makespan, per-phase traffic, physics — is bit-identical to a build
+// without the subsystem, and the wall-clock difference is noise. Second,
+// when enabled, the wall-clock overhead of vector-clock maintenance and
+// race scanning stays a modest multiple even on communication-heavy runs,
+// and the virtual-time results are untouched either way (the analyzer
+// rides on real time, not simulated time).
+#include <chrono>
+
+#include "common.hpp"
+#include "pic/simulation.hpp"
+
+using namespace picpar;
+
+namespace {
+
+double wall_seconds(const pic::PicParams& params, pic::PicResult* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = pic::run_pic(params);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (out) *out = std::move(r);
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_analyzer_overhead",
+          "Wall-clock cost of happens-before analysis");
+  auto ranks = cli.flag<int>("ranks", 32, "simulated processors");
+  const auto scale = bench::parse_scale(cli, argc, argv);
+  const int iters = scale.full ? 200 : 50;
+  const std::uint64_t n = scale.particles(32768);
+
+  bench::print_header(
+      "Analysis layer — overhead of vector clocks and race scanning",
+      std::to_string(iters) + " iterations, irregular blob, " +
+          std::to_string(*ranks) +
+          " ranks; virtual-time columns must be identical in every row");
+
+  auto params = bench::paper_params("irregular", 128, 64, n, *ranks);
+  params.iterations = iters;
+  params.policy = "sar";
+  params.init.drift_ux = 0.12;
+  params.init.drift_uy = 0.07;
+
+  struct Mode {
+    const char* label;
+    bool analyze;
+    bool audit;
+  };
+  const Mode modes[] = {
+      {"off", false, false},
+      {"analyze", true, false},
+      {"analyze+audit", true, true},
+  };
+
+  Table table({"mode", "wall (s)", "slowdown", "virtual total (s)",
+               "findings", "audit"});
+  table.set_title("Analyzer cost by mode (audit runs the program twice)");
+
+  double wall_off = 0.0;
+  for (const auto& mode : modes) {
+    params.analyze.enabled = mode.analyze;
+    params.analyze.audit_determinism = mode.audit;
+    pic::PicResult r;
+    // Median-of-3 wall time: these runs are short enough to jitter.
+    double best = wall_seconds(params, &r);
+    for (int rep = 0; rep < 2; ++rep)
+      best = std::min(best, wall_seconds(params, nullptr));
+    if (!mode.analyze) wall_off = best;
+    const char* audit_col =
+        r.determinism_audit < 0 ? "-" : (r.determinism_audit == 1 ? "pass" : "FAIL");
+    table.row()
+        .add(mode.label)
+        .add(best, 3)
+        .add(wall_off > 0.0 ? best / wall_off : 1.0, 2)
+        .add(r.total_seconds, 2)
+        .add(r.analysis_findings < 0 ? std::string("-")
+                                     : std::to_string(r.analysis_findings))
+        .add(audit_col);
+    std::cout << "." << std::flush;
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nExpected: identical 'virtual total' across modes (the "
+               "analyzer never touches simulated time), zero findings, a "
+               "small constant-factor wall-clock cost for 'analyze', and "
+               "roughly double that for the two-run audit.\n";
+  return 0;
+}

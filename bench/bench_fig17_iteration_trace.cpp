@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
                           std::to_string(*ranks));
 
   const std::uint64_t n = scale.particles(32768);
-  for (const std::string policy :
+  for (const std::string& policy :
        {std::string("static"),
         "periodic:" + std::to_string(scale.full ? 50 : 10), std::string("sar")}) {
     auto params = bench::paper_params("irregular", 128, 64, n, *ranks);

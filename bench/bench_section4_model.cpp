@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   Table meas({"policy", "first iter (s)", "median iter (s)", "last iter (s)",
               "within bound"});
   meas.set_title("Measured per-iteration times");
-  for (const std::string policy : {std::string("sar"), std::string("static")}) {
+  for (const std::string& policy : {std::string("sar"), std::string("static")}) {
     auto p = params;
     p.policy = policy;
     const auto r = pic::run_pic(p);

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   table.set_title("Table 2: Hilbert vs snakelike, " + std::to_string(iters) +
                   " iterations");
 
-  for (const std::string dist : {std::string("uniform"), std::string("irregular")}) {
+  for (const std::string& dist : {std::string("uniform"), std::string("irregular")}) {
     for (const auto& cfg : configs) {
       const auto n = scale.particles(cfg.n);
       for (const auto curve :

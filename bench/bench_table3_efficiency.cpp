@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   table.set_title("Table 3: efficiency, " + std::to_string(iters) +
                   " iterations");
 
-  for (const std::string dist :
+  for (const std::string& dist :
        {std::string("uniform"), std::string("irregular")}) {
     for (const auto& cfg : configs) {
       const auto n = scale.particles(cfg.n);

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     pic::PicResult result;
   };
   std::vector<Run> runs;
-  for (const std::string policy :
+  for (const std::string& policy :
        {std::string("static"), "periodic:" + std::to_string(*period),
         std::string("sar")}) {
     auto params = base;

@@ -1,0 +1,296 @@
+#include "analysis/analyzer.hpp"
+
+#include <sstream>
+
+namespace picpar::analysis {
+
+using sim::kAnySource;
+using sim::kAnyTag;
+using sim::Message;
+using sim::Phase;
+
+const char* finding_kind_name(FindingKind k) {
+  switch (k) {
+    case FindingKind::kMessageRace: return "message-race";
+    case FindingKind::kTagViolation: return "tag-violation";
+    case FindingKind::kPhaseMismatch: return "phase-mismatch";
+    case FindingKind::kReductionOrder: return "reduction-order";
+  }
+  return "?";
+}
+
+namespace {
+
+bool matches(int want_src, int want_tag, int src, int tag) {
+  return (want_src == kAnySource || src == want_src) &&
+         (want_tag == kAnyTag || tag == want_tag);
+}
+
+}  // namespace
+
+void Analyzer::on_run_start(int nranks) {
+  nranks_ = nranks;
+  clocks_.assign(static_cast<std::size_t>(nranks), VectorClock(nranks));
+  history_.assign(static_cast<std::size_t>(nranks), {});
+  rank_fp_.assign(static_cast<std::size_t>(nranks), 0xcbf29ce484222325ULL);
+  events_ = 0;
+  // Findings survive on purpose: a Machine may run several programs and the
+  // caller reads accumulated findings at the end (clear_findings() resets).
+}
+
+void Analyzer::mix(int rank, std::uint64_t value) {
+  auto& h = rank_fp_[static_cast<std::size_t>(rank)];
+  for (int b = 0; b < 8; ++b) {
+    h ^= (value >> (8 * b)) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+std::uint64_t Analyzer::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto fp : rank_fp_) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (fp >> (8 * b)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+std::uint64_t Analyzer::total() const {
+  std::uint64_t t = 0;
+  for (const auto c : counts_) t += c;
+  return t;
+}
+
+void Analyzer::clear_findings() {
+  findings_.clear();
+  finding_keys_.clear();
+  for (auto& c : counts_) c = 0;
+}
+
+void Analyzer::add_finding(Finding f) {
+  ++counts_[static_cast<int>(f.kind)];
+  std::ostringstream key;
+  key << static_cast<int>(f.kind) << ':' << f.rank << ':' << f.src << ':'
+      << f.other_src << ':' << f.tag << ':' << static_cast<int>(f.phase)
+      << ':' << static_cast<int>(f.other_phase);
+  if (!finding_keys_.insert(key.str()).second) return;  // repeat of a known site
+  if (findings_.size() >= opt_.max_findings) return;
+  findings_.push_back(std::move(f));
+}
+
+void Analyzer::on_send(Message& m, const sim::SendEvent& e) {
+  auto& clk = clocks_[static_cast<std::size_t>(e.src)];
+  clk.tick(e.src);
+  m.vclock = clk.components();
+
+  ++events_;
+  mix(e.src, 0xA11CE5EDULL);
+  mix(e.src, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.dst))
+              << 32) |
+                 static_cast<std::uint32_t>(e.tag));
+  mix(e.src, static_cast<std::uint64_t>(e.bytes));
+  mix(e.src, static_cast<std::uint64_t>(static_cast<int>(e.phase)));
+  mix(e.src, clk.hash());
+
+  // (b) Tag-space violation: user traffic on a reserved negative tag.
+  if (e.collective_depth == 0 && e.tag < 0) {
+    Finding f;
+    f.kind = FindingKind::kTagViolation;
+    f.rank = e.src;
+    f.src = e.src;
+    f.tag = e.tag;
+    f.phase = e.phase;
+    f.vtime = e.vtime;
+    f.clocks = clk.str();
+    std::ostringstream os;
+    os << "user send " << e.src << " -> " << e.dst << " uses reserved tag "
+       << e.tag << " (phase " << sim::phase_name(e.phase)
+       << "); it can match collective-internal receives";
+    f.detail = os.str();
+    add_finding(std::move(f));
+  }
+
+  // (a) Send-side race check: this send is concurrent with an already
+  // completed wildcard receive it could have matched — the match could have
+  // gone either way depending on timing.
+  for (const auto& w : history_[static_cast<std::size_t>(e.dst)]) {
+    if (!matches(w.want_src, w.want_tag, e.src, e.tag)) continue;
+    if (w.matched_src == e.src && w.matched_tag == e.tag)
+      continue;  // same flow: per-flow FIFO fixes the order
+    if (w.completion.happens_before(clk)) continue;  // properly ordered
+    Finding f;
+    f.kind = w.fp ? FindingKind::kReductionOrder : FindingKind::kMessageRace;
+    f.rank = e.dst;
+    f.src = w.matched_src;
+    f.other_src = e.src;
+    f.tag = e.tag;
+    f.phase = w.phase;
+    f.vtime = e.vtime;
+    f.clocks = "recv " + w.completion.str() + " vs send " + clk.str();
+    std::ostringstream os;
+    os << "send " << e.src << " -> " << e.dst << " tag " << e.tag
+       << " is concurrent with a completed wildcard receive (want src="
+       << w.want_src << ", tag=" << w.want_tag << ") that matched src="
+       << w.matched_src << " tag=" << w.matched_tag
+       << "; either message could have matched first";
+    if (w.fp)
+      os << " — floating-point operand order is not happens-before-fixed";
+    f.detail = os.str();
+    add_finding(std::move(f));
+  }
+}
+
+void Analyzer::on_recv(const Message& m, const sim::RecvEvent& e,
+                       const std::deque<Message>& mailbox) {
+  auto& clk = clocks_[static_cast<std::size_t>(e.rank)];
+  if (!m.vclock.empty()) clk.merge(m.vclock);
+  clk.tick(e.rank);
+
+  ++events_;
+  mix(e.rank, 0x5ECE15EDULL);
+  mix(e.rank, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.src))
+               << 32) |
+                  static_cast<std::uint32_t>(m.tag));
+  mix(e.rank, static_cast<std::uint64_t>(m.bytes()));
+  mix(e.rank, static_cast<std::uint64_t>(static_cast<int>(e.phase)));
+  mix(e.rank, clk.hash());
+
+  // (c) Phase attribution: sender charged this traffic to one phase, the
+  // receiver is accounting it under another.
+  if (m.sent_phase != e.phase) {
+    Finding f;
+    f.kind = FindingKind::kPhaseMismatch;
+    f.rank = e.rank;
+    f.src = m.src;
+    f.tag = m.tag;
+    f.phase = e.phase;
+    f.other_phase = m.sent_phase;
+    f.vtime = e.vtime;
+    f.clocks = clk.str();
+    std::ostringstream os;
+    os << "message " << m.src << " -> " << e.rank << " tag " << m.tag
+       << " sent in phase " << sim::phase_name(m.sent_phase)
+       << " but received in phase " << sim::phase_name(e.phase)
+       << "; per-phase traffic books disagree";
+    f.detail = os.str();
+    add_finding(std::move(f));
+  }
+
+  const bool user_code = e.collective_depth == 0;
+
+  // (b) Tag space on the receive side, user code only.
+  if (user_code && m.tag < 0) {
+    Finding f;
+    f.kind = FindingKind::kTagViolation;
+    f.rank = e.rank;
+    f.src = m.src;
+    f.tag = m.tag;
+    f.phase = e.phase;
+    f.vtime = e.vtime;
+    f.clocks = clk.str();
+    std::ostringstream os;
+    os << "user receive on rank " << e.rank << " (want src=" << e.want_src
+       << ", tag=" << e.want_tag << ") matched reserved-tag " << m.tag
+       << " traffic from " << m.src << " — collective message stolen";
+    f.detail = os.str();
+    add_finding(std::move(f));
+  } else if (user_code && e.want_tag == kAnyTag) {
+    // A wildcard-tag user receive with reserved-tag traffic still pending:
+    // the next such receive can steal it.
+    for (const auto& pm : mailbox) {
+      if (pm.tag >= 0 ||
+          !(e.want_src == kAnySource || pm.src == e.want_src))
+        continue;
+      Finding f;
+      f.kind = FindingKind::kTagViolation;
+      f.rank = e.rank;
+      f.src = pm.src;
+      f.tag = pm.tag;
+      f.phase = e.phase;
+      f.vtime = e.vtime;
+      f.clocks = clk.str();
+      std::ostringstream os;
+      os << "wildcard-tag user receive on rank " << e.rank
+         << " posted while reserved-tag " << pm.tag << " traffic from "
+         << pm.src << " is pending — it can steal collective traffic";
+      f.detail = os.str();
+      add_finding(std::move(f));
+      break;
+    }
+  }
+
+  // (a)/(d) Receive-side race check: another pending message, causally
+  // concurrent with the matched one, also matches the posted pattern.
+  const bool wildcard = e.want_src == kAnySource || e.want_tag == kAnyTag;
+  const bool race_eligible =
+      wildcard && user_code && !e.order_insensitive && !m.vclock.empty();
+  if (race_eligible) {
+    const VectorClock a(m.vclock);
+    for (const auto& pm : mailbox) {
+      if (!matches(e.want_src, e.want_tag, pm.src, pm.tag)) continue;
+      if (pm.src == m.src && pm.tag == m.tag) continue;  // same FIFO flow
+      if (pm.vclock.empty()) continue;
+      const VectorClock b(pm.vclock);
+      if (!a.concurrent(b)) continue;
+      Finding f;
+      f.kind = e.fp_payload ? FindingKind::kReductionOrder
+                            : FindingKind::kMessageRace;
+      f.rank = e.rank;
+      f.src = m.src;
+      f.other_src = pm.src;
+      f.tag = m.tag;
+      f.phase = e.phase;
+      f.vtime = e.vtime;
+      f.clocks = "matched " + a.str() + " vs pending " + b.str();
+      std::ostringstream os;
+      os << "wildcard receive on rank " << e.rank << " (want src="
+         << e.want_src << ", tag=" << e.want_tag << ") matched src=" << m.src
+         << " tag=" << m.tag << " while concurrent src=" << pm.src << " tag="
+         << pm.tag << " was pending; either order is possible";
+      if (e.fp_payload)
+        os << " — floating-point operand order is not happens-before-fixed";
+      f.detail = os.str();
+      add_finding(std::move(f));
+    }
+  }
+
+  // Remember race-eligible wildcard receives for the send-side check; a
+  // concurrent message may only be sent after this receive completed.
+  if (wildcard && user_code && !e.order_insensitive) {
+    auto& h = history_[static_cast<std::size_t>(e.rank)];
+    if (h.size() >= opt_.recv_history) h.pop_front();
+    CompletedRecv w;
+    w.want_src = e.want_src;
+    w.want_tag = e.want_tag;
+    w.matched_src = m.src;
+    w.matched_tag = m.tag;
+    w.fp = e.fp_payload;
+    w.phase = e.phase;
+    w.vtime = e.vtime;
+    w.completion = clk;
+    h.push_back(std::move(w));
+  }
+}
+
+std::string Analyzer::report() const {
+  std::ostringstream os;
+  os << "happens-before analysis: " << events_ << " events, " << total()
+     << " finding(s)";
+  for (int k = 0; k < kNumFindingKinds; ++k)
+    if (counts_[k] > 0)
+      os << "; " << finding_kind_name(static_cast<FindingKind>(k)) << ": "
+         << counts_[k];
+  os << '\n';
+  for (const auto& f : findings_) {
+    os << "  [" << finding_kind_name(f.kind) << "] rank " << f.rank << " @ t="
+       << f.vtime << ": " << f.detail << " (clocks " << f.clocks << ")\n";
+  }
+  if (total() > findings_.size())
+    os << "  (" << (total() - findings_.size())
+       << " further detection(s) deduplicated or past the cap)\n";
+  return os.str();
+}
+
+}  // namespace picpar::analysis

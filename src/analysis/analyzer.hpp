@@ -1,0 +1,135 @@
+// Happens-before message-race and determinism analyzer for sim::Machine.
+//
+// Installed as a MachineObserver (opt-in; see Machine::set_observer), the
+// analyzer maintains one vector clock per rank, stamps every outgoing
+// message with the sender's clock, and merges clocks on receive. On top of
+// that partial order it detects, with full provenance:
+//
+//   * message races      — a wildcard receive that two causally concurrent
+//                          sends could have matched in either order;
+//   * tag-space violations — user traffic on reserved negative tags, or
+//                          user receives that match (or could next match)
+//                          pending collective traffic;
+//   * phase-attribution errors — a message charged to one PIC phase by the
+//                          sender and a different phase by the receiver;
+//   * reduction-order sensitivity — the floating-point flavor of a message
+//                          race: operand arrival order into an accumulation
+//                          is not fixed by happens-before.
+//
+// It also folds every event into a per-rank FNV fingerprint of the
+// happens-before DAG; two runs of a deterministic program produce the same
+// fingerprint (see analysis/audit.hpp for the two-run audit).
+//
+// Receives completed inside Comm collectives are exempt from race findings:
+// the collective library's wildcard receives (all_to_many) key their
+// results by source rank, which makes delivery order immaterial — they are
+// verified library internals, like an MPI implementation's own protocol
+// traffic. User code with the same property can say so via
+// Comm::OrderInsensitive.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/vector_clock.hpp"
+#include "sim/observer.hpp"
+
+namespace picpar::analysis {
+
+enum class FindingKind : int {
+  kMessageRace = 0,
+  kTagViolation,
+  kPhaseMismatch,
+  kReductionOrder,
+};
+
+inline constexpr int kNumFindingKinds = 4;
+
+const char* finding_kind_name(FindingKind k);
+
+/// One detected defect, with provenance.
+struct Finding {
+  FindingKind kind = FindingKind::kMessageRace;
+  int rank = 0;       ///< rank at which the defect was detected
+  int src = -1;       ///< sender involved (first sender for races)
+  int other_src = -1; ///< second concurrent sender for races
+  int tag = 0;
+  sim::Phase phase = sim::Phase::kOther;        ///< phase at detection
+  sim::Phase other_phase = sim::Phase::kOther;  ///< sender phase (mismatch)
+  double vtime = 0.0;                           ///< virtual detection time
+  std::string clocks;  ///< vector clocks of the events involved
+  std::string detail;  ///< human-readable one-line description
+};
+
+class Analyzer final : public sim::MachineObserver {
+public:
+  struct Options {
+    /// Stored findings are deduplicated by (kind, ranks, tag, phase) and
+    /// capped here; detections past the cap still count in counts().
+    std::size_t max_findings = 64;
+    /// Completed wildcard receives remembered per rank for the send-side
+    /// race check (a racy send can arrive after its receive completed).
+    std::size_t recv_history = 512;
+  };
+
+  Analyzer() : Analyzer(Options{}) {}
+  explicit Analyzer(Options opt) : opt_(opt) {}
+
+  // ---- MachineObserver ----
+  void on_run_start(int nranks) override;
+  void on_send(sim::Message& m, const sim::SendEvent& e) override;
+  void on_recv(const sim::Message& m, const sim::RecvEvent& e,
+               const std::deque<sim::Message>& mailbox) override;
+
+  // ---- results ----
+  /// Stored (deduplicated, capped) findings, in detection order. Findings
+  /// accumulate across runs of the same Machine; see clear_findings().
+  const std::vector<Finding>& findings() const { return findings_; }
+  /// Total detections of one kind, including deduplicated repeats.
+  std::uint64_t count(FindingKind k) const {
+    return counts_[static_cast<int>(k)];
+  }
+  /// Total detections of all kinds.
+  std::uint64_t total() const;
+  void clear_findings();
+
+  /// Happens-before DAG fingerprint of the last (or current) run: an FNV
+  /// fold of every event (kind, endpoints, tag, bytes, phase, clock) in
+  /// per-rank order. Deterministic program => stable fingerprint.
+  std::uint64_t fingerprint() const;
+  /// Events observed in the last (or current) run.
+  std::uint64_t events() const { return events_; }
+
+  /// Multi-line human-readable report of counts and stored findings.
+  std::string report() const;
+
+private:
+  struct CompletedRecv {
+    int want_src = 0;
+    int want_tag = 0;
+    int matched_src = 0;
+    int matched_tag = 0;
+    bool fp = false;
+    sim::Phase phase = sim::Phase::kOther;
+    double vtime = 0.0;
+    VectorClock completion;  ///< receiver clock at completion
+  };
+
+  void add_finding(Finding f);
+  void mix(int rank, std::uint64_t value);
+
+  Options opt_;
+  int nranks_ = 0;
+  std::vector<VectorClock> clocks_;            ///< per rank
+  std::vector<std::deque<CompletedRecv>> history_;  ///< per rank, bounded
+  std::vector<std::uint64_t> rank_fp_;         ///< per-rank event fold
+  std::uint64_t events_ = 0;
+  std::vector<Finding> findings_;
+  std::unordered_set<std::string> finding_keys_;
+  std::uint64_t counts_[kNumFindingKinds] = {0, 0, 0, 0};
+};
+
+}  // namespace picpar::analysis

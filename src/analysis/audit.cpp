@@ -1,0 +1,50 @@
+#include "analysis/audit.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/comm.hpp"
+
+namespace picpar::analysis {
+
+std::string AuditResult::summary() const {
+  std::ostringstream os;
+  os << "determinism audit: " << (deterministic() ? "PASS" : "FAIL")
+     << " (fingerprints " << std::hex << fingerprint_first << " / "
+     << fingerprint_second << std::dec << ", events " << events_first << " / "
+     << events_second << ", findings " << findings << ")";
+  return os.str();
+}
+
+AuditResult audit_determinism(
+    sim::Machine& machine,
+    const std::function<void(sim::Comm&)>& program,
+    const std::function<void()>& between_runs,
+    Analyzer::Options options) {
+  sim::MachineObserver* previous = machine.observer();
+  AuditResult out;
+  Analyzer analyzer(options);
+  machine.set_observer(&analyzer);
+  try {
+    machine.run(program);
+    out.fingerprint_first = analyzer.fingerprint();
+    out.events_first = analyzer.events();
+    if (between_runs) between_runs();
+    machine.run(program);
+    out.fingerprint_second = analyzer.fingerprint();
+    out.events_second = analyzer.events();
+    out.findings = analyzer.total();
+  } catch (...) {
+    machine.set_observer(previous);
+    throw;
+  }
+  machine.set_observer(previous);
+  return out;
+}
+
+bool analyzer_env_enabled() {
+  const char* v = std::getenv("PICPAR_ANALYZE");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace picpar::analysis

@@ -1,0 +1,51 @@
+#include "analysis/vector_clock.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace picpar::analysis {
+
+void VectorClock::merge(const VectorClock& other) { merge(other.c_); }
+
+void VectorClock::merge(const std::vector<std::uint64_t>& other) {
+  if (other.size() != c_.size())
+    throw std::invalid_argument("VectorClock::merge: size mismatch");
+  for (std::size_t i = 0; i < c_.size(); ++i)
+    c_[i] = std::max(c_[i], other[i]);
+}
+
+bool VectorClock::happens_before(const VectorClock& other) const {
+  if (other.c_.size() != c_.size())
+    throw std::invalid_argument("VectorClock::happens_before: size mismatch");
+  bool strict = false;
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] > other.c_[i]) return false;
+    if (c_[i] < other.c_[i]) strict = true;
+  }
+  return strict;
+}
+
+std::uint64_t VectorClock::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto v : c_) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+std::string VectorClock::str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (i) os << ' ';
+    os << c_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace picpar::analysis

@@ -67,6 +67,20 @@ struct ValidationParams {
   bool enabled() const { return check_every > 0 || checkpoint_every > 0; }
 };
 
+/// Opt-in happens-before analysis (src/analysis). Everything defaults to
+/// off: no observer is attached and runs are bit-identical to a build
+/// without the analysis layer. The PICPAR_ANALYZE environment variable
+/// (set, not "0") also enables the analyzer for any run without a rebuild.
+struct AnalysisParams {
+  /// Attach the race/tag/phase analyzer to the simulated machine.
+  bool enabled = false;
+  /// Run the whole program twice and compare happens-before DAG
+  /// fingerprints (doubles the run; implies `enabled`).
+  bool audit_determinism = false;
+  /// Cap on stored findings (detections keep counting past it).
+  int max_findings = 64;
+};
+
 struct PicParams {
   mesh::GridDesc grid{128, 64};
   int nranks = 32;
@@ -96,6 +110,8 @@ struct PicParams {
   sim::FaultConfig faults{};
   /// Invariant validation + checkpoint/rollback recovery (default: off).
   ValidationParams validate{};
+  /// Happens-before analysis and determinism audit (default: off).
+  AnalysisParams analyze{};
 
   /// Record global field/kinetic energy every k iterations (0 = off).
   /// Sampling performs an extra allreduce, so it adds (real) virtual time;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/machine.hpp"
@@ -62,6 +63,13 @@ struct PicResult {
   int violation_iterations = 0;       ///< iterations with any violation
   std::uint64_t initial_particles = 0;
   std::uint64_t final_particles = 0;  ///< summed over ranks at run end
+
+  // Happens-before analysis (populated when PicParams::analyze or
+  // PICPAR_ANALYZE enables the analyzer; see src/analysis).
+  std::int64_t analysis_findings = -1;  ///< -1 = analyzer not attached
+  std::string analysis_report;          ///< empty when clean or not attached
+  std::uint64_t hb_fingerprint = 0;     ///< happens-before DAG fingerprint
+  int determinism_audit = -1;           ///< -1 not run, 0 failed, 1 passed
 
   // Physics diagnostics at the end of the run (summed over ranks).
   double field_energy = 0.0;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/analyzer.hpp"
+#include "analysis/audit.hpp"
 #include "core/indexing.hpp"
 #include "core/invariants.hpp"
 #include "core/policy.hpp"
@@ -390,7 +392,33 @@ PicResult run_pic(const PicParams& params) {
   };
 
   sim::Machine machine(params.nranks, params.machine, params.faults);
-  auto run = machine.run(program);
+
+  // ---- opt-in happens-before analysis (zero cost when off) ----
+  const bool analyze_on = params.analyze.enabled ||
+                          params.analyze.audit_determinism ||
+                          analysis::analyzer_env_enabled();
+  analysis::Analyzer::Options aopt;
+  aopt.max_findings =
+      static_cast<std::size_t>(std::max(0, params.analyze.max_findings));
+  analysis::Analyzer analyzer(aopt);
+  if (analyze_on) machine.set_observer(&analyzer);
+
+  int audit_state = -1;
+  sim::RunResult run;
+  if (analyze_on && params.analyze.audit_determinism) {
+    // First run establishes the happens-before DAG fingerprint; the second
+    // must reproduce it exactly. Per-rank outputs are host-side state the
+    // program accumulates into, so they reset between runs.
+    machine.run(program);
+    const auto fp1 = analyzer.fingerprint();
+    const auto ev1 = analyzer.events();
+    for (auto& o : outputs) o = RankOutput{};
+    run = machine.run(program);
+    audit_state =
+        (fp1 == analyzer.fingerprint() && ev1 == analyzer.events()) ? 1 : 0;
+  } else {
+    run = machine.run(program);
+  }
 
   // ---- Aggregate ----
   PicResult result;
@@ -450,6 +478,14 @@ PicResult run_pic(const PicParams& params) {
     result.total_charge += o.total_charge;
   }
   result.energy_history = std::move(outputs[0].energy);
+
+  if (analyze_on) {
+    result.analysis_findings =
+        static_cast<std::int64_t>(analyzer.total());
+    if (result.analysis_findings > 0) result.analysis_report = analyzer.report();
+    result.hb_fingerprint = analyzer.fingerprint();
+    result.determinism_audit = audit_state;
+  }
   return result;
 }
 

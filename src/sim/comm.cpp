@@ -27,6 +27,7 @@ std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(
     blocks[0] = std::move(mine);
     return blocks;
   }
+  CollectiveScope scope(*this);
 
   // Binomial-tree gather of records to rank 0.
   std::vector<std::byte> acc;
@@ -106,6 +107,8 @@ std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(
 
 void Comm::barrier() {
   const int p = size();
+  if (p == 1) return;
+  CollectiveScope scope(*this);
   // Dissemination barrier: ceil(log2 p) rounds; in round k, rank r signals
   // (r + 2^k) mod p and waits for (r - 2^k) mod p.
   for (int dist = 1; dist < p; dist <<= 1) {

@@ -6,7 +6,10 @@
 // from the same two-level model as everything else.
 //
 // Tag space: user code must use tags >= 0. Negative tags are reserved for
-// collectives so they never match user receives.
+// collectives so they never match user receives. This is a checked
+// invariant, not a convention: sends and explicit-tag receives issued
+// outside a collective with a negative tag throw std::invalid_argument
+// (see Machine::set_strict_tags to trade the throw for analyzer findings).
 #pragma once
 
 #include <cstring>
@@ -42,6 +45,27 @@ public:
   Phase phase() const { return machine_->ranks_[rank_].phase; }
 
   const CommStats& stats() const { return machine_->ranks_[rank_].stats; }
+
+  /// RAII annotation for user code: wildcard receives inside the scope are
+  /// declared order-insensitive — the caller keys results by source (or
+  /// accumulates commutatively), so delivery order cannot change the
+  /// outcome. The happens-before analyzer suppresses message-race and
+  /// reduction-order findings for receives completed under this scope;
+  /// everything else (tag checks, phase attribution, clocks) still applies.
+  class OrderInsensitive {
+  public:
+    explicit OrderInsensitive(Comm& c) : comm_(c) {
+      ++comm_.machine_->ranks_[comm_.rank_].unordered_depth;
+    }
+    ~OrderInsensitive() {
+      --comm_.machine_->ranks_[comm_.rank_].unordered_depth;
+    }
+    OrderInsensitive(const OrderInsensitive&) = delete;
+    OrderInsensitive& operator=(const OrderInsensitive&) = delete;
+
+  private:
+    Comm& comm_;
+  };
 
   /// Fault model active on the underlying machine (disabled by default).
   /// Drivers use it to inject host-side faults into their own state and to
@@ -82,7 +106,10 @@ public:
   std::vector<T> recv(int src = kAnySource, int tag = kAnyTag,
                       int* actual_src = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
-    Message m = recv_msg(src, tag);
+    // The element type is surfaced to the analyzer: a wildcard receive of
+    // floating-point data feeding an accumulation is how reduction-order
+    // sensitivity enters a program.
+    Message m = machine_->do_recv(rank_, src, tag, std::is_floating_point_v<T>);
     if (actual_src) *actual_src = m.src;
     if (m.payload.size() % sizeof(T) != 0)
       throw std::runtime_error("recv: payload size not a multiple of sizeof(T)");
@@ -176,6 +203,25 @@ public:
   std::vector<std::vector<T>> all_to_many(std::vector<std::vector<T>> send);
 
 private:
+  /// RAII guard marking execution inside a collective. While a rank's
+  /// collective depth is positive, reserved (negative) tags are legal and
+  /// the analyzer treats the traffic as verified library internals (e.g.
+  /// all_to_many's wildcard receives are source-keyed, hence benign).
+  class CollectiveScope {
+  public:
+    explicit CollectiveScope(Comm& c) : comm_(c) {
+      ++comm_.machine_->ranks_[comm_.rank_].collective_depth;
+    }
+    ~CollectiveScope() {
+      --comm_.machine_->ranks_[comm_.rank_].collective_depth;
+    }
+    CollectiveScope(const CollectiveScope&) = delete;
+    CollectiveScope& operator=(const CollectiveScope&) = delete;
+
+  private:
+    Comm& comm_;
+  };
+
   // Reserved (negative) tag bases for collectives.
   static constexpr int kTagBarrier = -100;
   static constexpr int kTagBcast = -200;
@@ -203,6 +249,7 @@ std::vector<T> Comm::bcast(std::vector<T> data, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int p = size();
   if (p == 1) return data;
+  CollectiveScope scope(*this);
   // Rotate ranks so the tree is rooted at `root`.
   const int vrank = (rank_ - root + p) % p;
   // Walk masks upward to find the level at which we receive from our
@@ -229,6 +276,7 @@ std::vector<T> Comm::allreduce(std::vector<T> v, Op op) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int p = size();
   if (p == 1) return v;
+  CollectiveScope scope(*this);
   // Binomial-tree reduction to rank 0.
   for (int mask = 1; mask < p; mask <<= 1) {
     if ((rank_ & mask) != 0) {
@@ -251,6 +299,7 @@ T Comm::exscan_sum(T v) {
   static_assert(std::is_trivially_copyable_v<T>);
   // Linear chain: rank r sends its inclusive prefix to r+1. O(p) steps but
   // simple and exact; used only in setup paths.
+  CollectiveScope scope(*this);
   T prefix{};
   if (rank_ > 0) prefix = recv_value<T>(rank_ - 1, kTagScan);
   if (rank_ + 1 < size()) send_value(rank_ + 1, kTagScan, static_cast<T>(prefix + v));
@@ -298,6 +347,7 @@ std::vector<std::vector<T>> Comm::all_to_many(
   const int p = size();
   if (static_cast<int>(send_bufs.size()) != p)
     throw std::invalid_argument("all_to_many: need one buffer per rank");
+  CollectiveScope scope(*this);
 
   // Agree on receive counts: element d of the allreduced vector is the
   // number of coalesced messages headed for rank d.

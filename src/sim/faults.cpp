@@ -1,8 +1,27 @@
 #include "sim/faults.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace picpar::sim {
+
+std::string FaultCounters::summary() const {
+  std::string out;
+  const auto add = [&out](const char* name, std::uint64_t v) {
+    if (v == 0) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(v);
+  };
+  add("transient_slowdowns", transient_slowdowns);
+  add("jittered", jittered_messages);
+  add("corrupted", corrupted_deliveries);
+  add("duplicated", duplicated_messages);
+  add("reordered", reordered_messages);
+  add("memory", memory_faults);
+  return out.empty() ? "clean" : out;
+}
 
 FaultCounters& FaultCounters::operator+=(const FaultCounters& rhs) {
   transient_slowdowns += rhs.transient_slowdowns;

@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -94,6 +95,9 @@ struct FaultCounters {
     return transient_slowdowns + jittered_messages + corrupted_deliveries +
            duplicated_messages + reordered_messages + memory_faults;
   }
+  /// One-line "kind=count ..." summary of the non-zero tallies ("clean"
+  /// when nothing fired) — for logs and test diagnostics.
+  std::string summary() const;
 };
 
 class FaultModel {

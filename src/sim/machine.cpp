@@ -164,6 +164,11 @@ void Machine::do_send(int src, int dst, int tag,
     throw std::out_of_range("send: bad destination rank " +
                             std::to_string(dst));
   auto& s = ranks_[src];
+  if (strict_tags_ && tag < 0 && s.collective_depth == 0)
+    throw std::invalid_argument(
+        "send: tag " + std::to_string(tag) +
+        " is in the reserved (negative) collective tag space; user traffic "
+        "must use tags >= 0");
   const auto bytes = payload.size();
   const double cost = cost_.message_cost(bytes);
   s.clock += cost;
@@ -177,7 +182,22 @@ void Machine::do_send(int src, int dst, int tag,
   m.dst = dst;
   m.tag = tag;
   m.arrival = s.clock;
+  m.sent_phase = s.phase;
   m.payload = std::move(payload);
+
+  if (observer_) {
+    SendEvent ev;
+    ev.src = src;
+    ev.dst = dst;
+    ev.tag = tag;
+    ev.bytes = bytes;
+    ev.phase = s.phase;
+    ev.collective_depth = s.collective_depth;
+    ev.vtime = s.clock;
+    // Stamped before any fault perturbation so a duplicated delivery
+    // carries the same send event (same vector clock).
+    observer_->on_send(m, ev);
+  }
 
   auto& dstbox = ranks_[dst].mailbox;
   if (!faults_.message_faults()) {
@@ -267,8 +287,13 @@ void Machine::recover_corruption(int rank, const Message& m) {
   }
 }
 
-Message Machine::do_recv(int rank, int src, int tag) {
+Message Machine::do_recv(int rank, int src, int tag, bool fp_payload) {
   auto& rs = ranks_[rank];
+  if (strict_tags_ && tag != kAnyTag && tag < 0 && rs.collective_depth == 0)
+    throw std::invalid_argument(
+        "recv: explicit tag " + std::to_string(tag) +
+        " is in the reserved (negative) collective tag space; user receives "
+        "must use tags >= 0 or kAnyTag");
   const bool mf = faults_.message_faults();
   const bool dedup = mf && faults_.config().duplicate_prob > 0.0;
   for (;;) {
@@ -301,6 +326,20 @@ Message Machine::do_recv(int rank, int src, int tag) {
       pc.bytes_recv += m.bytes();
       pc.comm_seconds += rs.clock - before;
       rs.waiting = false;
+      if (observer_) {
+        RecvEvent ev;
+        ev.rank = rank;
+        ev.want_src = src;
+        ev.want_tag = tag;
+        ev.fp_payload = fp_payload;
+        ev.order_insensitive = rs.unordered_depth > 0;
+        ev.phase = rs.phase;
+        ev.collective_depth = rs.collective_depth;
+        ev.vtime = rs.clock;
+        // The matched message is already out of the mailbox: what is left
+        // are the still-pending messages (race candidates among them).
+        observer_->on_recv(m, ev, rs.mailbox);
+      }
       return m;
     }
     rs.waiting = true;
@@ -362,6 +401,7 @@ void Machine::rank_main(int rank, const std::function<void(Comm&)>& program) {
 RunResult Machine::run(const std::function<void(Comm&)>& program) {
   ranks_.assign(static_cast<std::size_t>(nranks_), RankState{});
   for (int i = 0; i < nranks_; ++i) ranks_[i].id = i;
+  if (observer_) observer_->on_run_start(nranks_);
   faults_.reset();  // identical fault streams on every run of this Machine
   live_ = nranks_;
   deadlocked_ = false;

@@ -26,6 +26,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/faults.hpp"
 #include "sim/message.hpp"
+#include "sim/observer.hpp"
 
 namespace picpar::sim {
 
@@ -112,6 +113,22 @@ public:
   void set_fault_model(const FaultConfig& cfg) {
     faults_ = FaultModel(cfg, nranks_);
   }
+
+  /// Attach a passive observer (nullptr detaches). Not owned; must outlive
+  /// any run it observes. Off by default: the fast paths then pay a single
+  /// pointer test per event and message metadata stays empty, so runs are
+  /// bit-identical to a build without the analysis layer.
+  void set_observer(MachineObserver* obs) { observer_ = obs; }
+  MachineObserver* observer() const { return observer_; }
+
+  /// Tag-space enforcement (default on): user traffic — any send or
+  /// explicit-tag receive issued outside a collective — must use tags >= 0;
+  /// negative tags are reserved for collective internals and the transport
+  /// control channel. Violations throw std::invalid_argument at the call
+  /// site. Turn off only to let an attached analyzer *record* violations
+  /// as findings instead of faulting the run.
+  void set_strict_tags(bool strict) { strict_tags_ = strict; }
+  bool strict_tags() const { return strict_tags_; }
   FaultModel& fault_model() { return faults_; }
   const FaultModel& fault_model() const { return faults_; }
 
@@ -134,6 +151,13 @@ private:
     int want_tag = kAnyTag;
     CommStats stats;
     Phase phase = Phase::kOther;
+    /// >0 while executing inside a Comm collective (RAII-maintained); used
+    /// for reserved-tag enforcement and analyzer exemptions.
+    int collective_depth = 0;
+    /// >0 inside a Comm::OrderInsensitive scope: wildcard receives here are
+    /// declared order-independent (results keyed by source, commutative
+    /// accumulation), so the analyzer must not flag them as races.
+    int unordered_depth = 0;
     std::exception_ptr error;
     // ---- transport state (allocated only when a fault model is active) ----
     std::vector<std::uint64_t> next_seq;           ///< per-destination sender seq
@@ -144,7 +168,7 @@ private:
   // --- used by Comm (always called while holding the handoff lock
   //     implicitly: only the active rank executes) ---
   void do_send(int src, int dst, int tag, std::vector<std::byte> payload);
-  Message do_recv(int rank, int src, int tag);
+  Message do_recv(int rank, int src, int tag, bool fp_payload = false);
   bool do_iprobe(int rank, int src, int tag) const;
   void charge(int rank, double seconds, bool is_compute);
   LinkStats& link_stats(RankState& rs, int src);
@@ -162,6 +186,8 @@ private:
   int nranks_;
   CostModel cost_;
   FaultModel faults_;
+  MachineObserver* observer_ = nullptr;
+  bool strict_tags_ = true;
   std::vector<RankState> ranks_;
   // Wait-graph snapshot taken at the moment deadlock is detected (ranks
   // may unwind and flip to done before run() gets to look).

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/comm_stats.hpp"
+
 namespace picpar::sim {
 
 /// Wildcards for Comm::recv matching.
@@ -23,6 +25,13 @@ struct Message {
   /// metadata, so they never change the modeled byte counts or costs.
   std::uint64_t seq = 0;
   std::uint64_t checksum = 0;
+  /// Sender's phase when the message was posted; the analysis layer checks
+  /// it against the receiver's phase at delivery (metadata, never costed).
+  Phase sent_phase = Phase::kOther;
+  /// Sender's vector clock at the send event, stamped by an installed
+  /// MachineObserver (see sim/observer.hpp); empty when none is attached.
+  /// The send event is identified by (src, vclock[src]).
+  std::vector<std::uint64_t> vclock;
   std::vector<std::byte> payload;
 
   std::size_t bytes() const { return payload.size(); }

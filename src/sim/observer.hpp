@@ -1,0 +1,64 @@
+// Passive observation hooks for the simulated machine.
+//
+// A MachineObserver sees every point-to-point event (collectives are built
+// from point-to-point messages, so it sees those too) in the exact order
+// the deterministic scheduler executes them. The handoff lock guarantees
+// only one rank runs at a time, so callbacks are serialized — observers
+// need no internal locking.
+//
+// The observer may stamp metadata onto an outgoing Message (vclock); the
+// machine itself never reads those fields, so an installed observer cannot
+// change virtual time, matching, or traffic accounting. With no observer
+// installed the hooks cost one pointer test per event.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "sim/comm_stats.hpp"
+#include "sim/message.hpp"
+
+namespace picpar::sim {
+
+/// Context of one send, captured after the sender was charged.
+struct SendEvent {
+  int src = 0;
+  int dst = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+  Phase phase = Phase::kOther;  ///< sender's phase at the send
+  int collective_depth = 0;     ///< >0: issued from inside a collective
+  double vtime = 0.0;           ///< sender clock after the send charge
+};
+
+/// Context of one completed (matched) receive.
+struct RecvEvent {
+  int rank = 0;
+  int want_src = kAnySource;  ///< posted source pattern
+  int want_tag = kAnyTag;     ///< posted tag pattern
+  bool fp_payload = false;    ///< receive was typed as floating point
+  bool order_insensitive = false;  ///< annotated via Comm::OrderInsensitive
+  Phase phase = Phase::kOther;     ///< receiver's phase at the receive
+  int collective_depth = 0;
+  double vtime = 0.0;  ///< receiver clock after delivery
+};
+
+class MachineObserver {
+public:
+  virtual ~MachineObserver() = default;
+
+  /// A run is starting on `nranks` ranks; per-run state should reset here.
+  virtual void on_run_start(int nranks) = 0;
+
+  /// `m` is about to be enqueued at the destination. The observer may write
+  /// m.vclock; everything else on the message is read-only by convention.
+  virtual void on_send(Message& m, const SendEvent& e) = 0;
+
+  /// `m` was matched and removed from the mailbox; `mailbox` holds the
+  /// messages still pending at the receiver (candidates the posted receive
+  /// could also have matched are a subset of these).
+  virtual void on_recv(const Message& m, const RecvEvent& e,
+                       const std::deque<Message>& mailbox) = 0;
+};
+
+}  // namespace picpar::sim

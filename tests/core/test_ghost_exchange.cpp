@@ -64,9 +64,10 @@ TEST_P(GhostPolicies, FlushDeliversSumsToOwner) {
       f.rho[lg.local_of(target)] += 1.0;
     }
     ge.flush_scatter(c, f);
-    if (lg.owns(target))
+    if (lg.owns(target)) {
       EXPECT_DOUBLE_EQ(f.rho[lg.local_of(target)], 4.0)
           << "3 remote + 1 local contribution";
+    }
   });
 }
 
@@ -133,9 +134,10 @@ TEST_P(GhostPolicies, OneMessagePerDestination) {
     const auto before = c.stats().total().msgs_sent;
     ge.flush_scatter(c, f);
     const auto sent = c.stats().total().msgs_sent - before;
-    if (c.rank() == 0)
+    if (c.rank() == 0) {
       // One data message; the count-table allgather adds log2(2) = 1 more.
       EXPECT_LE(sent, 3u);
+    }
   });
 }
 

@@ -67,9 +67,9 @@ INSTANTIATE_TEST_SUITE_P(
     DimsBits, SkillingNd,
     ::testing::Values(NdCase{2, 2}, NdCase{2, 4}, NdCase{3, 2}, NdCase{3, 3},
                       NdCase{4, 2}),
-    [](const ::testing::TestParamInfo<NdCase>& info) {
-      return "d" + std::to_string(info.param.dims) + "b" +
-             std::to_string(info.param.bits);
+    [](const ::testing::TestParamInfo<NdCase>& tpi) {
+      return "d" + std::to_string(tpi.param.dims) + "b" +
+             std::to_string(tpi.param.bits);
     });
 
 TEST(Skilling, TooManyBitsThrows) {

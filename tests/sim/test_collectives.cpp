@@ -148,11 +148,12 @@ TEST_P(Collectives, AllToManySparsePattern) {
     auto recv = c.all_to_many(std::move(send));
     const int src = (c.rank() - 1 + n) % n;
     for (int s = 0; s < n; ++s) {
-      if (s == src)
+      if (s == src) {
         EXPECT_EQ(recv[static_cast<std::size_t>(s)],
                   (std::vector<long>{1, 2, 3}));
-      else if (s != c.rank() || src != c.rank())
+      } else if (s != c.rank() || src != c.rank()) {
         EXPECT_TRUE(s == src || recv[static_cast<std::size_t>(s)].empty());
+      }
     }
   });
 }

@@ -195,6 +195,98 @@ TEST(Faults, JitterDelaysButDelivers) {
   EXPECT_GT(run.faults_total().jittered_messages, 0u);
 }
 
+TEST(FaultCounters, ModelCountsDrawsPerRankAndSumsTotals) {
+  FaultConfig cfg;
+  cfg.duplicate_prob = 1.0;
+  cfg.reorder_prob = 1.0;
+  FaultModel model(cfg, 3);
+  for (int k = 0; k < 5; ++k) EXPECT_TRUE(model.should_duplicate(0));
+  for (int k = 0; k < 3; ++k) EXPECT_TRUE(model.should_reorder(1));
+  EXPECT_EQ(model.counters(0).duplicated_messages, 5u);
+  EXPECT_EQ(model.counters(0).reordered_messages, 0u);
+  EXPECT_EQ(model.counters(1).reordered_messages, 3u);
+  EXPECT_EQ(model.counters(2).total(), 0u);
+  const auto t = model.total_counters();
+  EXPECT_EQ(t.duplicated_messages, 5u);
+  EXPECT_EQ(t.reordered_messages, 3u);
+  EXPECT_EQ(t.total(), 8u);
+  model.reset();
+  EXPECT_EQ(model.total_counters().total(), 0u);
+}
+
+TEST(FaultCounters, SummaryNamesOnlyFiringKinds) {
+  FaultCounters c;
+  EXPECT_EQ(c.summary(), "clean");
+  c.duplicated_messages = 4;
+  c.reordered_messages = 2;
+  const auto s = c.summary();
+  EXPECT_NE(s.find("duplicated=4"), std::string::npos) << s;
+  EXPECT_NE(s.find("reordered=2"), std::string::npos) << s;
+  EXPECT_EQ(s.find("jittered"), std::string::npos) << s;
+}
+
+TEST(FaultCounters, DuplicationIsChargedToTheSender) {
+  // Injection counters live on the rank that drew them: a one-way stream
+  // books every duplicate on the sender, while the receiver's LinkStats
+  // record the discards it performed.
+  FaultConfig cfg;
+  cfg.duplicate_prob = 1.0;
+  Machine m(2, CostModel::cm5(), cfg);
+  const auto run = m.run([](Comm& c) {
+    const int n = 12;
+    if (c.rank() == 0)
+      for (int k = 0; k < n; ++k) c.send_value(1, 1, k);
+    if (c.rank() == 1) {
+      for (int k = 0; k < n; ++k) EXPECT_EQ(c.recv_value<int>(0, 1), k);
+    }
+  });
+  EXPECT_EQ(run.ranks[0].faults.duplicated_messages, 12u);
+  EXPECT_EQ(run.ranks[1].faults.duplicated_messages, 0u);
+  // Dups are discarded while scanning for later matches; the dup of the
+  // final message has no later receive to flush it.
+  EXPECT_EQ(run.ranks[1].transport_total().dup_discards, 11u);
+  EXPECT_EQ(run.ranks[0].transport_total().dup_discards, 0u);
+}
+
+TEST(FaultCounters, ReorderCounterCountsDrawsNotOvertakes) {
+  // A single-flow stream cannot actually be reordered (per-flow FIFO), but
+  // the model still draws and counts the injection attempt. The counter is
+  // "reorder events injected", LinkStats/payload order tell what happened.
+  FaultConfig cfg;
+  cfg.reorder_prob = 1.0;
+  Machine m(2, CostModel::cm5(), cfg);
+  const auto run = m.run([](Comm& c) {
+    const int n = 8;
+    if (c.rank() == 0)
+      for (int k = 0; k < n; ++k) c.send_value(1, 1, k);
+    if (c.rank() == 1) {
+      for (int k = 0; k < n; ++k)
+        EXPECT_EQ(c.recv_value<int>(0, 1), k) << "single flow must stay FIFO";
+    }
+  });
+  EXPECT_GT(run.ranks[0].faults.reordered_messages, 0u);
+  EXPECT_EQ(run.ranks[1].faults.reordered_messages, 0u);
+}
+
+TEST(FaultCounters, AggregateMatchesPerRankSum) {
+  FaultConfig cfg;
+  cfg.duplicate_prob = 0.5;
+  cfg.reorder_prob = 0.5;
+  cfg.latency_jitter_prob = 0.5;
+  cfg.latency_jitter_max_seconds = 1e-4;
+  Machine m(4, CostModel::cm5(), cfg);
+  const auto run = m.run([](Comm& c) { ring_program(c, 10); });
+  FaultCounters sum;
+  for (const auto& r : run.ranks) sum += r.faults;
+  const auto t = run.faults_total();
+  EXPECT_EQ(t.duplicated_messages, sum.duplicated_messages);
+  EXPECT_EQ(t.reordered_messages, sum.reordered_messages);
+  EXPECT_EQ(t.jittered_messages, sum.jittered_messages);
+  EXPECT_EQ(t.total(), sum.total());
+  EXPECT_GT(t.total(), 0u);
+  EXPECT_EQ(t.summary(), sum.summary());
+}
+
 TEST(Faults, Fnv1aDetectsSingleBitFlips) {
   std::vector<std::byte> buf(64);
   for (std::size_t i = 0; i < buf.size(); ++i)

@@ -11,7 +11,9 @@ TEST(PointToPoint, SendRecvValue) {
   Machine m(2, CostModel::zero());
   m.run([](Comm& c) {
     if (c.rank() == 0) c.send_value(1, 5, 123);
-    if (c.rank() == 1) EXPECT_EQ(c.recv_value<int>(0, 5), 123);
+    if (c.rank() == 1) {
+      EXPECT_EQ(c.recv_value<int>(0, 5), 123);
+    }
   });
 }
 
@@ -20,7 +22,9 @@ TEST(PointToPoint, VectorPayloadRoundTrips) {
   m.run([](Comm& c) {
     std::vector<double> data{1.5, -2.5, 3.25};
     if (c.rank() == 0) c.send(1, 1, data);
-    if (c.rank() == 1) EXPECT_EQ(c.recv<double>(0, 1), data);
+    if (c.rank() == 1) {
+      EXPECT_EQ(c.recv<double>(0, 1), data);
+    }
   });
 }
 
@@ -28,7 +32,9 @@ TEST(PointToPoint, EmptyMessageDelivered) {
   Machine m(2, CostModel::zero());
   m.run([](Comm& c) {
     if (c.rank() == 0) c.send(1, 1, std::vector<int>{});
-    if (c.rank() == 1) EXPECT_TRUE(c.recv<int>(0, 1).empty());
+    if (c.rank() == 1) {
+      EXPECT_TRUE(c.recv<int>(0, 1).empty());
+    }
   });
 }
 
@@ -37,8 +43,9 @@ TEST(PointToPoint, FifoOrderPerSenderAndTag) {
   m.run([](Comm& c) {
     if (c.rank() == 0)
       for (int i = 0; i < 10; ++i) c.send_value(1, 3, i);
-    if (c.rank() == 1)
+    if (c.rank() == 1) {
       for (int i = 0; i < 10; ++i) EXPECT_EQ(c.recv_value<int>(0, 3), i);
+    }
   });
 }
 
@@ -113,6 +120,61 @@ TEST(PointToPoint, BadDestinationThrows) {
   Machine m(2, CostModel::zero());
   EXPECT_THROW(m.run([](Comm& c) { c.send_value(5, 1, 0); }),
                std::out_of_range);
+}
+
+TEST(TagSpace, UserSendOnReservedTagThrows) {
+  // Negative tags are the collectives' channel; letting user traffic onto
+  // them can steal protocol messages. The invariant is checked, not just
+  // documented.
+  Machine m(2, CostModel::zero());
+  EXPECT_THROW(
+      m.run([](Comm& c) {
+        if (c.rank() == 0) c.send_value(1, -3, 0);  // throws before enqueue
+      }),
+      std::invalid_argument);
+}
+
+TEST(TagSpace, UserExplicitReceiveOnReservedTagThrows) {
+  Machine m(2, CostModel::zero());
+  EXPECT_THROW(m.run([](Comm& c) {
+                 if (c.rank() == 1) (void)c.recv<int>(0, -200);
+               }),
+               std::invalid_argument);
+}
+
+TEST(TagSpace, WildcardTagReceiveIsAllowed) {
+  // kAnyTag is negative but is the wildcard, not a reserved channel.
+  Machine m(2, CostModel::zero());
+  m.run([](Comm& c) {
+    if (c.rank() == 0) c.send_value(1, 0, 7);
+    if (c.rank() == 1) {
+      EXPECT_EQ(c.recv_value<int>(kAnySource, kAnyTag), 7);
+    }
+  });
+}
+
+TEST(TagSpace, CollectivesMayUseReservedTagsInternally) {
+  // The strict check exempts traffic inside a collective scope; every
+  // collective keeps working under the default strict machine.
+  Machine m(4, CostModel::zero());
+  m.run([](Comm& c) {
+    c.barrier();
+    EXPECT_EQ(c.allreduce_sum<int>(1), c.size());
+    EXPECT_EQ(c.bcast_value<int>(c.rank() == 0 ? 5 : 0, 0), 5);
+  });
+}
+
+TEST(TagSpace, StrictCheckCanBeTradedForAnalysis) {
+  // set_strict_tags(false) downgrades the throw so the analyzer can record
+  // the violation with provenance instead (see tests/analysis).
+  Machine m(2, CostModel::zero());
+  m.set_strict_tags(false);
+  m.run([](Comm& c) {
+    if (c.rank() == 0) c.send_value(1, -3, 9);
+    if (c.rank() == 1) {
+      EXPECT_EQ(c.recv_value<int>(0, kAnyTag), 9);
+    }
+  });
 }
 
 TEST(Machine, DeadlockDetected) {

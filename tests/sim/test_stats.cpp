@@ -73,6 +73,76 @@ TEST(CommStats, DiffIsolatesInterval) {
   });
 }
 
+TEST(CommStats, DiffSeparatesPhasesAndSides) {
+  // Snapshot diffing is how run_pic books per-iteration, per-phase traffic
+  // (Figs 18-19): the diff must keep phases and send/recv sides apart and
+  // leave untouched phases at zero.
+  Machine m(2, CostModel::zero());
+  m.run([](Comm& c) {
+    const auto snapshot = c.stats();
+    c.set_phase(Phase::kScatter);
+    if (c.rank() == 0) {
+      c.send(1, 1, std::vector<std::uint8_t>(48, 0));
+      c.set_phase(Phase::kGather);
+      c.send(1, 2, std::vector<std::uint8_t>(16, 0));
+      const auto d = c.stats().diff(snapshot);
+      EXPECT_EQ(d.phase(Phase::kScatter).msgs_sent, 1u);
+      EXPECT_EQ(d.phase(Phase::kScatter).bytes_sent, 48u);
+      EXPECT_EQ(d.phase(Phase::kGather).msgs_sent, 1u);
+      EXPECT_EQ(d.phase(Phase::kGather).bytes_sent, 16u);
+      EXPECT_EQ(d.phase(Phase::kScatter).msgs_recv, 0u);
+      EXPECT_EQ(d.phase(Phase::kPush).msgs_sent, 0u);
+      EXPECT_EQ(d.total().bytes_sent, 64u);
+      EXPECT_EQ(d.total().bytes_recv, 0u);
+    } else {
+      (void)c.recv<std::uint8_t>(0, 1);
+      c.set_phase(Phase::kGather);
+      (void)c.recv<std::uint8_t>(0, 2);
+      const auto d = c.stats().diff(snapshot);
+      EXPECT_EQ(d.phase(Phase::kScatter).msgs_recv, 1u);
+      EXPECT_EQ(d.phase(Phase::kGather).msgs_recv, 1u);
+      EXPECT_EQ(d.total().msgs_sent, 0u);
+    }
+  });
+}
+
+TEST(CommStats, DiffOfIdenticalSnapshotsIsZero) {
+  Machine m(1, CostModel::zero());
+  m.run([](Comm& c) {
+    c.set_phase(Phase::kPush);
+    c.charge(1.0);
+    const auto snapshot = c.stats();
+    const auto d = c.stats().diff(snapshot);
+    for (const Phase p : {Phase::kOther, Phase::kScatter, Phase::kFieldSolve,
+                          Phase::kGather, Phase::kPush, Phase::kRedistribute}) {
+      EXPECT_EQ(d.phase(p).msgs_sent, 0u);
+      EXPECT_EQ(d.phase(p).bytes_recv, 0u);
+      EXPECT_DOUBLE_EQ(d.phase(p).compute_seconds, 0.0);
+      EXPECT_DOUBLE_EQ(d.phase(p).comm_seconds, 0.0);
+    }
+  });
+}
+
+TEST(CommStats, DiffCapturesComputeAndCommSeconds) {
+  CostModel cm = CostModel::zero();
+  cm.tau = 1e-3;
+  Machine m(2, cm);
+  m.run([](Comm& c) {
+    if (c.rank() != 0) {
+      (void)c.recv_value<int>(0, 1);
+      return;
+    }
+    c.set_phase(Phase::kFieldSolve);
+    c.charge(0.5);
+    const auto snapshot = c.stats();
+    c.charge(0.25);
+    c.send_value(1, 1, 0);
+    const auto d = c.stats().diff(snapshot).phase(Phase::kFieldSolve);
+    EXPECT_DOUBLE_EQ(d.compute_seconds, 0.25);  // pre-snapshot 0.5 excluded
+    EXPECT_DOUBLE_EQ(d.comm_seconds, 1e-3);
+  });
+}
+
 TEST(CommStats, SummaryListsActivePhases) {
   CommStats s;
   s.phase(Phase::kScatter).msgs_sent = 3;
