@@ -4,6 +4,8 @@
 //
 // Expected shape: the static curve ramps upward as particle subdomains
 // drift; periodic curves are saw-teeth that reset at each redistribution.
+#include <sstream>
+
 #include "common.hpp"
 #include "pic/simulation.hpp"
 
@@ -14,6 +16,9 @@ int main(int argc, char** argv) {
           "Figure 17: per-iteration execution time trace");
   auto ranks = cli.flag<int>("ranks", 32, "simulated processors");
   auto stride = cli.flag<int>("stride", 10, "print every k-th iteration");
+  auto jobs = cli.flag<int>("jobs", 1,
+                            "policy configurations run concurrently "
+                            "(0 = host cores)");
   const auto scale = bench::parse_scale(cli, argc, argv);
   const int iters = scale.iters(2000);
 
@@ -22,23 +27,29 @@ int main(int argc, char** argv) {
                           std::to_string(*ranks));
 
   const std::uint64_t n = scale.particles(32768);
+  std::vector<std::function<std::string()>> tasks;
   for (const std::string& policy :
        {std::string("static"),
         "periodic:" + std::to_string(scale.full ? 50 : 10), std::string("sar")}) {
-    auto params = bench::paper_params("irregular", 128, 64, n, *ranks);
-    params.iterations = iters;
-    params.policy = policy;
-    const auto r = pic::run_pic(params);
+    tasks.push_back([policy, n, iters, ranks = *ranks, stride = *stride] {
+      auto params = bench::paper_params("irregular", 128, 64, n, ranks);
+      params.iterations = iters;
+      params.policy = policy;
+      const auto r = pic::run_pic(params);
 
-    std::vector<double> x, y;
-    for (int i = 0; i < iters; i += *stride) {
-      x.push_back(i);
-      y.push_back(r.iters[static_cast<std::size_t>(i)].exec_seconds);
-    }
-    print_series(std::cout, "exec_time[" + policy + "]", x, y);
-    std::cout << "# total=" << bench::fmt_s(r.total_seconds)
-              << " s, redistributions=" << r.redistributions << "\n\n";
+      std::vector<double> x, y;
+      for (int i = 0; i < iters; i += stride) {
+        x.push_back(i);
+        y.push_back(r.iters[static_cast<std::size_t>(i)].exec_seconds);
+      }
+      std::ostringstream os;
+      print_series(os, "exec_time[" + policy + "]", x, y);
+      os << "# total=" << bench::fmt_s(r.total_seconds)
+         << " s, redistributions=" << r.redistributions << "\n\n";
+      return os.str();
+    });
   }
+  bench::run_jobs(*jobs, std::move(tasks));
   std::cout << "Expected: static ramps up; periodic/sar saw-tooth and stay "
                "low.\n";
   return 0;

@@ -1,7 +1,9 @@
 #include "common.hpp"
 
+#include <atomic>
 #include <iomanip>
 #include <sstream>
+#include <thread>
 
 namespace picpar::bench {
 
@@ -38,6 +40,32 @@ pic::PicParams paper_params(const std::string& dist, std::uint32_t nx,
 
 void print_header(const std::string& experiment, const std::string& note) {
   std::cout << "#\n# " << experiment << "\n# " << note << "\n#\n";
+}
+
+void run_jobs(int jobs, std::vector<std::function<std::string()>> tasks) {
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  jobs = std::min<int>(jobs, static_cast<int>(tasks.size()));
+  std::vector<std::string> out(tasks.size());
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) out[i] = tasks[i]();
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int w = 0; w < jobs; ++w)
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= tasks.size()) return;
+          out[i] = tasks[i]();
+        }
+      });
+    for (auto& t : pool) t.join();
+  }
+  for (const auto& s : out) std::cout << s;
 }
 
 std::string fmt_s(double seconds) {

@@ -6,8 +6,10 @@
 // (2000-iteration runs, 128 simulated processors, 512x256 meshes).
 #pragma once
 
+#include <functional>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "pic/config.hpp"
 #include "pic/result.hpp"
@@ -43,6 +45,15 @@ pic::PicParams paper_params(const std::string& dist, std::uint32_t nx,
 
 /// Print a standard bench header naming the experiment.
 void print_header(const std::string& experiment, const std::string& note);
+
+/// Run independent sweep configurations on up to `jobs` worker threads
+/// (1 = serial, 0 = host hardware concurrency). Each task runs one
+/// configuration on its own Machine and returns its formatted output; the
+/// outputs are printed to stdout in submission order once all tasks have
+/// finished, so concurrent runs produce byte-identical reports to serial
+/// ones. Do not use around wall-clock measurements — co-scheduled
+/// configurations contend for cores and distort timings.
+void run_jobs(int jobs, std::vector<std::function<std::string()>> tasks);
 
 /// Format seconds with 2-decimal fixed precision (paper table style).
 std::string fmt_s(double seconds);

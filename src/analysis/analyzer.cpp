@@ -1,5 +1,6 @@
 #include "analysis/analyzer.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace picpar::analysis {
@@ -8,6 +9,17 @@ using sim::kAnySource;
 using sim::kAnyTag;
 using sim::Message;
 using sim::Phase;
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+bool matches(int want_src, int want_tag, int src, int tag) {
+  return (want_src == kAnySource || src == want_src) &&
+         (want_tag == kAnyTag || tag == want_tag);
+}
+
+}  // namespace
 
 const char* finding_kind_name(FindingKind k) {
   switch (k) {
@@ -19,27 +31,19 @@ const char* finding_kind_name(FindingKind k) {
   return "?";
 }
 
-namespace {
-
-bool matches(int want_src, int want_tag, int src, int tag) {
-  return (want_src == kAnySource || src == want_src) &&
-         (want_tag == kAnyTag || tag == want_tag);
-}
-
-}  // namespace
-
 void Analyzer::on_run_start(int nranks) {
   nranks_ = nranks;
   clocks_.assign(static_cast<std::size_t>(nranks), VectorClock(nranks));
-  history_.assign(static_cast<std::size_t>(nranks), {});
-  rank_fp_.assign(static_cast<std::size_t>(nranks), 0xcbf29ce484222325ULL);
+  rank_.assign(static_cast<std::size_t>(nranks), RankBuffer{});
+  for (auto& rb : rank_) rb.fp = kFnvOffset;
   events_ = 0;
+  any_consume_overflow_ = false;
   // Findings survive on purpose: a Machine may run several programs and the
   // caller reads accumulated findings at the end (clear_findings() resets).
 }
 
 void Analyzer::mix(int rank, std::uint64_t value) {
-  auto& h = rank_fp_[static_cast<std::size_t>(rank)];
+  auto& h = rank_[static_cast<std::size_t>(rank)].fp;
   for (int b = 0; b < 8; ++b) {
     h ^= (value >> (8 * b)) & 0xffULL;
     h *= 0x100000001b3ULL;
@@ -47,10 +51,10 @@ void Analyzer::mix(int rank, std::uint64_t value) {
 }
 
 std::uint64_t Analyzer::fingerprint() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const auto fp : rank_fp_) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& rb : rank_) {
     for (int b = 0; b < 8; ++b) {
-      h ^= (fp >> (8 * b)) & 0xffULL;
+      h ^= (rb.fp >> (8 * b)) & 0xffULL;
       h *= 0x100000001b3ULL;
     }
   }
@@ -81,11 +85,15 @@ void Analyzer::add_finding(Finding f) {
 }
 
 void Analyzer::on_send(Message& m, const sim::SendEvent& e) {
+  // Runs on the sender's thread with no lock held (the parallel engine
+  // calls build_send outside its mutex): only rank e.src state may be
+  // touched here. Cross-rank checks are deferred to on_run_end.
   auto& clk = clocks_[static_cast<std::size_t>(e.src)];
   clk.tick(e.src);
   m.vclock = clk.components();
 
-  ++events_;
+  auto& buf = rank_[static_cast<std::size_t>(e.src)];
+  ++buf.events;
   mix(e.src, 0xA11CE5EDULL);
   mix(e.src, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.dst))
               << 32) |
@@ -94,7 +102,7 @@ void Analyzer::on_send(Message& m, const sim::SendEvent& e) {
   mix(e.src, static_cast<std::uint64_t>(static_cast<int>(e.phase)));
   mix(e.src, clk.hash());
 
-  // (b) Tag-space violation: user traffic on a reserved negative tag.
+  // Tag-space violation: user traffic on a reserved negative tag.
   if (e.collective_depth == 0 && e.tag < 0) {
     Finding f;
     f.kind = FindingKind::kTagViolation;
@@ -109,46 +117,23 @@ void Analyzer::on_send(Message& m, const sim::SendEvent& e) {
        << e.tag << " (phase " << sim::phase_name(e.phase)
        << "); it can match collective-internal receives";
     f.detail = os.str();
-    add_finding(std::move(f));
-  }
-
-  // (a) Send-side race check: this send is concurrent with an already
-  // completed wildcard receive it could have matched — the match could have
-  // gone either way depending on timing.
-  for (const auto& w : history_[static_cast<std::size_t>(e.dst)]) {
-    if (!matches(w.want_src, w.want_tag, e.src, e.tag)) continue;
-    if (w.matched_src == e.src && w.matched_tag == e.tag)
-      continue;  // same flow: per-flow FIFO fixes the order
-    if (w.completion.happens_before(clk)) continue;  // properly ordered
-    Finding f;
-    f.kind = w.fp ? FindingKind::kReductionOrder : FindingKind::kMessageRace;
-    f.rank = e.dst;
-    f.src = w.matched_src;
-    f.other_src = e.src;
-    f.tag = e.tag;
-    f.phase = w.phase;
-    f.vtime = e.vtime;
-    f.clocks = "recv " + w.completion.str() + " vs send " + clk.str();
-    std::ostringstream os;
-    os << "send " << e.src << " -> " << e.dst << " tag " << e.tag
-       << " is concurrent with a completed wildcard receive (want src="
-       << w.want_src << ", tag=" << w.want_tag << ") that matched src="
-       << w.matched_src << " tag=" << w.matched_tag
-       << "; either message could have matched first";
-    if (w.fp)
-      os << " — floating-point operand order is not happens-before-fixed";
-    f.detail = os.str();
-    add_finding(std::move(f));
+    buf.online.push_back(std::move(f));
   }
 }
 
 void Analyzer::on_recv(const Message& m, const sim::RecvEvent& e,
                        const std::deque<Message>& mailbox) {
+  // The mailbox snapshot is wall-clock-schedule-dependent under the
+  // parallel engine (sends from running ranks enqueue at arbitrary real
+  // times), so no finding may be derived from it; race candidates come
+  // from the consume log + final mailboxes at on_run_end instead.
+  (void)mailbox;
   auto& clk = clocks_[static_cast<std::size_t>(e.rank)];
   if (!m.vclock.empty()) clk.merge(m.vclock);
   clk.tick(e.rank);
 
-  ++events_;
+  auto& buf = rank_[static_cast<std::size_t>(e.rank)];
+  ++buf.events;
   mix(e.rank, 0x5ECE15EDULL);
   mix(e.rank, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.src))
                << 32) |
@@ -157,7 +142,7 @@ void Analyzer::on_recv(const Message& m, const sim::RecvEvent& e,
   mix(e.rank, static_cast<std::uint64_t>(static_cast<int>(e.phase)));
   mix(e.rank, clk.hash());
 
-  // (c) Phase attribution: sender charged this traffic to one phase, the
+  // Phase attribution: sender charged this traffic to one phase, the
   // receiver is accounting it under another.
   if (m.sent_phase != e.phase) {
     Finding f;
@@ -175,12 +160,12 @@ void Analyzer::on_recv(const Message& m, const sim::RecvEvent& e,
        << " but received in phase " << sim::phase_name(e.phase)
        << "; per-phase traffic books disagree";
     f.detail = os.str();
-    add_finding(std::move(f));
+    buf.online.push_back(std::move(f));
   }
 
   const bool user_code = e.collective_depth == 0;
 
-  // (b) Tag space on the receive side, user code only.
+  // Tag space on the receive side, user code only.
   if (user_code && m.tag < 0) {
     Finding f;
     f.kind = FindingKind::kTagViolation;
@@ -195,82 +180,176 @@ void Analyzer::on_recv(const Message& m, const sim::RecvEvent& e,
        << ", tag=" << e.want_tag << ") matched reserved-tag " << m.tag
        << " traffic from " << m.src << " — collective message stolen";
     f.detail = os.str();
-    add_finding(std::move(f));
-  } else if (user_code && e.want_tag == kAnyTag) {
-    // A wildcard-tag user receive with reserved-tag traffic still pending:
-    // the next such receive can steal it.
-    for (const auto& pm : mailbox) {
-      if (pm.tag >= 0 ||
-          !(e.want_src == kAnySource || pm.src == e.want_src))
-        continue;
-      Finding f;
-      f.kind = FindingKind::kTagViolation;
-      f.rank = e.rank;
-      f.src = pm.src;
-      f.tag = pm.tag;
-      f.phase = e.phase;
-      f.vtime = e.vtime;
-      f.clocks = clk.str();
-      std::ostringstream os;
-      os << "wildcard-tag user receive on rank " << e.rank
-         << " posted while reserved-tag " << pm.tag << " traffic from "
-         << pm.src << " is pending — it can steal collective traffic";
-      f.detail = os.str();
-      add_finding(std::move(f));
-      break;
-    }
+    buf.online.push_back(std::move(f));
   }
 
-  // (a)/(d) Receive-side race check: another pending message, causally
-  // concurrent with the matched one, also matches the posted pattern.
+  // Consume log: every delivery after the first remembered receive is a
+  // potential deferred-check candidate for the receives before it.
+  const std::uint64_t idx = buf.consume_count++;
+  if (buf.gate_open) {
+    if (buf.consumed.size() < opt_.consume_log)
+      buf.consumed.push_back(Consumed{idx, m.src, m.tag, m.vclock});
+    else
+      buf.consume_overflow = true;
+  }
+
+  // Remember receives that need the deferred checks. The gate opens at the
+  // first one: earlier deliveries can never be candidates (candidates are
+  // consumed strictly after the receive that races with them).
   const bool wildcard = e.want_src == kAnySource || e.want_tag == kAnyTag;
-  const bool race_eligible =
-      wildcard && user_code && !e.order_insensitive && !m.vclock.empty();
-  if (race_eligible) {
-    const VectorClock a(m.vclock);
-    for (const auto& pm : mailbox) {
-      if (!matches(e.want_src, e.want_tag, pm.src, pm.tag)) continue;
-      if (pm.src == m.src && pm.tag == m.tag) continue;  // same FIFO flow
-      if (pm.vclock.empty()) continue;
-      const VectorClock b(pm.vclock);
-      if (!a.concurrent(b)) continue;
-      Finding f;
-      f.kind = e.fp_payload ? FindingKind::kReductionOrder
-                            : FindingKind::kMessageRace;
-      f.rank = e.rank;
-      f.src = m.src;
-      f.other_src = pm.src;
-      f.tag = m.tag;
-      f.phase = e.phase;
-      f.vtime = e.vtime;
-      f.clocks = "matched " + a.str() + " vs pending " + b.str();
-      std::ostringstream os;
-      os << "wildcard receive on rank " << e.rank << " (want src="
-         << e.want_src << ", tag=" << e.want_tag << ") matched src=" << m.src
-         << " tag=" << m.tag << " while concurrent src=" << pm.src << " tag="
-         << pm.tag << " was pending; either order is possible";
-      if (e.fp_payload)
-        os << " — floating-point operand order is not happens-before-fixed";
-      f.detail = os.str();
-      add_finding(std::move(f));
-    }
-  }
-
-  // Remember race-eligible wildcard receives for the send-side check; a
-  // concurrent message may only be sent after this receive completed.
-  if (wildcard && user_code && !e.order_insensitive) {
-    auto& h = history_[static_cast<std::size_t>(e.rank)];
-    if (h.size() >= opt_.recv_history) h.pop_front();
-    CompletedRecv w;
+  const bool race_check = wildcard && user_code && !e.order_insensitive;
+  const bool reserved_check =
+      user_code && e.want_tag == kAnyTag && m.tag >= 0;
+  if ((race_check || reserved_check) &&
+      buf.recvs.size() < opt_.recv_history) {
+    buf.gate_open = true;
+    PendingRecv w;
+    w.consume_index = idx;
     w.want_src = e.want_src;
     w.want_tag = e.want_tag;
     w.matched_src = m.src;
     w.matched_tag = m.tag;
     w.fp = e.fp_payload;
+    w.race_check = race_check;
+    w.reserved_check = reserved_check;
     w.phase = e.phase;
     w.vtime = e.vtime;
+    w.matched_vc = m.vclock;
     w.completion = clk;
-    h.push_back(std::move(w));
+    buf.recvs.push_back(std::move(w));
+  }
+}
+
+void Analyzer::run_deferred_checks(int rank,
+                                   const std::deque<Message>& leftover) {
+  auto& buf = rank_[static_cast<std::size_t>(rank)];
+  if (buf.recvs.empty()) return;
+
+  // Never-consumed messages are candidates too. Their physical queue order
+  // is schedule-dependent, but the *set* is not: sort by the machine's
+  // deterministic matching key so the merge is mode-independent.
+  std::vector<const Message*> rest;
+  rest.reserve(leftover.size());
+  for (const auto& pm : leftover) rest.push_back(&pm);
+  std::sort(rest.begin(), rest.end(), [](const Message* a, const Message* b) {
+    if (a->arrival != b->arrival) return a->arrival < b->arrival;
+    if (a->src != b->src) return a->src < b->src;
+    if (a->seq != b->seq) return a->seq < b->seq;
+    return static_cast<int>(a->dup) < static_cast<int>(b->dup);
+  });
+
+  for (const auto& w : buf.recvs) {
+    bool reserved_done = !w.reserved_check;
+    const VectorClock matched(w.matched_vc);
+    // Candidates, in deterministic order: messages consumed after this
+    // receive, then the sorted leftovers.
+    const auto consider = [&](int src, int tag,
+                              const std::vector<std::uint64_t>& vc) {
+      if (w.race_check && matches(w.want_src, w.want_tag, src, tag) &&
+          !(src == w.matched_src && tag == w.matched_tag) && !vc.empty()) {
+        const VectorClock b(vc);
+        if (!w.matched_vc.empty() && matched.concurrent(b)) {
+          Finding f;
+          f.kind = w.fp ? FindingKind::kReductionOrder
+                        : FindingKind::kMessageRace;
+          f.rank = rank;
+          f.src = w.matched_src;
+          f.other_src = src;
+          f.tag = w.matched_tag;
+          f.phase = w.phase;
+          f.vtime = w.vtime;
+          f.clocks = "matched " + matched.str() + " vs pending " + b.str();
+          std::ostringstream os;
+          os << "wildcard receive on rank " << rank << " (want src="
+             << w.want_src << ", tag=" << w.want_tag << ") matched src="
+             << w.matched_src << " tag=" << w.matched_tag
+             << " while concurrent src=" << src << " tag=" << tag
+             << " was pending; either order is possible";
+          if (w.fp)
+            os << " — floating-point operand order is not "
+                  "happens-before-fixed";
+          f.detail = os.str();
+          add_finding(std::move(f));
+        } else if (w.completion.concurrent(b)) {
+          // The send is concurrent with the *completion* of the receive
+          // (it may have happened after the match, wall-clock-wise): the
+          // match could still have gone either way.
+          Finding f;
+          f.kind = w.fp ? FindingKind::kReductionOrder
+                        : FindingKind::kMessageRace;
+          f.rank = rank;
+          f.src = w.matched_src;
+          f.other_src = src;
+          f.tag = tag;
+          f.phase = w.phase;
+          f.vtime = w.vtime;
+          f.clocks = "recv " + w.completion.str() + " vs send " + b.str();
+          std::ostringstream os;
+          os << "send " << src << " -> " << rank << " tag " << tag
+             << " is concurrent with a completed wildcard receive (want src="
+             << w.want_src << ", tag=" << w.want_tag << ") that matched src="
+             << w.matched_src << " tag=" << w.matched_tag
+             << "; either message could have matched first";
+          if (w.fp)
+            os << " — floating-point operand order is not "
+                  "happens-before-fixed";
+          f.detail = os.str();
+          add_finding(std::move(f));
+        }
+      }
+      if (!reserved_done && tag < 0 &&
+          (w.want_src == kAnySource || src == w.want_src)) {
+        // Causally-later reserved traffic (e.g. a collective the receiver
+        // itself entered afterwards) cannot have been pending at the
+        // receive; only unordered reserved traffic is stealable.
+        const VectorClock b(vc);
+        if (vc.empty() || !w.completion.happens_before(b)) {
+          reserved_done = true;
+          Finding f;
+          f.kind = FindingKind::kTagViolation;
+          f.rank = rank;
+          f.src = src;
+          f.tag = tag;
+          f.phase = w.phase;
+          f.vtime = w.vtime;
+          f.clocks = w.completion.str();
+          std::ostringstream os;
+          os << "wildcard-tag user receive on rank " << rank
+             << " posted while reserved-tag " << tag << " traffic from "
+             << src << " is pending — it can steal collective traffic";
+          f.detail = os.str();
+          add_finding(std::move(f));
+        }
+      }
+    };
+
+    for (const auto& c : buf.consumed) {
+      if (c.index <= w.consume_index) continue;
+      consider(c.src, c.tag, c.vclock);
+    }
+    for (const Message* pm : rest) consider(pm->src, pm->tag, pm->vclock);
+  }
+}
+
+void Analyzer::on_run_end(
+    const std::vector<const std::deque<Message>*>& mailboxes) {
+  // Quiescence: every rank is done, per-rank buffers are stable, and the
+  // final mailboxes hold the never-consumed messages. Merge in rank order
+  // so findings, counts, and the report are deterministic — and identical
+  // between the sequential and parallel engines.
+  events_ = 0;
+  static const std::deque<Message> kEmpty;
+  for (int r = 0; r < nranks_; ++r) {
+    auto& buf = rank_[static_cast<std::size_t>(r)];
+    events_ += buf.events;
+    any_consume_overflow_ = any_consume_overflow_ || buf.consume_overflow;
+    for (auto& f : buf.online) add_finding(std::move(f));
+    buf.online.clear();
+    const std::deque<Message>* box =
+        static_cast<std::size_t>(r) < mailboxes.size()
+            ? mailboxes[static_cast<std::size_t>(r)]
+            : &kEmpty;
+    run_deferred_checks(r, box ? *box : kEmpty);
   }
 }
 
@@ -290,6 +369,9 @@ std::string Analyzer::report() const {
   if (total() > findings_.size())
     os << "  (" << (total() - findings_.size())
        << " further detection(s) deduplicated or past the cap)\n";
+  if (any_consume_overflow_)
+    os << "  (consume log capped at " << opt_.consume_log
+       << " messages/rank; some deferred checks were skipped)\n";
   return os.str();
 }
 

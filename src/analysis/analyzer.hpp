@@ -20,6 +20,18 @@
 // happens-before DAG; two runs of a deterministic program produce the same
 // fingerprint (see analysis/audit.hpp for the two-run audit).
 //
+// Execution-mode independence: the analyzer works identically under the
+// sequential reference scheduler and the parallel engine (src/runtime).
+// Every callback touches only the state of the rank it fires on — on_send
+// runs on the sender's thread outside any engine lock, so nothing in it may
+// look across ranks — and all cross-rank analysis (race detection against
+// later-consumed or never-consumed messages) is deferred to on_run_end,
+// the quiescence point, where per-rank buffers are merged in rank order.
+// Because the per-rank event sequences, vector clocks, and leftover message
+// sets are schedule-independent (the machine's deterministic matching layer
+// guarantees this), the merged findings, counts, report text, and
+// fingerprint are byte-identical across modes.
+//
 // Receives completed inside Comm collectives are exempt from race findings:
 // the collective library's wildcard receives (all_to_many) key their
 // results by source rank, which makes delivery order immaterial — they are
@@ -70,9 +82,15 @@ public:
     /// Stored findings are deduplicated by (kind, ranks, tag, phase) and
     /// capped here; detections past the cap still count in counts().
     std::size_t max_findings = 64;
-    /// Completed wildcard receives remembered per rank for the send-side
-    /// race check (a racy send can arrive after its receive completed).
+    /// Wildcard receives remembered per rank per run for the deferred race
+    /// checks; receives past the cap are not analyzed (counts unaffected).
     std::size_t recv_history = 512;
+    /// Consumed messages remembered per rank per run for the deferred
+    /// checks. Logging only starts at the first remembered receive, so
+    /// programs without race-eligible receives (e.g. the PIC pipeline,
+    /// whose wildcard receives are collective-internal or annotated
+    /// order-insensitive) log nothing at all.
+    std::size_t consume_log = 65536;
   };
 
   Analyzer() : Analyzer(Options{}) {}
@@ -83,10 +101,13 @@ public:
   void on_send(sim::Message& m, const sim::SendEvent& e) override;
   void on_recv(const sim::Message& m, const sim::RecvEvent& e,
                const std::deque<sim::Message>& mailbox) override;
+  void on_run_end(
+      const std::vector<const std::deque<sim::Message>*>& mailboxes) override;
 
-  // ---- results ----
-  /// Stored (deduplicated, capped) findings, in detection order. Findings
-  /// accumulate across runs of the same Machine; see clear_findings().
+  // ---- results (read after the run; finalized in on_run_end) ----
+  /// Stored (deduplicated, capped) findings, in deterministic merge order:
+  /// by rank, online detections before deferred ones. Findings accumulate
+  /// across runs of the same Machine; see clear_findings().
   const std::vector<Finding>& findings() const { return findings_; }
   /// Total detections of one kind, including deduplicated repeats.
   std::uint64_t count(FindingKind k) const {
@@ -96,37 +117,65 @@ public:
   std::uint64_t total() const;
   void clear_findings();
 
-  /// Happens-before DAG fingerprint of the last (or current) run: an FNV
-  /// fold of every event (kind, endpoints, tag, bytes, phase, clock) in
-  /// per-rank order. Deterministic program => stable fingerprint.
+  /// Happens-before DAG fingerprint of the last run: an FNV fold of every
+  /// event (kind, endpoints, tag, bytes, phase, clock) in per-rank order.
+  /// Deterministic program => stable fingerprint.
   std::uint64_t fingerprint() const;
-  /// Events observed in the last (or current) run.
+  /// Events observed in the last run.
   std::uint64_t events() const { return events_; }
 
   /// Multi-line human-readable report of counts and stored findings.
   std::string report() const;
 
 private:
-  struct CompletedRecv {
+  /// A remembered wildcard receive awaiting the deferred (run-end) checks.
+  struct PendingRecv {
+    std::uint64_t consume_index = 0;  ///< rank-local consume order position
     int want_src = 0;
     int want_tag = 0;
     int matched_src = 0;
     int matched_tag = 0;
     bool fp = false;
+    bool race_check = false;      ///< eligible for race / reduction-order
+    bool reserved_check = false;  ///< wildcard-tag pending-reserved check
     sim::Phase phase = sim::Phase::kOther;
     double vtime = 0.0;
-    VectorClock completion;  ///< receiver clock at completion
+    std::vector<std::uint64_t> matched_vc;  ///< matched message's send clock
+    VectorClock completion;                 ///< receiver clock at completion
+  };
+
+  /// A message consumed on a rank after its first remembered receive.
+  struct Consumed {
+    std::uint64_t index = 0;
+    int src = 0;
+    int tag = 0;
+    std::vector<std::uint64_t> vclock;
+  };
+
+  /// Everything one rank's callbacks may write. Callbacks on rank r touch
+  /// only rank_[r] (and clocks_[r]) — the invariant that makes the
+  /// analyzer safe under the parallel engine with no locking of its own.
+  struct RankBuffer {
+    std::uint64_t fp = 0;
+    std::uint64_t events = 0;
+    std::uint64_t consume_count = 0;  ///< total messages consumed so far
+    bool gate_open = false;           ///< consume logging active
+    bool consume_overflow = false;
+    std::vector<Finding> online;  ///< rank-local detections, program order
+    std::vector<PendingRecv> recvs;
+    std::vector<Consumed> consumed;
   };
 
   void add_finding(Finding f);
   void mix(int rank, std::uint64_t value);
+  void run_deferred_checks(int rank, const std::deque<sim::Message>& leftover);
 
   Options opt_;
   int nranks_ = 0;
-  std::vector<VectorClock> clocks_;            ///< per rank
-  std::vector<std::deque<CompletedRecv>> history_;  ///< per rank, bounded
-  std::vector<std::uint64_t> rank_fp_;         ///< per-rank event fold
+  std::vector<VectorClock> clocks_;  ///< per rank
+  std::vector<RankBuffer> rank_;     ///< per rank
   std::uint64_t events_ = 0;
+  bool any_consume_overflow_ = false;
   std::vector<Finding> findings_;
   std::unordered_set<std::string> finding_keys_;
   std::uint64_t counts_[kNumFindingKinds] = {0, 0, 0, 0};

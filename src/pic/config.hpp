@@ -81,6 +81,17 @@ struct AnalysisParams {
   int max_findings = 64;
 };
 
+/// Execution engine selection for the simulated machine. Sequential is
+/// the reference scheduler; parallel runs ranks concurrently on real cores
+/// through src/runtime with bit-identical results (the PICPAR_PARALLEL
+/// environment variable — set, not "0" — also selects it without a
+/// rebuild, and PICPAR_WORKERS overrides the worker count).
+struct ExecParams {
+  bool parallel = false;
+  /// Max ranks executing concurrently; 0 = host hardware concurrency.
+  int workers = 0;
+};
+
 struct PicParams {
   mesh::GridDesc grid{128, 64};
   int nranks = 32;
@@ -112,6 +123,8 @@ struct PicParams {
   ValidationParams validate{};
   /// Happens-before analysis and determinism audit (default: off).
   AnalysisParams analyze{};
+  /// Execution engine (default: sequential reference scheduler).
+  ExecParams exec{};
 
   /// Record global field/kinetic energy every k iterations (0 = off).
   /// Sampling performs an extra allreduce, so it adds (real) virtual time;

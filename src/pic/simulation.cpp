@@ -14,6 +14,7 @@
 #include "mesh/poisson.hpp"
 #include "particles/interpolate.hpp"
 #include "particles/pusher.hpp"
+#include "runtime/parallel_engine.hpp"
 #include "sim/comm.hpp"
 
 namespace picpar::pic {
@@ -392,6 +393,11 @@ PicResult run_pic(const PicParams& params) {
   };
 
   sim::Machine machine(params.nranks, params.machine, params.faults);
+
+  // ---- execution engine (default: sequential reference scheduler) ----
+  if (params.exec.parallel || runtime::parallel_env_enabled())
+    runtime::use_parallel(machine,
+                          runtime::ParallelConfig{params.exec.workers});
 
   // ---- opt-in happens-before analysis (zero cost when off) ----
   const bool analyze_on = params.analyze.enabled ||

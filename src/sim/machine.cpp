@@ -72,18 +72,132 @@ bool Machine::match(const Message& m, int src, int tag) const {
          (tag == kAnyTag || m.tag == tag);
 }
 
-bool Machine::runnable(const RankState& rs) const {
-  if (rs.done) return false;
-  if (!rs.waiting) return true;
-  for (const auto& m : rs.mailbox)
-    if (match(m, rs.want_src, rs.want_tag)) return true;
-  return false;
+// ---------------------------------------------------------------------------
+// Deterministic matching layer.
+//
+// A receive never takes "the first message the mailbox scan happens to
+// meet" — it takes the candidate with the minimum (arrival, src, seq, dup)
+// key, where the per-source representative is that source's flow head (the
+// lowest (seq, dup) matching message, which keeps per-link FIFO even when
+// arrival jitter reorders timestamps). The key is a schedule-independent
+// total order: it depends only on message contents, never on when threads
+// physically enqueued them. This is what lets the parallel engine run
+// ranks on real cores and still produce bit-identical results to the
+// sequential reference scheduler.
+// ---------------------------------------------------------------------------
+
+Machine::Candidate Machine::find_candidate(int rank, int src, int tag) {
+  auto& rs = ranks_[static_cast<std::size_t>(rank)];
+  const bool dedup =
+      faults_.message_faults() && faults_.config().duplicate_prob > 0.0;
+  for (;;) {
+    if (scratch_head_.size() != static_cast<std::size_t>(nranks_))
+      scratch_head_.resize(static_cast<std::size_t>(nranks_));
+    std::fill(scratch_head_.begin(), scratch_head_.end(), -1);
+    for (int pos = 0; pos < static_cast<int>(rs.mailbox.size()); ++pos) {
+      const Message& m = rs.mailbox[static_cast<std::size_t>(pos)];
+      if (!match(m, src, tag)) continue;
+      int& head = scratch_head_[static_cast<std::size_t>(m.src)];
+      if (head < 0) {
+        head = pos;
+        continue;
+      }
+      const Message& h = rs.mailbox[static_cast<std::size_t>(head)];
+      if (m.seq < h.seq || (m.seq == h.seq && !m.dup && h.dup)) head = pos;
+    }
+    Candidate best;
+    for (int s = 0; s < nranks_; ++s) {
+      const int head = scratch_head_[static_cast<std::size_t>(s)];
+      if (head < 0) continue;
+      const Message& h = rs.mailbox[static_cast<std::size_t>(head)];
+      // Sources ascend, so on an arrival tie the lower source rank wins.
+      if (best.pos >= 0 && h.arrival >= best.arrival) continue;
+      best.pos = head;
+      best.arrival = h.arrival;
+      best.src = s;
+      best.seq = h.seq;
+      best.dup = h.dup;
+    }
+    if (best.pos < 0 || !dedup) return best;
+    if (rs.seen_seq.empty())
+      rs.seen_seq.resize(static_cast<std::size_t>(nranks_));
+    auto& seen = rs.seen_seq[static_cast<std::size_t>(best.src)];
+    if (seen.find(best.seq) == seen.end()) return best;
+    // Duplicate redelivery of an already-consumed message: the transport
+    // silently drops it and matching restarts.
+    link_stats(rs, best.src).dup_discards += 1;
+    rs.mailbox.erase(rs.mailbox.begin() + best.pos);
+  }
 }
 
-int Machine::pick_next(int from) const {
+bool Machine::commit_safe(int rank, int src_pattern,
+                          const Candidate& c) const {
+  // Source-pinned receives are fixed by link FIFO: any future message from
+  // that source carries a higher sequence number, so the candidate can
+  // never be displaced.
+  if (src_pattern != kAnySource) return true;
+  // Wildcard-source: conservative lower-bound-timestamp rule. Any message
+  // a live rank r could still send arrives no earlier than clock_r + tau
+  // (message_cost >= tau, jitter >= 0), with key (arrival, r). The
+  // candidate (a*, s*) commits only when no such future key can undercut
+  // it. Clocks are monotone, so a stale clock read only delays the commit,
+  // never mis-orders it.
+  for (const auto& rs : ranks_) {
+    if (rs.id == rank || rs.id == c.src || rs.done) continue;
+    const double lb = rs.clock.load() + cost_.tau;
+    if (lb > c.arrival) continue;
+    if (lb == c.arrival && rs.id > c.src) continue;
+    return false;
+  }
+  return true;
+}
+
+bool Machine::recv_deliverable(int rank) {
+  auto& rs = ranks_[static_cast<std::size_t>(rank)];
+  const Candidate c = find_candidate(rank, rs.want_src, rs.want_tag);
+  if (c.pos < 0) return false;
+  return force_commit_rank_ == rank || commit_safe(rank, rs.want_src, c);
+}
+
+int Machine::stall_pick() {
+  // Quiescent state: every live rank is parked in a receive and nothing is
+  // safe. No send can happen until some receive commits, so the messages
+  // the safety rule was waiting on can never materialize — commit the
+  // globally minimal candidate key. The state itself is deterministic (it
+  // is reached by the same commit sequence in every schedule), so the
+  // choice is too. No candidate anywhere = true deadlock, exactly the
+  // sequential scheduler's deadlock set.
+  int best_rank = -1;
+  Candidate best;
+  for (auto& rs : ranks_) {
+    if (rs.done || !rs.waiting) continue;
+    const Candidate c = find_candidate(rs.id, rs.want_src, rs.want_tag);
+    if (c.pos < 0) continue;
+    const bool wins =
+        best_rank < 0 || c.arrival < best.arrival ||
+        (c.arrival == best.arrival &&
+         (c.src < best.src ||
+          (c.src == best.src &&
+           (c.seq < best.seq ||
+            (c.seq == best.seq && (c.dup ? 1 : 0) < (best.dup ? 1 : 0))))));
+    if (wins) {
+      best = c;
+      best_rank = rs.id;
+    }
+  }
+  return best_rank;
+}
+
+bool Machine::runnable(RankState& rs) {
+  if (rs.done) return false;
+  if (!rs.waiting) return true;
+  return recv_deliverable(rs.id);
+}
+
+int Machine::pick_next(int from) {
   for (int step = 1; step <= nranks_; ++step) {
     const int cand = (from + step) % nranks_;
-    if (runnable(ranks_[cand])) return cand;
+    if (runnable(ranks_[static_cast<std::size_t>(cand)])) return cand;
   }
   return -1;
 }
@@ -125,7 +239,17 @@ void Machine::yield_from(int rank) {
   // Caller holds no lock; acquire, transfer control, and wait to be
   // rescheduled. Only the active rank ever calls this.
   std::unique_lock<std::mutex> lk(sync_->mutex);
-  const int next = pick_next(rank);
+  int next = pick_next(rank);
+  if (next == -1 && live_ > 0) {
+    // Global stall: nobody is runnable under the commit-safety rule. Force
+    // the globally minimal candidate (see stall_pick); only a state with
+    // no candidate at all is a real deadlock.
+    const int forced = stall_pick();
+    if (forced >= 0) {
+      force_commit_rank_ = forced;
+      next = forced;
+    }
+  }
   if (next == -1) {
     if (live_ > 0) {
       // Everyone (including us, who must be waiting or done) is blocked.
@@ -158,12 +282,16 @@ void Machine::yield_from(int rank) {
                         " unwound due to deadlock");
 }
 
-void Machine::do_send(int src, int dst, int tag,
-                      std::vector<std::byte> payload) {
-  if (dst < 0 || dst >= nranks_)
-    throw std::out_of_range("send: bad destination rank " +
-                            std::to_string(dst));
-  auto& s = ranks_[src];
+int Machine::build_send(int src, int dst, int tag,
+                        std::vector<std::byte> payload, Message out[2],
+                        double* new_clock, bool* reorder_first) {
+  // Everything here touches only sender-owned state (clock arithmetic,
+  // stats, per-destination sequence counters, the sender's fault stream,
+  // per-rank observer state), so the parallel engine runs it outside the
+  // mailbox lock. The caller publishes *new_clock only after enqueueing:
+  // a concurrent lower-bound read must not see the post-charge clock while
+  // the message it bounds is still in flight.
+  auto& s = ranks_[static_cast<std::size_t>(src)];
   if (strict_tags_ && tag < 0 && s.collective_depth == 0)
     throw std::invalid_argument(
         "send: tag " + std::to_string(tag) +
@@ -171,7 +299,9 @@ void Machine::do_send(int src, int dst, int tag,
         "must use tags >= 0");
   const auto bytes = payload.size();
   const double cost = cost_.message_cost(bytes);
-  s.clock += cost;
+  const double clock = s.clock.load() + cost;
+  *new_clock = clock;
+  *reorder_first = false;
   auto& pc = s.stats.phase(s.phase);
   pc.msgs_sent += 1;
   pc.bytes_sent += bytes;
@@ -181,7 +311,7 @@ void Machine::do_send(int src, int dst, int tag,
   m.src = src;
   m.dst = dst;
   m.tag = tag;
-  m.arrival = s.clock;
+  m.arrival = clock;
   m.sent_phase = s.phase;
   m.payload = std::move(payload);
 
@@ -193,44 +323,77 @@ void Machine::do_send(int src, int dst, int tag,
     ev.bytes = bytes;
     ev.phase = s.phase;
     ev.collective_depth = s.collective_depth;
-    ev.vtime = s.clock;
+    ev.vtime = clock;
     // Stamped before any fault perturbation so a duplicated delivery
     // carries the same send event (same vector clock).
     observer_->on_send(m, ev);
   }
 
-  auto& dstbox = ranks_[dst].mailbox;
-  if (!faults_.message_faults()) {
-    dstbox.push_back(std::move(m));
-    // The receiver (if parked on a matching recv) becomes runnable; the
-    // scheduler re-evaluates predicates on the next yield, so nothing else
-    // to do here.
-    return;
-  }
-
-  // ---- faulty-fabric path: envelope the payload, then perturb ----
+  // The link sequence number orders a link's traffic for deterministic
+  // matching, so it is assigned on every send, faults or not.
   if (s.next_seq.empty())
     s.next_seq.assign(static_cast<std::size_t>(nranks_), 0);
   m.seq = s.next_seq[static_cast<std::size_t>(dst)]++;
+
+  if (!faults_.message_faults()) {
+    out[0] = std::move(m);
+    return 1;
+  }
+
+  // ---- faulty-fabric path: envelope the payload, then perturb ----
   m.checksum = fnv1a(m.payload.data(), m.payload.size());
   m.arrival += faults_.latency_jitter(src);
 
   const bool duplicate = faults_.should_duplicate(src);
-  // Cross-flow reordering only: the new message may overtake the youngest
-  // queued message of a *different* (src, tag) flow. Per-flow FIFO holds,
-  // like per-channel ordering on a real fabric, so tag-selective matching
-  // absorbs the disorder.
-  if (faults_.should_reorder(src) && !dstbox.empty() &&
-      (dstbox.back().src != m.src || dstbox.back().tag != m.tag)) {
-    dstbox.insert(dstbox.end() - 1, m);
-  } else {
-    dstbox.push_back(m);
-  }
+  // The reorder draw is kept for stream compatibility and counters; under
+  // key-based matching the physical queue position is inert — observable
+  // reordering comes from jittered arrival timestamps instead.
+  *reorder_first = faults_.should_reorder(src);
   if (duplicate) {
-    Message copy = std::move(m);
+    Message copy = m;
+    copy.dup = true;
     copy.arrival += faults_.latency_jitter(src);
-    dstbox.push_back(std::move(copy));
+    out[0] = std::move(m);
+    out[1] = std::move(copy);
+    return 2;
   }
+  out[0] = std::move(m);
+  return 1;
+}
+
+void Machine::enqueue_messages(Message out[2], int n, bool reorder_first) {
+  auto& dstbox = ranks_[static_cast<std::size_t>(out[0].dst)].mailbox;
+  // Cross-flow overtake of the youngest queued message of a different
+  // (src, tag) flow — kept for physical-order fidelity (iprobe, reports);
+  // matching itself is position-independent.
+  if (reorder_first && !dstbox.empty() &&
+      (dstbox.back().src != out[0].src || dstbox.back().tag != out[0].tag)) {
+    dstbox.insert(dstbox.end() - 1, std::move(out[0]));
+  } else {
+    dstbox.push_back(std::move(out[0]));
+  }
+  if (n > 1) dstbox.push_back(std::move(out[1]));
+}
+
+void Machine::do_send(int src, int dst, int tag,
+                      std::vector<std::byte> payload) {
+  if (dst < 0 || dst >= nranks_)
+    throw std::out_of_range("send: bad destination rank " +
+                            std::to_string(dst));
+  if (prt_) {
+    prt_->send(*this, src, dst, tag, std::move(payload));
+    return;
+  }
+  Message out[2];
+  double new_clock = 0.0;
+  bool reorder_first = false;
+  const int n =
+      build_send(src, dst, tag, std::move(payload), out, &new_clock,
+                 &reorder_first);
+  enqueue_messages(out, n, reorder_first);
+  ranks_[static_cast<std::size_t>(src)].clock = new_clock;
+  // The receiver (if parked on a matching recv) becomes runnable; the
+  // sequential scheduler re-evaluates predicates on the next yield.
 }
 
 LinkStats& Machine::link_stats(RankState& rs, int src) {
@@ -287,60 +450,59 @@ void Machine::recover_corruption(int rank, const Message& m) {
   }
 }
 
+Message Machine::commit_recv(int rank, const Candidate& c, int src, int tag,
+                             bool fp_payload) {
+  auto& rs = ranks_[static_cast<std::size_t>(rank)];
+  const bool mf = faults_.message_faults();
+  if (mf && faults_.config().duplicate_prob > 0.0) {
+    if (rs.seen_seq.empty())
+      rs.seen_seq.resize(static_cast<std::size_t>(nranks_));
+    rs.seen_seq[static_cast<std::size_t>(c.src)].insert(c.seq);
+  }
+  auto it = rs.mailbox.begin() + c.pos;
+  Message m = std::move(*it);
+  rs.mailbox.erase(it);
+  const double before = rs.clock;
+  rs.clock = std::max<double>(rs.clock, m.arrival);
+  if (cost_.recv_copy_mu > 0.0)
+    rs.clock += cost_.recv_copy_mu * static_cast<double>(m.bytes());
+  if (mf && faults_.config().corrupt_prob > 0.0) recover_corruption(rank, m);
+  auto& pc = rs.stats.phase(rs.phase);
+  pc.msgs_recv += 1;
+  pc.bytes_recv += m.bytes();
+  pc.comm_seconds += rs.clock - before;
+  rs.waiting = false;
+  if (observer_) {
+    RecvEvent ev;
+    ev.rank = rank;
+    ev.want_src = src;
+    ev.want_tag = tag;
+    ev.fp_payload = fp_payload;
+    ev.order_insensitive = rs.unordered_depth > 0;
+    ev.phase = rs.phase;
+    ev.collective_depth = rs.collective_depth;
+    ev.vtime = rs.clock;
+    // The matched message is already out of the mailbox: what is left
+    // are the still-pending messages (race candidates among them).
+    observer_->on_recv(m, ev, rs.mailbox);
+  }
+  return m;
+}
+
 Message Machine::do_recv(int rank, int src, int tag, bool fp_payload) {
-  auto& rs = ranks_[rank];
+  auto& rs = ranks_[static_cast<std::size_t>(rank)];
   if (strict_tags_ && tag != kAnyTag && tag < 0 && rs.collective_depth == 0)
     throw std::invalid_argument(
         "recv: explicit tag " + std::to_string(tag) +
         " is in the reserved (negative) collective tag space; user receives "
         "must use tags >= 0 or kAnyTag");
-  const bool mf = faults_.message_faults();
-  const bool dedup = mf && faults_.config().duplicate_prob > 0.0;
+  if (prt_) return prt_->recv(*this, rank, src, tag, fp_payload);
   for (;;) {
-    for (auto it = rs.mailbox.begin(); it != rs.mailbox.end();) {
-      if (!match(*it, src, tag)) {
-        ++it;
-        continue;
-      }
-      if (dedup) {
-        if (rs.seen_seq.empty())
-          rs.seen_seq.resize(static_cast<std::size_t>(nranks_));
-        auto& seen = rs.seen_seq[static_cast<std::size_t>(it->src)];
-        if (!seen.insert(it->seq).second) {
-          // Duplicate delivery: the transport silently drops it.
-          link_stats(rs, it->src).dup_discards += 1;
-          it = rs.mailbox.erase(it);
-          continue;
-        }
-      }
-      Message m = std::move(*it);
-      rs.mailbox.erase(it);
-      const double before = rs.clock;
-      rs.clock = std::max(rs.clock, m.arrival);
-      if (cost_.recv_copy_mu > 0.0)
-        rs.clock += cost_.recv_copy_mu * static_cast<double>(m.bytes());
-      if (mf && faults_.config().corrupt_prob > 0.0)
-        recover_corruption(rank, m);
-      auto& pc = rs.stats.phase(rs.phase);
-      pc.msgs_recv += 1;
-      pc.bytes_recv += m.bytes();
-      pc.comm_seconds += rs.clock - before;
-      rs.waiting = false;
-      if (observer_) {
-        RecvEvent ev;
-        ev.rank = rank;
-        ev.want_src = src;
-        ev.want_tag = tag;
-        ev.fp_payload = fp_payload;
-        ev.order_insensitive = rs.unordered_depth > 0;
-        ev.phase = rs.phase;
-        ev.collective_depth = rs.collective_depth;
-        ev.vtime = rs.clock;
-        // The matched message is already out of the mailbox: what is left
-        // are the still-pending messages (race candidates among them).
-        observer_->on_recv(m, ev, rs.mailbox);
-      }
-      return m;
+    const Candidate c = find_candidate(rank, src, tag);
+    if (c.pos >= 0 &&
+        (force_commit_rank_ == rank || commit_safe(rank, src, c))) {
+      if (force_commit_rank_ == rank) force_commit_rank_ = -1;
+      return commit_recv(rank, c, src, tag, fp_payload);
     }
     rs.waiting = true;
     rs.want_src = src;
@@ -350,8 +512,9 @@ Message Machine::do_recv(int rank, int src, int tag, bool fp_payload) {
   }
 }
 
-bool Machine::do_iprobe(int rank, int src, int tag) const {
-  for (const auto& m : ranks_[rank].mailbox)
+bool Machine::do_iprobe(int rank, int src, int tag) {
+  if (prt_) return prt_->iprobe(*this, rank, src, tag);
+  for (const auto& m : ranks_[static_cast<std::size_t>(rank)].mailbox)
     if (match(m, src, tag)) return true;
   return false;
 }
@@ -398,16 +561,58 @@ void Machine::rank_main(int rank, const std::function<void(Comm&)>& program) {
   }
 }
 
-RunResult Machine::run(const std::function<void(Comm&)>& program) {
+void Machine::reset_run_state() {
   ranks_.assign(static_cast<std::size_t>(nranks_), RankState{});
-  for (int i = 0; i < nranks_; ++i) ranks_[i].id = i;
+  for (int i = 0; i < nranks_; ++i)
+    ranks_[static_cast<std::size_t>(i)].id = i;
   if (observer_) observer_->on_run_start(nranks_);
   faults_.reset();  // identical fault streams on every run of this Machine
   live_ = nranks_;
   deadlocked_ = false;
   current_ = -1;
+  force_commit_rank_ = -1;
   deadlock_report_str_.clear();
   deadlock_blocked_.clear();
+}
+
+RunResult Machine::collect_results() {
+  for (const auto& rs : ranks_)
+    if (rs.error) std::rethrow_exception(rs.error);
+
+  if (observer_) {
+    std::vector<const std::deque<Message>*> boxes;
+    boxes.reserve(ranks_.size());
+    for (const auto& rs : ranks_) boxes.push_back(&rs.mailbox);
+    observer_->on_run_end(boxes);
+  }
+
+  RunResult result;
+  result.ranks.reserve(ranks_.size());
+  for (const auto& rs : ranks_) {
+    RankReport rep;
+    rep.rank = rs.id;
+    rep.clock = rs.clock;
+    rep.stats = rs.stats;
+    if (faults_.enabled()) rep.faults = faults_.counters(rs.id);
+    rep.links = rs.links;
+    result.ranks.push_back(std::move(rep));
+  }
+  return result;
+}
+
+RunResult Machine::run(const std::function<void(Comm&)>& program) {
+  if (exec_mode_ == ExecMode::kParallel) {
+    if (!parallel_runner_)
+      throw std::logic_error(
+          "Machine: parallel mode requested but no engine installed; link "
+          "picpar_runtime and call runtime::use_parallel(machine)");
+    return parallel_runner_(*this, program);
+  }
+  return run_sequential(program);
+}
+
+RunResult Machine::run_sequential(const std::function<void(Comm&)>& program) {
+  reset_run_state();
 
   sync_->threads.clear();
   sync_->threads.reserve(static_cast<std::size_t>(nranks_));
@@ -432,21 +637,7 @@ RunResult Machine::run(const std::function<void(Comm&)>& program) {
   for (auto& t : sync_->threads) t.join();
   sync_->threads.clear();
 
-  for (const auto& rs : ranks_)
-    if (rs.error) std::rethrow_exception(rs.error);
-
-  RunResult result;
-  result.ranks.reserve(ranks_.size());
-  for (const auto& rs : ranks_) {
-    RankReport rep;
-    rep.rank = rs.id;
-    rep.clock = rs.clock;
-    rep.stats = rs.stats;
-    if (faults_.enabled()) rep.faults = faults_.counters(rs.id);
-    rep.links = rs.links;
-    result.ranks.push_back(std::move(rep));
-  }
-  return result;
+  return collect_results();
 }
 
 }  // namespace picpar::sim

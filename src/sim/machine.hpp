@@ -13,6 +13,7 @@
 // reproducible regardless of host load.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <exception>
@@ -28,9 +29,51 @@
 #include "sim/message.hpp"
 #include "sim/observer.hpp"
 
+namespace picpar::runtime {
+class ParallelEngine;  // src/runtime: executes ranks on real cores
+}
+
 namespace picpar::sim {
 
 class Comm;
+
+/// Execution policy for Machine::run. Sequential is the reference
+/// scheduler (one rank at a time, round-robin). Parallel executes ranks
+/// concurrently on real cores through an engine installed by the
+/// picpar_runtime library; the deterministic matching layer guarantees
+/// bit-identical results between the two modes.
+enum class ExecMode {
+  kSequential,
+  kParallel,
+};
+
+/// A rank's virtual-time clock. Written only by the owning rank; in
+/// parallel mode other ranks read it concurrently to bound the arrival
+/// time of messages the owner might still send. Clocks are monotone, so a
+/// stale read is a valid (conservative) lower bound — never an unsafe one.
+class VirtualClock {
+public:
+  VirtualClock() = default;
+  VirtualClock(const VirtualClock& o) : v_(o.load()) {}
+  VirtualClock& operator=(const VirtualClock& o) {
+    store(o.load());
+    return *this;
+  }
+  VirtualClock& operator=(double d) {
+    store(d);
+    return *this;
+  }
+  VirtualClock& operator+=(double d) {
+    store(load() + d);
+    return *this;
+  }
+  operator double() const { return load(); }
+  double load() const { return v_.load(std::memory_order_acquire); }
+  void store(double d) { v_.store(d, std::memory_order_release); }
+
+private:
+  std::atomic<double> v_{0.0};
+};
 
 /// One blocked rank in a deadlock: what it was waiting for.
 struct BlockedInfo {
@@ -97,6 +140,24 @@ struct RunResult {
   FaultCounters faults_total() const;
 };
 
+class Machine;
+
+/// Interface the parallel runtime installs for the duration of a parallel
+/// run. Machine's communication entry points delegate here, so blocking,
+/// mailbox locking, and wakeups go through the engine's scheduler instead
+/// of the sequential handoff protocol. Everything the hooks may touch on
+/// the Machine (candidate selection, commit, enqueue) is shared with the
+/// sequential path — the engines differ only in who runs when.
+class ParallelRuntimeHooks {
+public:
+  virtual ~ParallelRuntimeHooks() = default;
+  virtual void send(Machine& m, int src, int dst, int tag,
+                    std::vector<std::byte> payload) = 0;
+  virtual Message recv(Machine& m, int rank, int src, int tag,
+                       bool fp_payload) = 0;
+  virtual bool iprobe(Machine& m, int rank, int src, int tag) = 0;
+};
+
 class Machine {
 public:
   Machine(int nranks, CostModel cost);
@@ -132,6 +193,21 @@ public:
   FaultModel& fault_model() { return faults_; }
   const FaultModel& fault_model() const { return faults_; }
 
+  /// Execution policy. Parallel mode additionally needs an engine: link
+  /// picpar_runtime and call runtime::use_parallel(machine) (or let
+  /// pic::run_pic plumb it). run() throws std::logic_error if parallel
+  /// mode is requested with no engine installed.
+  void set_exec_mode(ExecMode mode) { exec_mode_ = mode; }
+  ExecMode exec_mode() const { return exec_mode_; }
+
+  /// Install the parallel engine entry point (set by picpar_runtime; the
+  /// sim library itself has no thread-pool dependency). nullptr uninstalls.
+  void set_parallel_runner(
+      std::function<RunResult(Machine&, const std::function<void(Comm&)>&)>
+          runner) {
+    parallel_runner_ = std::move(runner);
+  }
+
   /// Run an SPMD program to completion on all ranks; returns per-rank
   /// clocks and traffic. Throws DeadlockError on global deadlock and
   /// rethrows the first rank exception otherwise. A Machine can run
@@ -140,10 +216,11 @@ public:
 
 private:
   friend class Comm;
+  friend class picpar::runtime::ParallelEngine;
 
   struct RankState {
     int id = 0;
-    double clock = 0.0;
+    VirtualClock clock;
     std::deque<Message> mailbox;
     bool done = false;
     bool waiting = false;
@@ -165,23 +242,72 @@ private:
     std::vector<LinkStats> links;                  ///< per-source counters
   };
 
-  // --- used by Comm (always called while holding the handoff lock
-  //     implicitly: only the active rank executes) ---
+  // --- used by Comm (sequential: only the active rank executes; parallel:
+  //     delegated to the engine hooks, which serialize mailbox access) ---
   void do_send(int src, int dst, int tag, std::vector<std::byte> payload);
   Message do_recv(int rank, int src, int tag, bool fp_payload = false);
-  bool do_iprobe(int rank, int src, int tag) const;
+  bool do_iprobe(int rank, int src, int tag);
   void charge(int rank, double seconds, bool is_compute);
   LinkStats& link_stats(RankState& rs, int src);
   void recover_corruption(int rank, const Message& m);
 
-  // --- scheduler ---
+  // --- deterministic matching layer (shared by both engines) ---
+
+  /// The pending message a receive would commit: minimum key
+  /// (arrival, src, seq, dup) over the per-source flow heads (the lowest
+  /// (seq, dup) matching message of each source, which preserves per-link
+  /// FIFO under arrival jitter).
+  struct Candidate {
+    int pos = -1;  ///< index into the receiver's mailbox; -1 = none
+    double arrival = 0.0;
+    int src = -1;
+    std::uint64_t seq = 0;
+    bool dup = false;
+  };
+
+  /// Select (and, when dedup is active, discard already-seen duplicate
+  /// heads from) the receiver's minimal matching candidate.
+  Candidate find_candidate(int rank, int src, int tag);
+  /// Conservative lower-bound-timestamp rule: may the candidate commit now,
+  /// i.e. can no live rank still send a message with a smaller key? Always
+  /// true for source-pinned receives (link FIFO fixes the order).
+  bool commit_safe(int rank, int src_pattern, const Candidate& c) const;
+  /// Deliver the candidate: dequeue, advance the receiver clock, run
+  /// transport recovery, book stats, fire the observer.
+  Message commit_recv(int rank, const Candidate& c, int src, int tag,
+                      bool fp_payload);
+  /// Whether a parked receive may proceed (candidate exists and is safe,
+  /// source-pinned, or force-committed by stall resolution).
+  bool recv_deliverable(int rank);
+  /// Global stall: every live rank is blocked and nothing is safe. Returns
+  /// the receiver owning the globally minimal candidate (to force-commit:
+  /// no rank can send until something commits, so the conservative bound is
+  /// vacuously resolved in key order), or -1 = true deadlock.
+  int stall_pick();
+
+  /// Sender-side half of do_send: charge, stats, envelope, observer,
+  /// fault draws. Fills out[0..1] (a duplicated message yields two) and
+  /// returns the count; *new_clock receives the sender's post-charge clock,
+  /// which the caller publishes only after enqueueing so concurrent
+  /// lower-bound reads stay conservative. *reorder_first reports the fault
+  /// model's reorder draw for enqueue positioning.
+  int build_send(int src, int dst, int tag, std::vector<std::byte> payload,
+                 Message out[2], double* new_clock, bool* reorder_first);
+  void enqueue_messages(Message out[2], int n, bool reorder_first);
+
+  // --- sequential scheduler ---
   void yield_from(int rank);       ///< hand execution to the next runnable rank
-  int pick_next(int from) const;   ///< -1: none runnable
-  bool runnable(const RankState& rs) const;
+  int pick_next(int from);         ///< -1: none runnable
+  bool runnable(RankState& rs);
   bool match(const Message& m, int src, int tag) const;
   void rank_main(int rank, const std::function<void(Comm&)>& program);
   std::string deadlock_report() const;
   std::vector<BlockedInfo> blocked_ranks() const;
+
+  // --- run scaffolding shared with the parallel engine ---
+  void reset_run_state();
+  RunResult collect_results();
+  RunResult run_sequential(const std::function<void(Comm&)>& program);
 
   int nranks_;
   CostModel cost_;
@@ -199,6 +325,18 @@ private:
   int current_ = -1;                // active rank; -1 = main thread
   int live_ = 0;                    // ranks not yet done
   bool deadlocked_ = false;
+  /// Rank allowed to commit its candidate past the safety rule (stall
+  /// resolution); -1 = none. Cleared by the rank at commit.
+  int force_commit_rank_ = -1;
+  /// Per-source flow-head scratch for find_candidate (guarded by the
+  /// engine's serialization: handoff lock or the parallel engine mutex).
+  std::vector<int> scratch_head_;
+
+  ExecMode exec_mode_ = ExecMode::kSequential;
+  std::function<RunResult(Machine&, const std::function<void(Comm&)>&)>
+      parallel_runner_;
+  /// Non-null only while a parallel run is in flight.
+  ParallelRuntimeHooks* prt_ = nullptr;
 };
 
 }  // namespace picpar::sim

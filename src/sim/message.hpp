@@ -20,11 +20,17 @@ struct Message {
   /// Virtual time at which the message is available at the receiver.
   double arrival = 0.0;
   /// Transport envelope: per-(src, dst)-link sequence number and FNV-1a
-  /// payload checksum. The checksum is only computed when a fault model
-  /// with message faults is active; envelope fields ride as struct
-  /// metadata, so they never change the modeled byte counts or costs.
+  /// payload checksum. The sequence number is always assigned (deterministic
+  /// matching orders a link's traffic by it); the checksum is only computed
+  /// when a fault model with message faults is active. Envelope fields ride
+  /// as struct metadata, so they never change the modeled byte counts or
+  /// costs.
   std::uint64_t seq = 0;
   std::uint64_t checksum = 0;
+  /// True for the redelivered copy of a duplicated message (fault model).
+  /// The copy shares `seq` with the original; matching breaks the tie in
+  /// favor of the original so dedup behavior is schedule-independent.
+  bool dup = false;
   /// Sender's phase when the message was posted; the analysis layer checks
   /// it against the receiver's phase at delivery (metadata, never costed).
   Phase sent_phase = Phase::kOther;

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <vector>
 
 #include "sim/comm_stats.hpp"
 #include "sim/message.hpp"
@@ -59,6 +60,17 @@ public:
   /// could also have matched are a subset of these).
   virtual void on_recv(const Message& m, const RecvEvent& e,
                        const std::deque<Message>& mailbox) = 0;
+
+  /// The run completed normally (all ranks done, no error, no deadlock);
+  /// `mailboxes[r]` is rank r's final mailbox — messages sent but never
+  /// received. This is the quiescence point where an observer that buffers
+  /// per-rank state merges it in deterministic rank order; the *set* of
+  /// leftover messages is schedule-independent even though their physical
+  /// queue order is not. Default: no-op.
+  virtual void on_run_end(
+      const std::vector<const std::deque<Message>*>& mailboxes) {
+    (void)mailboxes;
+  }
 };
 
 }  // namespace picpar::sim

@@ -1,0 +1,72 @@
+// Helpers for the mode-equivalence suite: run one program under the
+// sequential reference scheduler and under the parallel engine, and demand
+// bit-identical RunResults. Doubles are compared with ==: the guarantee is
+// that both modes execute the *same* arithmetic in the *same* order, not
+// that they land within a tolerance.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "runtime/parallel_engine.hpp"
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+
+namespace picpar::testing {
+
+inline void expect_identical(const sim::RunResult& seq,
+                             const sim::RunResult& par) {
+  ASSERT_EQ(seq.ranks.size(), par.ranks.size());
+  for (std::size_t r = 0; r < seq.ranks.size(); ++r) {
+    SCOPED_TRACE("rank " + std::to_string(r));
+    const auto& a = seq.ranks[r];
+    const auto& b = par.ranks[r];
+    EXPECT_EQ(a.rank, b.rank);
+    EXPECT_EQ(a.clock, b.clock);
+    for (int p = 0; p < sim::kNumPhases; ++p) {
+      SCOPED_TRACE("phase " + std::to_string(p));
+      const auto& pa = a.stats.phase(static_cast<sim::Phase>(p));
+      const auto& pb = b.stats.phase(static_cast<sim::Phase>(p));
+      EXPECT_EQ(pa.msgs_sent, pb.msgs_sent);
+      EXPECT_EQ(pa.bytes_sent, pb.bytes_sent);
+      EXPECT_EQ(pa.msgs_recv, pb.msgs_recv);
+      EXPECT_EQ(pa.bytes_recv, pb.bytes_recv);
+      EXPECT_EQ(pa.comm_seconds, pb.comm_seconds);
+      EXPECT_EQ(pa.compute_seconds, pb.compute_seconds);
+    }
+    EXPECT_EQ(a.faults.transient_slowdowns, b.faults.transient_slowdowns);
+    EXPECT_EQ(a.faults.jittered_messages, b.faults.jittered_messages);
+    EXPECT_EQ(a.faults.corrupted_deliveries, b.faults.corrupted_deliveries);
+    EXPECT_EQ(a.faults.duplicated_messages, b.faults.duplicated_messages);
+    EXPECT_EQ(a.faults.reordered_messages, b.faults.reordered_messages);
+    EXPECT_EQ(a.faults.memory_faults, b.faults.memory_faults);
+    ASSERT_EQ(a.links.size(), b.links.size());
+    for (std::size_t s = 0; s < a.links.size(); ++s) {
+      EXPECT_EQ(a.links[s].retries, b.links[s].retries);
+      EXPECT_EQ(a.links[s].dup_discards, b.links[s].dup_discards);
+      EXPECT_EQ(a.links[s].corruptions_detected, b.links[s].corruptions_detected);
+    }
+  }
+}
+
+/// Run `program` on a fresh machine per mode (identical construction via
+/// `make`) and require bit-identical results. Returns the sequential result
+/// for further assertions.
+inline sim::RunResult run_both_modes(
+    const std::function<sim::Machine*()>& make,
+    const std::function<void(sim::Comm&)>& program, int workers = 4) {
+  std::unique_ptr<sim::Machine> seq_m(make());
+  const sim::RunResult seq = seq_m->run(program);
+
+  std::unique_ptr<sim::Machine> par_m(make());
+  runtime::use_parallel(*par_m, runtime::ParallelConfig{workers});
+  const sim::RunResult par = par_m->run(program);
+
+  expect_identical(seq, par);
+  return seq;
+}
+
+}  // namespace picpar::testing
