@@ -19,6 +19,11 @@ int main(int argc, char** argv) {
   auto jobs = cli.flag<int>("jobs", 1,
                             "policy configurations run concurrently "
                             "(0 = host cores)");
+  auto trace_path = cli.flag<std::string>(
+      "trace", "", "write a Chrome-trace JSON of the sar run to this path");
+  auto metrics_path = cli.flag<std::string>(
+      "trace-metrics", "",
+      "write the sar run's metrics JSON to this path");
   const auto scale = bench::parse_scale(cli, argc, argv);
   const int iters = scale.iters(2000);
 
@@ -31,10 +36,17 @@ int main(int argc, char** argv) {
   for (const std::string& policy :
        {std::string("static"),
         "periodic:" + std::to_string(scale.full ? 50 : 10), std::string("sar")}) {
-    tasks.push_back([policy, n, iters, ranks = *ranks, stride = *stride] {
+    tasks.push_back([policy, n, iters, ranks = *ranks, stride = *stride,
+                     trace = *trace_path, metrics = *metrics_path] {
       auto params = bench::paper_params("irregular", 128, 64, n, ranks);
       params.iterations = iters;
       params.policy = policy;
+      if (policy == "sar") {
+        // The sar run is the paper's headline configuration; it is the one
+        // exported when tracing is requested.
+        params.trace.path = trace;
+        params.trace.metrics_path = metrics;
+      }
       const auto r = pic::run_pic(params);
 
       std::vector<double> x, y;

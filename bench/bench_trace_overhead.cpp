@@ -1,0 +1,100 @@
+// Cost of the deterministic tracing layer (src/trace).
+//
+// Two claims to verify. First, the tracer is opt-in with zero cost on the
+// fast path: with tracing disabled, the simulated run — virtual makespan,
+// per-phase traffic, physics — is bit-identical to a build without the
+// subsystem, and the wall-clock difference is noise. Second, when enabled,
+// buffering spans/flows/marks and rendering the Chrome-trace JSON costs a
+// bounded wall-clock factor, and virtual time is untouched in every mode
+// (the tracer rides on real time, not simulated time).
+#include <chrono>
+#include <cstdio>
+
+#include "common.hpp"
+#include "pic/simulation.hpp"
+
+using namespace picpar;
+
+namespace {
+
+double wall_seconds(const pic::PicParams& params, pic::PicResult* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = pic::run_pic(params);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (out) *out = std::move(r);
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_trace_overhead",
+          "Wall-clock cost of deterministic tracing");
+  auto ranks = cli.flag<int>("ranks", 32, "simulated processors");
+  auto out_path = cli.flag<std::string>(
+      "out", "trace_overhead.trace.json",
+      "Chrome-trace path for the export mode (deleted afterwards)");
+  const auto scale = bench::parse_scale(cli, argc, argv);
+  const int iters = scale.full ? 200 : 50;
+  const std::uint64_t n = scale.particles(32768);
+
+  bench::print_header(
+      "Trace layer — overhead of span/flow/mark buffering and export",
+      std::to_string(iters) + " iterations, irregular blob, " +
+          std::to_string(*ranks) +
+          " ranks; virtual-time columns must be identical in every row");
+
+  auto params = bench::paper_params("irregular", 128, 64, n, *ranks);
+  params.iterations = iters;
+  params.policy = "sar";
+  params.init.drift_ux = 0.12;
+  params.init.drift_uy = 0.07;
+
+  struct Mode {
+    const char* label;
+    bool trace;
+    bool export_files;
+  };
+  const Mode modes[] = {
+      {"off", false, false},
+      {"trace", true, false},
+      {"trace+export", true, true},
+  };
+
+  Table table({"mode", "wall (s)", "slowdown", "virtual total (s)", "events",
+               "virtual identical"});
+  table.set_title("Tracer cost by mode (export also writes the JSON file)");
+
+  double wall_off = 0.0;
+  double virtual_off = 0.0;
+  for (const auto& mode : modes) {
+    params.trace = pic::TraceParams{};
+    params.trace.enabled = mode.trace;
+    if (mode.export_files) params.trace.path = *out_path;
+    pic::PicResult r;
+    // Median-of-3 wall time: these runs are short enough to jitter.
+    double best = wall_seconds(params, &r);
+    for (int rep = 0; rep < 2; ++rep)
+      best = std::min(best, wall_seconds(params, nullptr));
+    if (!mode.trace) {
+      wall_off = best;
+      virtual_off = r.total_seconds;
+    }
+    table.row()
+        .add(mode.label)
+        .add(best, 3)
+        .add(wall_off > 0.0 ? best / wall_off : 1.0, 2)
+        .add(r.total_seconds, 2)
+        .add(r.traced ? std::to_string(r.trace_events) : std::string("-"))
+        .add(r.total_seconds == virtual_off ? "yes" : "NO");
+    std::cout << "." << std::flush;
+  }
+  std::cout << '\n';
+  std::remove(out_path->c_str());
+  table.print(std::cout);
+  std::cout << "\nExpected: identical 'virtual total' across modes (the "
+               "tracer never touches simulated time) and a small "
+               "constant-factor wall-clock cost when tracing, slightly "
+               "higher with the JSON export.\n";
+  return 0;
+}

@@ -332,7 +332,9 @@ void Analyzer::run_deferred_checks(int rank,
 }
 
 void Analyzer::on_run_end(
-    const std::vector<const std::deque<Message>*>& mailboxes) {
+    const std::vector<const std::deque<Message>*>& mailboxes,
+    const std::vector<double>& final_clocks) {
+  (void)final_clocks;  // fingerprints cover clocks via event vtimes already
   // Quiescence: every rank is done, per-rank buffers are stable, and the
   // final mailboxes hold the never-consumed messages. Merge in rank order
   // so findings, counts, and the report are deterministic — and identical

@@ -102,7 +102,8 @@ public:
   void on_recv(const sim::Message& m, const sim::RecvEvent& e,
                const std::deque<sim::Message>& mailbox) override;
   void on_run_end(
-      const std::vector<const std::deque<sim::Message>*>& mailboxes) override;
+      const std::vector<const std::deque<sim::Message>*>& mailboxes,
+      const std::vector<double>& final_clocks) override;
 
   // ---- results (read after the run; finalized in on_run_end) ----
   /// Stored (deduplicated, capped) findings, in deterministic merge order:

@@ -1,9 +1,9 @@
 #include "analysis/audit.hpp"
 
-#include <cstdlib>
 #include <sstream>
 
 #include "sim/comm.hpp"
+#include "util/env.hpp"
 
 namespace picpar::analysis {
 
@@ -42,9 +42,6 @@ AuditResult audit_determinism(
   return out;
 }
 
-bool analyzer_env_enabled() {
-  const char* v = std::getenv("PICPAR_ANALYZE");
-  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
-}
+bool analyzer_env_enabled() { return env_enabled("PICPAR_ANALYZE"); }
 
 }  // namespace picpar::analysis

@@ -81,6 +81,29 @@ struct AnalysisParams {
   int max_findings = 64;
 };
 
+/// Opt-in deterministic tracing (src/trace). Everything defaults to off:
+/// no observer is attached and runs are bit-identical to a build without
+/// the trace layer. The PICPAR_TRACE=<path> environment variable (non-empty,
+/// not "0") also enables tracing for any run without a rebuild, writing a
+/// Chrome-trace JSON to <path>; PICPAR_TRACE_METRICS=<path> writes the
+/// metrics JSON. Exported virtual-time artifacts are byte-identical between
+/// sequential and parallel execution.
+struct TraceParams {
+  /// Attach the tracer to the simulated machine.
+  bool enabled = false;
+  /// Chrome-trace JSON output path ("" = keep in PicResult only).
+  std::string path;
+  /// Metrics JSON output path ("" = keep in PicResult only).
+  std::string metrics_path;
+  /// Record message send->recv flow events (and per-phase traffic metrics).
+  bool flows = true;
+  /// Attach wall-clock args to exported spans (schedule-dependent; breaks
+  /// byte-identity between runs, so off by default).
+  bool include_wall = false;
+
+  bool on() const { return enabled || !path.empty() || !metrics_path.empty(); }
+};
+
 /// Execution engine selection for the simulated machine. Sequential is
 /// the reference scheduler; parallel runs ranks concurrently on real cores
 /// through src/runtime with bit-identical results (the PICPAR_PARALLEL
@@ -123,6 +146,8 @@ struct PicParams {
   ValidationParams validate{};
   /// Happens-before analysis and determinism audit (default: off).
   AnalysisParams analyze{};
+  /// Deterministic tracing and metrics (default: off).
+  TraceParams trace{};
   /// Execution engine (default: sequential reference scheduler).
   ExecParams exec{};
 

@@ -71,6 +71,16 @@ struct PicResult {
   std::uint64_t hb_fingerprint = 0;     ///< happens-before DAG fingerprint
   int determinism_audit = -1;           ///< -1 not run, 0 failed, 1 passed
 
+  // Deterministic tracing (populated when PicParams::trace or PICPAR_TRACE
+  // enables the tracer; see src/trace). The exported strings contain only
+  // virtual-time quantities, so they are byte-identical between sequential
+  // and parallel execution.
+  bool traced = false;
+  std::uint64_t trace_events = 0;   ///< observer callbacks during the run
+  std::string metrics_json;         ///< MetricsSnapshot::to_json()
+  std::string metrics_csv;          ///< MetricsSnapshot::to_csv()
+  std::string timeline_csv;         ///< RedistTimeline::to_csv() (Figs 11-17)
+
   // Physics diagnostics at the end of the run (summed over ranks).
   double field_energy = 0.0;
   double kinetic_energy = 0.0;

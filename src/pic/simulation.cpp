@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <mutex>
 #include <stdexcept>
 
 #include "analysis/analyzer.hpp"
@@ -16,6 +18,8 @@
 #include "particles/pusher.hpp"
 #include "runtime/parallel_engine.hpp"
 #include "sim/comm.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/tracer.hpp"
 
 namespace picpar::pic {
 
@@ -174,6 +178,7 @@ PicResult run_pic(const PicParams& params) {
     out.init_seconds_global = comm.allreduce_max(comm.clock() - t0);
     policy->notify_redistribution(-1, out.init_seconds_global);
     out.clock_after_init = comm.clock();
+    if (rank == 0) comm.mark(trace::kMarkInit, -1, out.init_seconds_global);
 
     const double q = mine.charge();
     const double m = mine.mass();
@@ -314,6 +319,9 @@ PicResult run_pic(const PicParams& params) {
       rec.clock_pre_redist = comm.clock();
 
       if (policy->should_redistribute(iter, rec.loop_seconds_global)) {
+        if (rank == 0)
+          comm.mark(trace::kMarkRedistDecision, iter,
+                    rec.loop_seconds_global);
         comm.set_phase(Phase::kRedistribute);
         const double tr = comm.clock();
         const auto rrep = partitioner.redistribute(comm, mine);
@@ -322,6 +330,10 @@ PicResult run_pic(const PicParams& params) {
         policy->notify_redistribution(iter, rec.redist_seconds_global);
         rec.redistributed = true;
         rec.redist_sent = rrep.sent_particles;
+        comm.mark(trace::kMarkRedistSent, iter,
+                  static_cast<double>(rrep.sent_particles));
+        if (rank == 0)
+          comm.mark(trace::kMarkRedistDone, iter, rec.redist_seconds_global);
       }
 
       // ---- Invariant check, rollback, checkpoint refresh ----
@@ -336,6 +348,9 @@ PicResult run_pic(const PicParams& params) {
             local_energy);
         rec.violation_mask = report.mask;
         checked_bad = !report.ok();
+        if (checked_bad && rank == 0)
+          comm.mark(trace::kMarkViolation, iter,
+                    static_cast<double>(report.mask));
         if (checked_bad && ckpt_valid && recoveries < vp.max_recoveries) {
           // Every rank saw the same OR-combined mask, so all of them take
           // this branch together: restore the last good checkpoint and
@@ -355,6 +370,7 @@ PicResult run_pic(const PicParams& params) {
           rec.redistributed = true;
           rec.redist_seconds_global += cost;
           ++recoveries;
+          if (rank == 0) comm.mark(trace::kMarkRecovered, iter, cost);
         } else if (checked_bad) {
           // Rollback unavailable: repair in place so the run continues in a
           // degraded but well-defined state.
@@ -370,6 +386,12 @@ PicResult run_pic(const PicParams& params) {
             !checked_bad && !rec.recovered;
         if (vp.check_every == 0 || checked_ok) take_checkpoint();
       }
+      // Per-iteration trace samples (free without an observer): local
+      // particle count on every rank, global loop time on rank 0.
+      comm.mark(trace::kMarkParticles, iter,
+                static_cast<double>(mine.size()));
+      if (rank == 0)
+        comm.mark(trace::kMarkIter, iter, rec.loop_seconds_global);
       rec.clock_end = comm.clock();
       out.iters.push_back(rec);
 
@@ -407,7 +429,22 @@ PicResult run_pic(const PicParams& params) {
   aopt.max_findings =
       static_cast<std::size_t>(std::max(0, params.analyze.max_findings));
   analysis::Analyzer analyzer(aopt);
-  if (analyze_on) machine.set_observer(&analyzer);
+
+  // ---- opt-in deterministic tracing (zero cost when off) ----
+  TraceParams tp = params.trace;
+  if (tp.path.empty())
+    if (const char* p = trace::trace_env_path()) tp.path = p;
+  if (tp.metrics_path.empty())
+    if (const char* p = trace::trace_metrics_env_path()) tp.metrics_path = p;
+  const bool trace_on = tp.on();
+  trace::Tracer::Options topt;
+  topt.flows = tp.flows;
+  trace::Tracer tracer(topt);
+
+  sim::ObserverChain observers;
+  if (analyze_on) observers.add(&analyzer);
+  if (trace_on) observers.add(&tracer);
+  if (!observers.empty()) machine.set_observer(&observers);
 
   int audit_state = -1;
   sim::RunResult run;
@@ -491,6 +528,33 @@ PicResult run_pic(const PicParams& params) {
     if (result.analysis_findings > 0) result.analysis_report = analyzer.report();
     result.hb_fingerprint = analyzer.fingerprint();
     result.determinism_audit = audit_state;
+  }
+
+  if (trace_on) {
+    result.traced = true;
+    result.trace_events = tracer.events();
+    const trace::MetricsSnapshot snap = tracer.metrics().snapshot();
+    result.metrics_json = snap.to_json();
+    result.metrics_csv = snap.to_csv();
+    result.timeline_csv = tracer.timeline().to_csv();
+    if (!tp.path.empty() || !tp.metrics_path.empty()) {
+      trace::ChromeTraceOptions copt;
+      copt.include_wall = tp.include_wall;
+      copt.flows = tp.flows;
+      // Concurrent run_pic calls (e.g. a bench's --jobs pool) may target
+      // the same file; serialize so each write is whole.
+      static std::mutex g_trace_write_mutex;
+      std::lock_guard<std::mutex> lk(g_trace_write_mutex);
+      if (!tp.path.empty())
+        trace::write_chrome_trace(tp.path, tracer.data(), copt,
+                                  &tracer.timeline());
+      if (!tp.metrics_path.empty()) {
+        std::ofstream f(tp.metrics_path, std::ios::binary | std::ios::trunc);
+        if (!f)
+          throw std::runtime_error("trace: cannot open " + tp.metrics_path);
+        f << result.metrics_json;
+      }
+    }
   }
   return result;
 }

@@ -1,18 +1,15 @@
 #include "runtime/parallel_engine.hpp"
 
-#include <cstdlib>
 #include <stdexcept>
-#include <string>
+
+#include "util/env.hpp"
 
 namespace picpar::runtime {
 
 int resolve_workers(const ParallelConfig& cfg) {
   int workers = cfg.workers;
-  if (const char* env = std::getenv("PICPAR_WORKERS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v > 0) workers = static_cast<int>(v);
-  }
+  const int env = env_int("PICPAR_WORKERS", 0);
+  if (env > 0) workers = env;
   if (workers <= 0) {
     workers = static_cast<int>(std::thread::hardware_concurrency());
     if (workers <= 0) workers = 1;
@@ -20,10 +17,7 @@ int resolve_workers(const ParallelConfig& cfg) {
   return workers;
 }
 
-bool parallel_env_enabled() {
-  const char* env = std::getenv("PICPAR_PARALLEL");
-  return env != nullptr && std::string(env) != "0";
-}
+bool parallel_env_enabled() { return env_enabled("PICPAR_PARALLEL"); }
 
 sim::RunResult ParallelEngine::run(
     sim::Machine& m, const std::function<void(sim::Comm&)>& program) {

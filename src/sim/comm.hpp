@@ -40,9 +40,19 @@ public:
     charge(static_cast<double>(n) * cost().delta);
   }
 
-  /// Attribute subsequent traffic and charges to a PIC phase.
-  void set_phase(Phase p) { machine_->ranks_[rank_].phase = p; }
+  /// Attribute subsequent traffic and charges to a PIC phase. An attached
+  /// observer sees each actual change as a PhaseEvent.
+  void set_phase(Phase p) { machine_->note_phase(rank_, p); }
   Phase phase() const { return machine_->ranks_[rank_].phase; }
+
+  /// Emit a named instant into an attached observer's event stream (e.g. a
+  /// redistribution decision, a per-iteration sample). Free when no
+  /// observer is installed; never affects clocks, matching, or stats, so a
+  /// program may mark unconditionally. `name` must be a string literal (or
+  /// otherwise outlive the callback); `iter` and `value` are caller-defined.
+  void mark(const char* name, std::int64_t iter = 0, double value = 0.0) {
+    machine_->note_mark(rank_, name, iter, value);
+  }
 
   const CommStats& stats() const { return machine_->ranks_[rank_].stats; }
 

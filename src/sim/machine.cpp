@@ -315,6 +315,13 @@ int Machine::build_send(int src, int dst, int tag,
   m.sent_phase = s.phase;
   m.payload = std::move(payload);
 
+  // The link sequence number orders a link's traffic for deterministic
+  // matching, so it is assigned on every send, faults or not. Assigned
+  // before the observer fires so observers can key on (src, dst, seq).
+  if (s.next_seq.empty())
+    s.next_seq.assign(static_cast<std::size_t>(nranks_), 0);
+  m.seq = s.next_seq[static_cast<std::size_t>(dst)]++;
+
   if (observer_) {
     SendEvent ev;
     ev.src = src;
@@ -328,12 +335,6 @@ int Machine::build_send(int src, int dst, int tag,
     // carries the same send event (same vector clock).
     observer_->on_send(m, ev);
   }
-
-  // The link sequence number orders a link's traffic for deterministic
-  // matching, so it is assigned on every send, faults or not.
-  if (s.next_seq.empty())
-    s.next_seq.assign(static_cast<std::size_t>(nranks_), 0);
-  m.seq = s.next_seq[static_cast<std::size_t>(dst)]++;
 
   if (!faults_.message_faults()) {
     out[0] = std::move(m);
@@ -447,6 +448,9 @@ void Machine::recover_corruption(int rank, const Message& m) {
     pc.bytes_sent += kNackBytes;
     pc.msgs_recv += 1;
     pc.bytes_recv += m.bytes();
+    // iter slot carries the source rank so traces can attribute the retry
+    // to a link; value is the virtual-time cost of this round-trip.
+    note_mark(rank, "transport.retry", m.src, backoff);
   }
 }
 
@@ -581,9 +585,14 @@ RunResult Machine::collect_results() {
 
   if (observer_) {
     std::vector<const std::deque<Message>*> boxes;
+    std::vector<double> clocks;
     boxes.reserve(ranks_.size());
-    for (const auto& rs : ranks_) boxes.push_back(&rs.mailbox);
-    observer_->on_run_end(boxes);
+    clocks.reserve(ranks_.size());
+    for (const auto& rs : ranks_) {
+      boxes.push_back(&rs.mailbox);
+      clocks.push_back(rs.clock.load());
+    }
+    observer_->on_run_end(boxes, clocks);
   }
 
   RunResult result;

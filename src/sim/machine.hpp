@@ -251,6 +251,36 @@ private:
   LinkStats& link_stats(RankState& rs, int src);
   void recover_corruption(int rank, const Message& m);
 
+  /// Set a rank's phase, firing the observer on an actual change. Phase is
+  /// rank-owned state, so this needs no cross-rank synchronization.
+  void note_phase(int rank, Phase p) {
+    RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+    if (observer_ && rs.phase != p) {
+      PhaseEvent ev;
+      ev.rank = rank;
+      ev.from = rs.phase;
+      ev.to = p;
+      ev.vtime = rs.clock.load();
+      observer_->on_phase(ev);
+    }
+    rs.phase = p;
+  }
+
+  /// Emit a named instant on a rank. Reads only rank-owned state and never
+  /// touches clocks or stats; a complete no-op without an observer.
+  void note_mark(int rank, const char* name, std::int64_t iter, double value) {
+    if (!observer_) return;
+    const RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+    MarkEvent ev;
+    ev.rank = rank;
+    ev.name = name;
+    ev.phase = rs.phase;
+    ev.vtime = rs.clock.load();
+    ev.iter = iter;
+    ev.value = value;
+    observer_->on_mark(ev);
+  }
+
   // --- deterministic matching layer (shared by both engines) ---
 
   /// The pending message a receive would commit: minimum key

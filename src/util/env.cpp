@@ -1,0 +1,27 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace picpar {
+
+const char* env_get(const char* name) { return std::getenv(name); }
+
+bool env_enabled(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+const char* env_path(const char* name) {
+  return env_enabled(name) ? std::getenv(name) : nullptr;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<int>(parsed);
+}
+
+}  // namespace picpar

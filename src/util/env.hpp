@@ -1,0 +1,27 @@
+// Shared parsing of PICPAR_* environment variables.
+//
+// Every runtime opt-in (PICPAR_PARALLEL, PICPAR_ANALYZE, PICPAR_TRACE,
+// PICPAR_WORKERS, PICPAR_LOG) goes through these helpers so the semantics
+// are uniform across libraries, benches and examples: a boolean variable
+// is enabled when set to anything but "" or "0"; a path-valued variable is
+// its value under the same rule; an integer variable falls back when unset
+// or malformed. See the README "Environment variables" table.
+#pragma once
+
+namespace picpar {
+
+/// Raw value (may be empty); nullptr when the variable is unset.
+const char* env_get(const char* name);
+
+/// Boolean opt-in: set, non-empty, and not "0".
+bool env_enabled(const char* name);
+
+/// Path-valued variable: the value when set, non-empty and not "0"
+/// (so `PICPAR_TRACE=0` disables like the boolean rule); else nullptr.
+const char* env_path(const char* name);
+
+/// Integer variable: the parsed value when set and parseable as a decimal
+/// integer, else `fallback`.
+int env_int(const char* name, int fallback);
+
+}  // namespace picpar

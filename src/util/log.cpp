@@ -1,9 +1,10 @@
 #include "util/log.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <iostream>
 #include <mutex>
+
+#include "util/env.hpp"
 
 namespace picpar {
 
@@ -26,7 +27,7 @@ const char* level_name(LogLevel l) {
 
 void init_from_env() {
   std::call_once(g_env_once, [] {
-    if (const char* env = std::getenv("PICPAR_LOG"))
+    if (const char* env = env_get("PICPAR_LOG"))
       g_level.store(parse_log_level(env));
   });
 }
