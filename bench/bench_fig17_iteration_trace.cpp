@@ -24,6 +24,9 @@ int main(int argc, char** argv) {
   auto metrics_path = cli.flag<std::string>(
       "trace-metrics", "",
       "write the sar run's metrics JSON to this path");
+  auto phase_wall = cli.flag<bool>(
+      "phase-wall", false,
+      "trace the sar run and print wall-clock seconds per phase");
   const auto scale = bench::parse_scale(cli, argc, argv);
   const int iters = scale.iters(2000);
 
@@ -37,7 +40,8 @@ int main(int argc, char** argv) {
        {std::string("static"),
         "periodic:" + std::to_string(scale.full ? 50 : 10), std::string("sar")}) {
     tasks.push_back([policy, n, iters, ranks = *ranks, stride = *stride,
-                     trace = *trace_path, metrics = *metrics_path] {
+                     trace = *trace_path, metrics = *metrics_path,
+                     wall = *phase_wall] {
       auto params = bench::paper_params("irregular", 128, 64, n, ranks);
       params.iterations = iters;
       params.policy = policy;
@@ -46,6 +50,7 @@ int main(int argc, char** argv) {
         // exported when tracing is requested.
         params.trace.path = trace;
         params.trace.metrics_path = metrics;
+        if (wall) params.trace.enabled = true;
       }
       const auto r = pic::run_pic(params);
 
@@ -57,7 +62,19 @@ int main(int argc, char** argv) {
       std::ostringstream os;
       print_series(os, "exec_time[" + policy + "]", x, y);
       os << "# total=" << bench::fmt_s(r.total_seconds)
-         << " s, redistributions=" << r.redistributions << "\n\n";
+         << " s, redistributions=" << r.redistributions << "\n";
+      if (wall && !r.phase_wall_us.empty()) {
+        // Host wall seconds per simulated phase, summed over ranks — the
+        // hot-path numbers DESIGN.md §10's before/after table reports.
+        os << "# phase-wall[" << policy << "]:";
+        for (int ph = 0; ph < sim::kNumPhases; ++ph)
+          os << ' ' << sim::phase_name(static_cast<sim::Phase>(ph)) << '='
+             << bench::fmt_s(r.phase_wall_us[static_cast<std::size_t>(ph)] /
+                             1e6)
+             << "s";
+        os << "\n";
+      }
+      os << "\n";
       return os.str();
     });
   }

@@ -13,6 +13,14 @@ struct DepositRec {
   double v[GhostExchange::kDeposit];
 };
 static_assert(sizeof(DepositRec) == 8 + 8 * GhostExchange::kDeposit);
+
+// Fibonacci hashing; the multiply spreads entropy into the high bits, the
+// xor-fold brings it back down for the low-bit mask.
+inline std::size_t hash_gid(std::uint64_t gid) {
+  std::uint64_t h = gid * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h);
+}
 }  // namespace
 
 const char* dedup_policy_name(DedupPolicy p) {
@@ -34,56 +42,82 @@ GhostExchange::GhostExchange(const mesh::LocalGrid& lg, DedupPolicy policy)
 
 void GhostExchange::begin_iteration() {
   if (policy_ == DedupPolicy::kHash) {
-    hash_.clear();
+    ++gen_;  // O(1) table reset: stale entries now fail the stamp check
   } else {
+    // Reset only the slots touched last iteration, not the whole table.
     for (const auto gid : gids_)
       direct_[static_cast<std::size_t>(gid)] = mesh::kNoLocal;
   }
   gids_.clear();
   deposit_.clear();
   field_.clear();
-  dest_ranks_.clear();
-  dest_slots_.clear();
+  for (auto& v : rank_slots_) v.clear();
   requests_.clear();
 }
 
 std::uint32_t GhostExchange::find_slot(std::uint64_t gid) const {
   if (policy_ == DedupPolicy::kHash) {
-    const auto it = hash_.find(gid);
-    return it == hash_.end() ? mesh::kNoLocal : it->second;
+    if (hash_.empty()) return kNoSlot;
+    std::size_t h = hash_gid(gid) & hash_mask_;
+    while (true) {
+      const HashEntry& e = hash_[h];
+      if (e.gen != gen_) return kNoSlot;  // empty for this generation
+      if (e.gid == gid) return e.slot;
+      h = (h + 1) & hash_mask_;
+    }
   }
   return direct_[static_cast<std::size_t>(gid)];
 }
 
-double* GhostExchange::deposit_slot(std::uint64_t gid) {
+void GhostExchange::hash_grow() {
+  const std::size_t ns = std::max<std::size_t>(64, hash_.size() * 2);
+  hash_.assign(ns, HashEntry{});
+  hash_mask_ = ns - 1;
+  // Reinsert the live entries; slot s holds gids_[s].
+  for (std::uint32_t s = 0; s < gids_.size(); ++s) {
+    std::size_t h = hash_gid(gids_[s]) & hash_mask_;
+    while (hash_[h].gen == gen_) h = (h + 1) & hash_mask_;
+    hash_[h] = HashEntry{gids_[s], s, gen_};
+  }
+}
+
+void GhostExchange::hash_insert(std::uint64_t gid, std::uint32_t slot) {
+  // Keep load factor under 0.7 so linear probes stay short.
+  if ((gids_.size() + 1) * 10 > hash_.size() * 7) hash_grow();
+  std::size_t h = hash_gid(gid) & hash_mask_;
+  while (hash_[h].gen == gen_) h = (h + 1) & hash_mask_;
+  hash_[h] = HashEntry{gid, slot, gen_};
+}
+
+std::uint32_t GhostExchange::deposit_slot_index(std::uint64_t gid) {
   std::uint32_t slot = find_slot(gid);
-  if (slot == mesh::kNoLocal) {
+  if (slot == kNoSlot) {
     slot = static_cast<std::uint32_t>(gids_.size());
-    gids_.push_back(gid);
-    deposit_.resize(deposit_.size() + kDeposit, 0.0);
     if (policy_ == DedupPolicy::kHash)
-      hash_.emplace(gid, slot);
+      hash_insert(gid, slot);
     else
       direct_[static_cast<std::size_t>(gid)] = slot;
+    gids_.push_back(gid);
+    deposit_.resize(deposit_.size() + kDeposit, 0.0);
   }
-  return &deposit_[static_cast<std::size_t>(slot) * kDeposit];
+  return slot;
 }
 
 void GhostExchange::flush_scatter(sim::Comm& comm, mesh::FieldState& f) {
   const auto& part = lg_->partition();
   const int nranks = comm.size();
 
-  // Group slots by owner rank.
-  std::vector<std::vector<std::uint32_t>> slots_by_rank(
-      static_cast<std::size_t>(nranks));
+  // Group slots by owner rank; rank_slots_ is a member so per-rank capacity
+  // persists across iterations and doubles as the routing table that
+  // fetch_fields replays.
+  rank_slots_.resize(static_cast<std::size_t>(nranks));
+  for (auto& v : rank_slots_) v.clear();
   for (std::uint32_t s = 0; s < gids_.size(); ++s)
-    slots_by_rank[static_cast<std::size_t>(part.owner(gids_[s]))].push_back(s);
+    rank_slots_[static_cast<std::size_t>(part.owner(gids_[s]))].push_back(s);
 
   std::vector<std::vector<DepositRec>> send(static_cast<std::size_t>(nranks));
-  dest_ranks_.clear();
-  dest_slots_.clear();
   for (int r = 0; r < nranks; ++r) {
-    auto& slots = slots_by_rank[static_cast<std::size_t>(r)];
+    const auto& slots = rank_slots_[static_cast<std::size_t>(r)];
     if (slots.empty()) continue;
     if (r == comm.rank())
       throw std::logic_error("GhostExchange: deposit to owned node");
@@ -96,8 +130,6 @@ void GhostExchange::flush_scatter(sim::Comm& comm, mesh::FieldState& f) {
         rec.v[k] = deposit_[static_cast<std::size_t>(s) * kDeposit + k];
       buf.push_back(rec);
     }
-    dest_ranks_.push_back(r);
-    dest_slots_.push_back(std::move(slots));
   }
 
   auto recv = comm.all_to_many(std::move(send));
@@ -140,11 +172,13 @@ void GhostExchange::fetch_fields(sim::Comm& comm, const mesh::FieldState& f) {
     comm.send(req.src, kGatherTag, buf);
   }
 
-  // Ghost side: receive per destination rank, store into field_ by slot.
+  // Ghost side: receive per destination rank (ascending, matching the send
+  // order of flush_scatter), store into field_ by slot.
   field_.assign(gids_.size() * kField, 0.0);
-  for (std::size_t d = 0; d < dest_ranks_.size(); ++d) {
-    auto buf = comm.recv<double>(dest_ranks_[d], kGatherTag);
-    const auto& slots = dest_slots_[d];
+  for (std::size_t r = 0; r < rank_slots_.size(); ++r) {
+    const auto& slots = rank_slots_[r];
+    if (slots.empty()) continue;
+    auto buf = comm.recv<double>(static_cast<int>(r), kGatherTag);
     if (buf.size() != slots.size() * kField)
       throw std::runtime_error("GhostExchange: bad gather reply length");
     for (std::size_t i = 0; i < slots.size(); ++i)
@@ -156,7 +190,7 @@ void GhostExchange::fetch_fields(sim::Comm& comm, const mesh::FieldState& f) {
 
 const double* GhostExchange::field_slot(std::uint64_t gid) const {
   const auto slot = find_slot(gid);
-  if (slot == mesh::kNoLocal) return nullptr;
+  if (slot == kNoSlot) return nullptr;
   return &field_[static_cast<std::size_t>(slot) * kField];
 }
 

@@ -10,15 +10,18 @@
 // grid points that were requested in the scatter phase.
 //
 // Two duplicate-removal policies are implemented, as in the paper:
-//   kHash   — a hash table keyed by global node id (memory proportional to
-//             the number of ghost points, extra search time);
+//   kHash   — a generation-stamped open-addressing hash table keyed by
+//             global node id (memory proportional to the number of ghost
+//             points, extra search time). The generation stamp makes the
+//             per-iteration reset O(1) instead of O(table size); see
+//             DESIGN.md §10.
 //   kDirect — a direct-address table over all m grid points (O(1) lookups,
-//             memory proportional to m).
+//             memory proportional to m). Reset walks only the slots that
+//             were touched, so it is proportional to the ghost count, not m.
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mesh/fields.hpp"
@@ -38,17 +41,36 @@ public:
   static constexpr int kDeposit = 4;
   /// Returned field components per node: ex, ey, ez, bx, by, bz.
   static constexpr int kField = 6;
+  /// "No slot" sentinel returned by slot_of.
+  static constexpr std::uint32_t kNoSlot = mesh::kNoLocal;
 
   GhostExchange(const mesh::LocalGrid& lg, DedupPolicy policy);
 
   DedupPolicy policy() const { return policy_; }
 
-  /// Reset the accumulation table for a new iteration.
+  /// Reset the accumulation table for a new iteration. Cost is proportional
+  /// to the previous iteration's ghost count (kDirect) or O(1) (kHash).
   void begin_iteration();
+
+  /// Slot index for off-processor node `gid`; creates the entry on first
+  /// touch. Must not be called for owned nodes. Slot indices are stable for
+  /// the rest of the iteration (unlike deposit_data pointers, which move
+  /// when the table grows) — callers that memoize must store the index.
+  std::uint32_t deposit_slot_index(std::uint64_t gid);
+
+  /// Accumulator (kDeposit doubles) for a slot index from deposit_slot_index.
+  double* deposit_data(std::uint32_t slot) {
+    return &deposit_[static_cast<std::size_t>(slot) * kDeposit];
+  }
 
   /// Accumulator slot (kDeposit doubles) for off-processor node `gid`;
   /// creates the entry on first touch. Must not be called for owned nodes.
-  double* deposit_slot(std::uint64_t gid);
+  double* deposit_slot(std::uint64_t gid) {
+    return deposit_data(deposit_slot_index(gid));
+  }
+
+  /// Slot previously created for `gid` this iteration, kNoSlot if absent.
+  std::uint32_t slot_of(std::uint64_t gid) const { return find_slot(gid); }
 
   /// Number of distinct ghost grid points this iteration.
   std::size_t entries() const { return gids_.size(); }
@@ -63,12 +85,20 @@ public:
   /// scatter flush; afterwards field_slot() serves the ghost values.
   void fetch_fields(sim::Comm& comm, const mesh::FieldState& f);
 
+  /// Field values (kField doubles) for a slot index, valid after
+  /// fetch_fields.
+  const double* field_data(std::uint32_t slot) const {
+    return &field_[static_cast<std::size_t>(slot) * kField];
+  }
+
   /// Field values (kField doubles) previously fetched for node `gid`;
   /// nullptr if the node was never deposited to this iteration.
   const double* field_slot(std::uint64_t gid) const;
 
 private:
-  std::uint32_t find_slot(std::uint64_t gid) const;  ///< kNoLocal if absent
+  std::uint32_t find_slot(std::uint64_t gid) const;  ///< kNoSlot if absent
+  void hash_insert(std::uint64_t gid, std::uint32_t slot);
+  void hash_grow();
 
   const mesh::LocalGrid* lg_;
   DedupPolicy policy_;
@@ -78,13 +108,25 @@ private:
   std::vector<double> deposit_;  // kDeposit per slot
   std::vector<double> field_;    // kField per slot
 
-  // Lookup structures (one active per policy).
-  std::unordered_map<std::uint64_t, std::uint32_t> hash_;
+  // kHash lookup: open-addressing, linear probing, power-of-two size. An
+  // entry is live only when its stamp equals gen_, so begin_iteration
+  // resets the whole table by bumping gen_ (uint64 — never wraps).
+  struct HashEntry {
+    std::uint64_t gid = 0;
+    std::uint32_t slot = 0;
+    std::uint64_t gen = 0;  // 0 = never written (gen_ starts at 1)
+  };
+  std::vector<HashEntry> hash_;
+  std::size_t hash_mask_ = 0;
+  std::uint64_t gen_ = 1;
+
+  // kDirect lookup.
   std::vector<std::uint32_t> direct_;
 
-  // Scatter-flush routing, reused by fetch_fields.
-  std::vector<int> dest_ranks_;                       // ranks I sent to
-  std::vector<std::vector<std::uint32_t>> dest_slots_;  // slots per dest
+  // Scatter-flush routing, reused by fetch_fields. Indexed by rank; inner
+  // capacity persists across iterations so steady-state flushes do not
+  // reallocate.
+  std::vector<std::vector<std::uint32_t>> rank_slots_;
   struct OwnerRequest {
     int src = 0;
     std::vector<std::uint32_t> locals;  // my owned local node indices

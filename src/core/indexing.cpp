@@ -8,6 +8,12 @@ void assign_keys(const sfc::Curve& curve, const mesh::GridDesc& grid,
     p.key[i] = key_of(curve, grid, p.x[i], p.y[i]);
 }
 
+void assign_keys(const sfc::IndexCache& cache, const mesh::GridDesc& grid,
+                 particles::ParticleArray& p) {
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p.key[i] = key_of(cache, grid, p.x[i], p.y[i]);
+}
+
 bool is_sorted_by_key(const particles::ParticleArray& p) {
   for (std::size_t i = 1; i < p.size(); ++i)
     if (p.key[i] < p.key[i - 1]) return false;

@@ -10,6 +10,7 @@
 #include "mesh/grid.hpp"
 #include "particles/particle_array.hpp"
 #include "sfc/curve.hpp"
+#include "sfc/index_cache.hpp"
 
 namespace picpar::core {
 
@@ -18,12 +19,24 @@ namespace picpar::core {
 void assign_keys(const sfc::Curve& curve, const mesh::GridDesc& grid,
                  particles::ParticleArray& p);
 
+/// Same, but through a memoized cell -> index table: one cell lookup + one
+/// load per particle (hot-path variant, DESIGN.md §10). Produces exactly
+/// the keys of the curve the cache was built from.
+void assign_keys(const sfc::IndexCache& cache, const mesh::GridDesc& grid,
+                 particles::ParticleArray& p);
+
 /// Recompute the key of a single particle (used after the push phase moves
 /// it). Returns the new key.
 inline std::uint64_t key_of(const sfc::Curve& curve,
                             const mesh::GridDesc& grid, double x, double y) {
   const std::uint64_t cell = grid.cell_of(x, y);
   return curve.index(grid.node_x(cell), grid.node_y(cell));
+}
+
+/// Memoized variant of key_of: a table load instead of a curve walk.
+inline std::uint64_t key_of(const sfc::IndexCache& cache,
+                            const mesh::GridDesc& grid, double x, double y) {
+  return cache[grid.cell_of(x, y)];
 }
 
 /// True if the key sequence is non-decreasing.

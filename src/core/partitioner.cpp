@@ -18,14 +18,17 @@ constexpr std::uint64_t kMaxKey = std::numeric_limits<std::uint64_t>::max();
 ParticlePartitioner::ParticlePartitioner(const sfc::Curve& curve,
                                          const mesh::GridDesc& grid,
                                          PartitionerConfig cfg)
-    : curve_(&curve), grid_(grid), cfg_(cfg) {
+    : curve_(&curve),
+      grid_(grid),
+      cfg_(cfg),
+      key_cache_(curve, grid.nx, grid.ny) {
   if (cfg.buckets_per_rank < 1 || cfg.samples_per_rank < 1)
     throw std::invalid_argument("PartitionerConfig: counts must be >= 1");
 }
 
 void ParticlePartitioner::assign_keys(sim::Comm& comm,
                                       ParticleArray& p) const {
-  core::assign_keys(*curve_, grid_, p);
+  core::assign_keys(key_cache_, grid_, p);
   comm.charge_ops(p.size() * 4);  // cell lookup + curve evaluation
 }
 
@@ -172,12 +175,6 @@ RedistReport ParticlePartitioner::redistribute(sim::Comm& comm,
   const auto counts = comm.allgather<std::uint64_t>(p.size());
   (void)counts;
 
-  // Classify every particle: same positional bucket (cheap membership
-  // test), another local bucket (binary search in local bounds), or
-  // off-processor (binary search in global bounds).
-  std::vector<std::vector<ParticleRec>> buckets(
-      static_cast<std::size_t>(L));
-  std::vector<std::vector<ParticleRec>> send(static_cast<std::size_t>(nranks));
   const std::uint64_t my_lower =
       comm.rank() == 0
           ? 0
@@ -187,6 +184,35 @@ RedistReport ParticlePartitioner::redistribute(sim::Comm& comm,
           ? kMaxKey
           : global_bounds_[static_cast<std::size_t>(comm.rank())];
 
+  // Adaptive pre-scan (DESIGN.md §10): if every local particle still
+  // belongs to this rank and the array is still key-sorted, the whole
+  // classify/sort/merge pipeline is a no-op — skip it. The scan stops at
+  // the first violation, so a genuinely perturbed array pays only a short
+  // prefix. Mirrors sort_records' adaptive sortedness check.
+  const std::size_t n = p.size();
+  bool settled = true;
+  {
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key = p.key[i];
+      rep.work.comparisons += 3;
+      if (key < prev || key > my_upper ||
+          (comm.rank() != 0 && key <= my_lower)) {
+        settled = false;
+        break;
+      }
+      prev = key;
+    }
+  }
+
+  // Classify every particle: same positional bucket (cheap membership
+  // test), another local bucket (binary search in local bounds), or
+  // off-processor (binary search in global bounds). Bucket scratch is a
+  // member so steady-state iterations reuse its capacity.
+  bucket_scratch_.resize(static_cast<std::size_t>(L));
+  for (auto& b : bucket_scratch_) b.clear();
+  std::vector<std::vector<ParticleRec>> send(static_cast<std::size_t>(nranks));
+
   auto bucket_of = [&](std::uint64_t key, SortWork& w) -> int {
     const auto it =
         std::upper_bound(local_bounds_.begin(), local_bounds_.end(), key);
@@ -194,65 +220,74 @@ RedistReport ParticlePartitioner::redistribute(sim::Comm& comm,
     return static_cast<int>(it - local_bounds_.begin());
   };
 
-  const std::size_t n = p.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t key = p.key[i];
-    // Rank r owns keys in (bounds[r-1], bounds[r]]; rank 0 also owns key 0.
-    rep.work.comparisons += 2;
-    const bool local =
-        key <= my_upper && (comm.rank() == 0 || key > my_lower);
-    if (local) {
-      // Positional bucket check first (paper's "same bucket as previous").
-      const auto pos_bucket = static_cast<int>(
-          n == 0 ? 0
-                 : static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(L) /
-                       static_cast<std::uint64_t>(n));
-      const std::uint64_t b_lo =
-          pos_bucket == 0 ? 0 : local_bounds_[static_cast<std::size_t>(pos_bucket - 1)];
-      const std::uint64_t b_hi =
-          pos_bucket >= static_cast<int>(local_bounds_.size())
-              ? kMaxKey
-              : local_bounds_[static_cast<std::size_t>(pos_bucket)];
+  if (!settled) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key = p.key[i];
+      // Rank r owns keys in (bounds[r-1], bounds[r]]; rank 0 also owns key 0.
       rep.work.comparisons += 2;
-      int b;
-      if (key >= b_lo && key < b_hi) {
-        b = pos_bucket;  // category 1: same bucket
+      const bool local =
+          key <= my_upper && (comm.rank() == 0 || key > my_lower);
+      if (local) {
+        // Positional bucket check first (paper's "same bucket as previous").
+        const auto pos_bucket = static_cast<int>(
+            n == 0 ? 0
+                   : static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(L) /
+                         static_cast<std::uint64_t>(n));
+        const std::uint64_t b_lo =
+            pos_bucket == 0 ? 0 : local_bounds_[static_cast<std::size_t>(pos_bucket - 1)];
+        const std::uint64_t b_hi =
+            pos_bucket >= static_cast<int>(local_bounds_.size())
+                ? kMaxKey
+                : local_bounds_[static_cast<std::size_t>(pos_bucket)];
+        rep.work.comparisons += 2;
+        int b;
+        if (key >= b_lo && key < b_hi) {
+          b = pos_bucket;  // category 1: same bucket
+        } else {
+          b = bucket_of(key, rep.work);  // category 2: another local bucket
+        }
+        bucket_scratch_[static_cast<std::size_t>(b)].push_back(p.rec(i));
+        ++rep.work.moves;
       } else {
-        b = bucket_of(key, rep.work);  // category 2: another local bucket
+        // Category 3: off-processor.
+        const int d = dest_rank(key, rep.work);
+        send[static_cast<std::size_t>(d)].push_back(p.rec(i));
+        ++rep.work.moves;
+        ++rep.sent_particles;
       }
-      buckets[static_cast<std::size_t>(b)].push_back(p.rec(i));
-      ++rep.work.moves;
-    } else {
-      // Category 3: off-processor.
-      const int d = dest_rank(key, rep.work);
-      send[static_cast<std::size_t>(d)].push_back(p.rec(i));
-      ++rep.work.moves;
-      ++rep.sent_particles;
     }
   }
 
   // Fig 12 line 20: all-to-many exchange of off-processor particles.
+  // Always executed (possibly with empty sends) so every rank runs the
+  // same collective sequence regardless of its local settled/perturbed
+  // state.
   auto recv = comm.all_to_many(std::move(send));
 
   // Lines 21-24: sort the received list and each bucket, then merge.
   // Buckets cover disjoint ascending key ranges, so sorted buckets
-  // concatenate into one sorted run for free; a single 2-way merge with
-  // the received list finishes the job.
-  std::vector<ParticleRec> received;
+  // concatenate into one sorted run for free; merge_bucket_runs does the
+  // final 2-way merge straight out of the buckets (no intermediate
+  // concatenated copy, no heap — see DESIGN.md §10).
+  recv_scratch_.clear();
   for (auto& r : recv)
-    received.insert(received.end(), r.begin(), r.end());
-  rep.work += sort_records(received);
-  std::vector<ParticleRec> kept;
-  kept.reserve(n);
-  for (auto& b : buckets) {
-    rep.work += sort_records(b);
-    kept.insert(kept.end(), b.begin(), b.end());
+    recv_scratch_.insert(recv_scratch_.end(), r.begin(), r.end());
+  rep.work += sort_records(recv_scratch_);
+
+  if (settled) {
+    if (!recv_scratch_.empty()) {
+      // Local particles are untouched and sorted; merge arrivals into them.
+      std::vector<std::vector<ParticleRec>> kept(1);
+      kept[0].reserve(n);
+      for (std::size_t i = 0; i < n; ++i) kept[0].push_back(p.rec(i));
+      rep.work.moves += n;
+      rep.work += merge_bucket_runs(kept, recv_scratch_, p);
+    }
+    // else: true no-op — p is left byte-identical.
+  } else {
+    for (auto& b : bucket_scratch_) rep.work += sort_records(b);
+    rep.work += merge_bucket_runs(bucket_scratch_, recv_scratch_, p);
   }
-  std::vector<std::vector<ParticleRec>> runs;
-  runs.reserve(2);
-  runs.push_back(std::move(kept));
-  runs.push_back(std::move(received));
-  rep.work += merge_runs(runs, p);
 
   // Order-maintaining load balance, then refresh bucket state.
   const auto bal = order_maintaining_balance(comm, p);

@@ -25,6 +25,7 @@
 #include "mesh/grid.hpp"
 #include "particles/particle_array.hpp"
 #include "sfc/curve.hpp"
+#include "sfc/index_cache.hpp"
 #include "sim/comm.hpp"
 
 namespace picpar::core {
@@ -81,6 +82,13 @@ private:
   const sfc::Curve* curve_;
   mesh::GridDesc grid_;
   PartitionerConfig cfg_;
+  /// Memoized cell -> curve-index table backing assign_keys (DESIGN.md §10).
+  sfc::IndexCache key_cache_;
+
+  // Scratch reused across redistributions so steady-state iterations do not
+  // reallocate (capacity persists; contents are per-call).
+  std::vector<std::vector<particles::ParticleRec>> bucket_scratch_;
+  std::vector<particles::ParticleRec> recv_scratch_;
 
   bool have_state_ = false;
   /// Interior bucket boundary keys of the local sorted array (L-1 values).

@@ -80,4 +80,52 @@ SortWork merge_runs(std::vector<std::vector<ParticleRec>>& runs,
   return w;
 }
 
+SortWork merge_bucket_runs(const std::vector<std::vector<ParticleRec>>& buckets,
+                           const std::vector<ParticleRec>& incoming,
+                           ParticleArray& p) {
+  SortWork w;
+  std::size_t total = incoming.size();
+  for (const auto& b : buckets) total += b.size();
+
+  p.clear();
+  p.reserve(total);
+
+  // Cursor over the virtual concatenation of the buckets.
+  std::size_t run = 0, pos = 0;
+  const auto skip_empty = [&] {
+    while (run < buckets.size() && pos >= buckets[run].size()) {
+      ++run;
+      pos = 0;
+    }
+  };
+  skip_empty();
+
+  std::size_t j = 0;  // cursor over incoming
+  while (run < buckets.size() && j < incoming.size()) {
+    ++w.comparisons;
+    // Stability: the bucket side wins ties (it is run 0 of the old 2-run
+    // heap merge).
+    if (incoming[j].key < buckets[run][pos].key) {
+      p.push_back(incoming[j++]);
+    } else {
+      p.push_back(buckets[run][pos++]);
+      skip_empty();
+    }
+    ++w.moves;
+  }
+  while (run < buckets.size()) {
+    for (; pos < buckets[run].size(); ++pos) {
+      p.push_back(buckets[run][pos]);
+      ++w.moves;
+    }
+    ++run;
+    pos = 0;
+  }
+  for (; j < incoming.size(); ++j) {
+    p.push_back(incoming[j]);
+    ++w.moves;
+  }
+  return w;
+}
+
 }  // namespace picpar::core

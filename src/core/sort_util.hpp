@@ -36,4 +36,16 @@ SortWork sort_records(std::vector<particles::ParticleRec>& recs);
 SortWork merge_runs(std::vector<std::vector<particles::ParticleRec>>& runs,
                     particles::ParticleArray& p);
 
+/// Hot-path variant for the incremental sort (DESIGN.md §10): merge the
+/// concatenation of `buckets` (each sorted, covering disjoint ascending key
+/// ranges — so the concatenation is one sorted run) with the sorted
+/// `incoming` run, directly into p. Equivalent output to concatenating the
+/// buckets and calling merge_runs on the two runs — bucket records win key
+/// ties — but with one fewer full copy of the array and no heap: one
+/// comparison per step where both runs are live, moves = total records.
+SortWork merge_bucket_runs(
+    const std::vector<std::vector<particles::ParticleRec>>& buckets,
+    const std::vector<particles::ParticleRec>& incoming,
+    particles::ParticleArray& p);
+
 }  // namespace picpar::core

@@ -17,6 +17,7 @@
 #include "particles/interpolate.hpp"
 #include "particles/pusher.hpp"
 #include "runtime/parallel_engine.hpp"
+#include "sfc/index_cache.hpp"
 #include "sim/comm.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/tracer.hpp"
@@ -99,7 +100,7 @@ void inject_memory_fault(sim::FaultModel& fm, int rank, ParticleArray& p) {
 /// positions into the next scatter (whose float-to-int casts assume a
 /// wrapped domain). Momenta are zeroed only when non-finite; positions are
 /// re-wrapped, with values too large to wrap meaningfully reset to origin.
-void scrub_particles(const sfc::Curve& curve, const mesh::GridDesc& grid,
+void scrub_particles(const sfc::IndexCache& keys, const mesh::GridDesc& grid,
                      ParticleArray& p) {
   for (std::size_t i = 0; i < p.size(); ++i) {
     if (!std::isfinite(p.ux[i])) p.ux[i] = 0.0;
@@ -110,7 +111,7 @@ void scrub_particles(const sfc::Curve& curve, const mesh::GridDesc& grid,
     if (!std::isfinite(y) || std::abs(y) > 64.0 * grid.ly) y = 0.0;
     p.x[i] = grid.wrap_x(x);
     p.y[i] = grid.wrap_y(y);
-    p.key[i] = core::key_of(curve, grid, p.x[i], p.y[i]);
+    p.key[i] = core::key_of(keys, grid, p.x[i], p.y[i]);
   }
 }
 
@@ -124,6 +125,10 @@ PicResult run_pic(const PicParams& params) {
 
   const mesh::GridDesc grid = params.grid;
   const auto curve = sfc::make_curve(params.curve, grid.nx, grid.ny);
+  // Cell -> curve-index table, evaluated once and shared read-only by all
+  // rank threads; replaces per-particle curve evaluations on the push and
+  // scrub paths (DESIGN.md §10).
+  const sfc::IndexCache key_cache(*curve, grid.nx, grid.ny);
   const GridPartition part =
       params.grid_decomp == GridDecomp::kBlock
           ? GridPartition::block_auto(grid, params.nranks)
@@ -211,8 +216,31 @@ PicResult run_pic(const PicParams& params) {
       ghosts.begin_iteration();
       f.clear_sources();
       const std::size_t n = mine.size();
+      // Per-cell stencil-destination memo (DESIGN.md §10): particles are
+      // kept sorted along the curve, so consecutive particles usually share
+      // a cell. Resolve the four vertex destinations (owned local index or
+      // ghost slot index) once per cell run instead of per particle. Slot
+      // *indices* are memoized, not pointers — the ghost table reallocates
+      // as it grows. Identical lookup order on first touch keeps the ghost
+      // entry order, and therefore all messages, byte-identical.
+      std::uint64_t memo_cell = ~std::uint64_t{0};
+      bool memo_owned[4] = {false, false, false, false};
+      std::uint32_t memo_idx[4] = {0, 0, 0, 0};
       for (std::size_t i = 0; i < n; ++i) {
         const auto st = particles::cic_stencil(grid, mine.x[i], mine.y[i]);
+        if (st.node[0] != memo_cell) {
+          memo_cell = st.node[0];
+          for (int k = 0; k < 4; ++k) {
+            const auto l = lg.local_of(st.node[k]);
+            if (l != mesh::kNoLocal && l < lg.owned()) {
+              memo_owned[k] = true;
+              memo_idx[k] = l;
+            } else {
+              memo_owned[k] = false;
+              memo_idx[k] = ghosts.deposit_slot_index(st.node[k]);
+            }
+          }
+        }
         const double gamma = mine.gamma(i);
         const double qv = q * inv_cell;
         const double jx = qv * mine.ux[i] / gamma;
@@ -220,14 +248,14 @@ PicResult run_pic(const PicParams& params) {
         const double jz = qv * mine.uz[i] / gamma;
         for (int k = 0; k < 4; ++k) {
           const double w = st.weight[k];
-          const auto l = lg.local_of(st.node[k]);
-          if (l != mesh::kNoLocal && l < lg.owned()) {
+          if (memo_owned[k]) {
+            const auto l = memo_idx[k];
             f.jx[l] += w * jx;
             f.jy[l] += w * jy;
             f.jz[l] += w * jz;
             f.rho[l] += w * qv;
           } else {
-            double* slot = ghosts.deposit_slot(st.node[k]);
+            double* slot = ghosts.deposit_data(memo_idx[k]);
             slot[0] += w * jx;
             slot[1] += w * jy;
             slot[2] += w * jz;
@@ -237,6 +265,8 @@ PicResult run_pic(const PicParams& params) {
       }
       comm.charge(static_cast<double>(4 * n) * pc.scatter_per_vertex * delta);
       rec.ghost_entries = ghosts.entries();
+      comm.mark(trace::kMarkGhostEntries, iter,
+                static_cast<double>(rec.ghost_entries));
       ghosts.flush_scatter(comm, f);
       {
         const auto d = comm.stats().diff(stats_before).phase(Phase::kScatter);
@@ -269,13 +299,30 @@ PicResult run_pic(const PicParams& params) {
       // ---- Gather phase ----
       comm.set_phase(Phase::kGather);
       ghosts.fetch_fields(comm, f);
+      // Same per-cell memo as the scatter loop; positions are unchanged
+      // since scatter, so every vertex is either owned or already has a
+      // ghost slot from the deposit pass.
+      memo_cell = ~std::uint64_t{0};
       for (std::size_t i = 0; i < n; ++i) {
         const auto st = particles::cic_stencil(grid, mine.x[i], mine.y[i]);
+        if (st.node[0] != memo_cell) {
+          memo_cell = st.node[0];
+          for (int k = 0; k < 4; ++k) {
+            const auto l = lg.local_of(st.node[k]);
+            if (l != mesh::kNoLocal && l < lg.owned()) {
+              memo_owned[k] = true;
+              memo_idx[k] = l;
+            } else {
+              memo_owned[k] = false;
+              memo_idx[k] = ghosts.slot_of(st.node[k]);
+            }
+          }
+        }
         particles::LocalFields lf;
         for (int k = 0; k < 4; ++k) {
           const double w = st.weight[k];
-          const auto l = lg.local_of(st.node[k]);
-          if (l != mesh::kNoLocal && l < lg.owned()) {
+          if (memo_owned[k]) {
+            const auto l = memo_idx[k];
             lf.ex += w * f.ex[l];
             lf.ey += w * f.ey[l];
             lf.ez += w * f.ez[l];
@@ -283,7 +330,7 @@ PicResult run_pic(const PicParams& params) {
             lf.by += w * f.by[l];
             lf.bz += w * f.bz[l];
           } else {
-            const double* s = ghosts.field_slot(st.node[k]);
+            const double* s = ghosts.field_data(memo_idx[k]);
             lf.ex += w * s[0];
             lf.ey += w * s[1];
             lf.ez += w * s[2];
@@ -301,7 +348,7 @@ PicResult run_pic(const PicParams& params) {
       comm.set_phase(Phase::kPush);
       for (std::size_t i = 0; i < n; ++i) {
         particles::advance_position(grid, mine, i, dt);
-        mine.key[i] = core::key_of(*curve, grid, mine.x[i], mine.y[i]);
+        mine.key[i] = core::key_of(key_cache, grid, mine.x[i], mine.y[i]);
       }
       comm.charge(static_cast<double>(n) * pc.push_per_particle * delta);
 
@@ -374,7 +421,7 @@ PicResult run_pic(const PicParams& params) {
         } else if (checked_bad) {
           // Rollback unavailable: repair in place so the run continues in a
           // degraded but well-defined state.
-          scrub_particles(*curve, grid, mine);
+          scrub_particles(key_cache, grid, mine);
           comm.charge_ops(static_cast<std::uint64_t>(mine.size()));
         }
       }
@@ -533,6 +580,10 @@ PicResult run_pic(const PicParams& params) {
   if (trace_on) {
     result.traced = true;
     result.trace_events = tracer.events();
+    result.phase_wall_us.assign(static_cast<std::size_t>(sim::kNumPhases),
+                                0.0);
+    for (const auto& s : tracer.data().spans)
+      result.phase_wall_us[static_cast<std::size_t>(s.phase)] += s.w1 - s.w0;
     const trace::MetricsSnapshot snap = tracer.metrics().snapshot();
     result.metrics_json = snap.to_json();
     result.metrics_csv = snap.to_csv();

@@ -1,0 +1,17 @@
+#include "sfc/index_cache.hpp"
+
+#include <stdexcept>
+
+namespace picpar::sfc {
+
+IndexCache::IndexCache(const Curve& curve, std::uint32_t nx,
+                       std::uint32_t ny) {
+  if (nx == 0 || ny == 0)
+    throw std::invalid_argument("IndexCache: grid dims must be > 0");
+  keys_.resize(static_cast<std::size_t>(nx) * ny);
+  std::size_t id = 0;
+  for (std::uint32_t y = 0; y < ny; ++y)
+    for (std::uint32_t x = 0; x < nx; ++x) keys_[id++] = curve.index(x, y);
+}
+
+}  // namespace picpar::sfc

@@ -1,0 +1,35 @@
+// Memoized cell -> curve-index map (hot-path optimization, DESIGN.md §10).
+//
+// Particle indexing (Section 5.1) evaluates the space-filling curve once per
+// particle per iteration in the push phase, and once per particle in every
+// assign_keys pass. The curve value depends only on the (static) grid cell,
+// so a flat table of nx*ny entries — one evaluation per cell, built once —
+// replaces the per-particle O(order) Hilbert walk with a single load. The
+// grid and curve never change during a run, so the table never invalidates;
+// were the mesh ever refined, the cache would be rebuilt at that
+// redistribution epoch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/curve.hpp"
+
+namespace picpar::sfc {
+
+class IndexCache {
+public:
+  /// Evaluate `curve` at every cell of an nx-by-ny grid. O(nx*ny) curve
+  /// evaluations, done exactly once.
+  IndexCache(const Curve& curve, std::uint32_t nx, std::uint32_t ny);
+
+  /// Curve index of cell id (node id convention: id = y * nx + x).
+  std::uint64_t operator[](std::uint64_t cell) const { return keys_[cell]; }
+
+  std::size_t size() const { return keys_.size(); }
+
+private:
+  std::vector<std::uint64_t> keys_;
+};
+
+}  // namespace picpar::sfc

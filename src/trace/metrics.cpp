@@ -40,7 +40,12 @@ void Histogram::observe(std::uint64_t value) {
   }
   count += 1;
   sum += static_cast<double>(value);
-  buckets[static_cast<std::size_t>(std::bit_width(value))] += 1;
+  // Bucket k holds (2^(k-1), 2^k] so the "le_2^k" label is exact; bucket 0
+  // holds {0, 1}. bit_width(value) would misplace every exact power of two
+  // by one bucket (2^k has bit width k+1), hence the value-1 form.
+  const std::size_t idx =
+      value <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(value - 1));
+  buckets[idx] += 1;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

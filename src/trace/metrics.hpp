@@ -5,8 +5,9 @@
 // sorted order and format numbers with std::to_chars (shortest round-trip),
 // so two runs that observe the same values produce byte-identical JSON/CSV
 // regardless of insertion order, locale, or host. Histograms use 65 fixed
-// power-of-two buckets (value 0, then (2^(k-1), 2^k] for k = 1..64), so the
-// bucket layout never depends on the data.
+// power-of-two buckets (bucket 0 holds values <= 1, bucket k holds
+// (2^(k-1), 2^k] for k = 1..64), so the bucket layout never depends on the
+// data and every bucket's "le_2^k" label is an exact inclusive bound.
 //
 // Not thread-safe: the tracer only touches its registry at run start and at
 // the run-end quiescence point, where the machine guarantees a single
@@ -20,7 +21,8 @@
 
 namespace picpar::trace {
 
-/// Number of log2 histogram buckets: value 0 plus one per bit width 1..64.
+/// Number of log2 histogram buckets: values <= 1, then one bucket
+/// (2^(k-1), 2^k] per k = 1..64.
 inline constexpr std::size_t kHistogramBuckets = 65;
 
 struct Histogram {

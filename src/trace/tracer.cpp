@@ -234,8 +234,14 @@ void Tracer::build_metrics() {
       metrics_.add("phase." + p + ".bytes_recv", f.bytes);
     }
   }
-  for (const Mark& m : data_.marks)
+  for (const Mark& m : data_.marks) {
     if (m.name == kMarkTransportRetry) metrics_.add("transport.retries");
+    // Ghost-table size distribution: one observation per rank per
+    // iteration, the scatter hot path's working-set histogram (§10).
+    if (m.name == kMarkGhostEntries)
+      metrics_.observe("pic.ghost_entries",
+                       static_cast<std::uint64_t>(m.value));
+  }
 
   metrics_.add("trace.spans", data_.spans.size());
   metrics_.add("trace.flows", data_.flows.size());

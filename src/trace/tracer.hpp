@@ -36,6 +36,8 @@ inline constexpr const char* kMarkParticles = "pic.particles";  ///< every rank,
 inline constexpr const char* kMarkRedistDecision = "pic.redist.decision";
 inline constexpr const char* kMarkRedistDone = "pic.redist.done";  ///< value = redist seconds
 inline constexpr const char* kMarkRedistSent = "pic.redist.sent";  ///< every rank, value = particles sent
+inline constexpr const char* kMarkGhostEntries =
+    "pic.ghost_entries";  ///< every rank, value = distinct ghost nodes
 inline constexpr const char* kMarkViolation = "pic.violation";  ///< value = validation mask
 inline constexpr const char* kMarkRecovered = "pic.recovered";  ///< value = recovery seconds
 inline constexpr const char* kMarkInit = "pic.init";  ///< iter = -1, value = init seconds

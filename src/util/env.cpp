@@ -1,6 +1,10 @@
 #include "util/env.hpp"
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
+
+#include "util/log.hpp"
 
 namespace picpar {
 
@@ -15,12 +19,32 @@ const char* env_path(const char* name) {
   return env_enabled(name) ? std::getenv(name) : nullptr;
 }
 
+bool parse_int_strict(const char* text, long min, long max, long& out) {
+  if (!text || text[0] == '\0') return false;
+  // strtol tolerates leading whitespace; strictness forbids it. A lone
+  // sign ("-", "+") leaves end == text and is rejected below.
+  if (text[0] == ' ' || text[0] == '\t' || text[0] == '\n' ||
+      text[0] == '\r' || text[0] == '\f' || text[0] == '\v')
+    return false;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return false;  // garbage or trailing junk
+  if (errno == ERANGE) return false;              // overflowed long
+  if (parsed < min || parsed > max) return false;
+  out = parsed;
+  return true;
+}
+
 int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
   if (!v) return fallback;
-  char* end = nullptr;
-  const long parsed = std::strtol(v, &end, 10);
-  if (end == v) return fallback;
+  long parsed = 0;
+  if (!parse_int_strict(v, INT_MIN, INT_MAX, parsed)) {
+    PICPAR_LOG(kWarn) << name << "=\"" << v
+                      << "\" is not a valid integer; using " << fallback;
+    return fallback;
+  }
   return static_cast<int>(parsed);
 }
 

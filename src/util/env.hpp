@@ -5,7 +5,10 @@
 // are uniform across libraries, benches and examples: a boolean variable
 // is enabled when set to anything but "" or "0"; a path-valued variable is
 // its value under the same rule; an integer variable falls back when unset
-// or malformed. See the README "Environment variables" table.
+// or malformed. Integer parsing is strict — the whole value must be a
+// decimal integer in range, so typos like "1x" or " 2 " fall back (with a
+// warning) instead of being silently half-parsed. See the README
+// "Environment variables" table.
 #pragma once
 
 namespace picpar {
@@ -20,8 +23,14 @@ bool env_enabled(const char* name);
 /// (so `PICPAR_TRACE=0` disables like the boolean rule); else nullptr.
 const char* env_path(const char* name);
 
-/// Integer variable: the parsed value when set and parseable as a decimal
-/// integer, else `fallback`.
+/// Strict decimal parse: an optional +/- sign followed by digits only — no
+/// whitespace, no trailing characters, no empty string — and the value must
+/// fit [min, max]. Returns false (leaving `out` untouched) otherwise.
+bool parse_int_strict(const char* text, long min, long max, long& out);
+
+/// Integer variable: the strictly parsed value when set, well-formed, and
+/// within int range; else `fallback`. A set-but-rejected value emits one
+/// warning naming the variable so typos are not silently ignored.
 int env_int(const char* name, int fallback);
 
 }  // namespace picpar

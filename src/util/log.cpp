@@ -27,8 +27,19 @@ const char* level_name(LogLevel l) {
 
 void init_from_env() {
   std::call_once(g_env_once, [] {
-    if (const char* env = env_get("PICPAR_LOG"))
-      g_level.store(parse_log_level(env));
+    const char* env = env_get("PICPAR_LOG");
+    if (!env) return;
+    LogLevel parsed;
+    if (parse_log_level_strict(env, parsed)) {
+      g_level.store(parsed);
+    } else {
+      // Keep the default level, but say so — "PICPAR_LOG=inf" silently
+      // meaning kInfo hid typos for a long time.
+      detail::log_emit(LogLevel::kWarn,
+                       std::string("PICPAR_LOG=\"") + env +
+                           "\" is not a log level "
+                           "(error|warn|info|debug|trace); keeping default");
+    }
   });
 }
 
@@ -41,12 +52,20 @@ LogLevel log_level() {
   return g_level.load();
 }
 
+bool parse_log_level_strict(const std::string& name, LogLevel& out) {
+  if (name == "error") out = LogLevel::kError;
+  else if (name == "warn") out = LogLevel::kWarn;
+  else if (name == "info") out = LogLevel::kInfo;
+  else if (name == "debug") out = LogLevel::kDebug;
+  else if (name == "trace") out = LogLevel::kTrace;
+  else return false;
+  return true;
+}
+
 LogLevel parse_log_level(const std::string& name) {
-  if (name == "error") return LogLevel::kError;
-  if (name == "warn") return LogLevel::kWarn;
-  if (name == "debug") return LogLevel::kDebug;
-  if (name == "trace") return LogLevel::kTrace;
-  return LogLevel::kInfo;
+  LogLevel l = LogLevel::kInfo;
+  parse_log_level_strict(name, l);
+  return l;
 }
 
 namespace detail {

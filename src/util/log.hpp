@@ -12,7 +12,12 @@ enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 }
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Parse a level name; unknown names map to kInfo.
+/// Strict parse of a level name (error|warn|info|debug|trace); returns
+/// false on anything else, leaving `out` untouched.
+bool parse_log_level_strict(const std::string& name, LogLevel& out);
+
+/// Parse a level name; unknown names map to kInfo. Prefer the strict form
+/// when the caller can report the error (PICPAR_LOG does).
 LogLevel parse_log_level(const std::string& name);
 
 namespace detail {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "sfc/hilbert.hpp"
 
 namespace picpar::core {
@@ -174,6 +176,133 @@ TEST(GhostExchange, HashAndDirectProduceIdenticalResults) {
   const auto a = run_with(DedupPolicy::kHash);
   const auto b = run_with(DedupPolicy::kDirect);
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+// Randomized multi-iteration equivalence (irregular deposit patterns):
+// kHash and kDirect must agree on every owner-side sum, every fetched
+// field value, and the exact message traffic — the dedup policy is a pure
+// lookup-structure choice and must never leak into results or messaging.
+// Runs several iterations per seed so the generation-stamped hash reset
+// and the kDirect touched-slot reset are both exercised across reuse.
+TEST(GhostExchange, RandomizedHashDirectEquivalence) {
+  GridDesc g(16, 12);
+  const auto part = GridPartition::block(g, 2, 2);
+  constexpr int kIters = 4;
+
+  struct Observed {
+    std::vector<double> rho;      // owner-side sums, per iteration
+    std::vector<double> fetched;  // ghost-side fetched fields
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t msgs_recv = 0;
+  };
+
+  for (std::uint64_t seed : {1u, 7u, 1234u}) {
+    auto run = [&](DedupPolicy pol) {
+      std::vector<Observed> per_rank(4);
+      sim::Machine m(4, sim::CostModel::zero());
+      m.run([&](sim::Comm& c) {
+        Observed& obs = per_rank[static_cast<std::size_t>(c.rank())];
+        LocalGrid lg(part, c.rank());
+        FieldState f(lg);
+        GhostExchange ge(lg, pol);
+        std::mt19937_64 rng(seed * 1000003u +
+                            static_cast<std::uint64_t>(c.rank()));
+        std::uniform_int_distribution<std::uint64_t> pick(0, g.nodes() - 1);
+        std::uniform_real_distribution<double> val(-1.0, 1.0);
+        for (int it = 0; it < kIters; ++it) {
+          ge.begin_iteration();
+          std::fill(f.rho.begin(), f.rho.end(), 0.0);
+          std::vector<std::uint64_t> ghost_gids;
+          const std::uint64_t base = pick(rng);
+          for (int k = 0; k < 200; ++k) {
+            const std::uint64_t gid =
+                (base + static_cast<std::uint64_t>(k % 17)) % g.nodes();
+            const double v = val(rng);
+            if (lg.owns(gid)) {
+              f.rho[lg.local_of(gid)] += v;
+            } else {
+              ge.deposit_slot(gid)[3] += v;
+              ghost_gids.push_back(gid);
+            }
+          }
+          for (int k = 0; k < 40; ++k) {
+            const std::uint64_t gid = pick(rng);
+            const double v = val(rng);
+            if (lg.owns(gid)) {
+              f.rho[lg.local_of(gid)] += v;
+            } else {
+              ge.deposit_slot(gid)[3] += v;
+              ghost_gids.push_back(gid);
+            }
+          }
+          for (std::size_t l = 0; l < lg.owned(); ++l)
+            f.ex[l] = static_cast<double>(lg.gid_of(l)) + 0.25 * it;
+          ge.flush_scatter(c, f);
+          ge.fetch_fields(c, f);
+          for (std::size_t l = 0; l < lg.owned(); ++l)
+            obs.rho.push_back(f.rho[l]);
+          for (const auto gid : ghost_gids) {
+            const double* s = ge.field_slot(gid);
+            obs.fetched.push_back(s ? s[0] : -1e300);
+          }
+        }
+        const auto t = c.stats().total();
+        obs.msgs_sent = t.msgs_sent;
+        obs.bytes_sent = t.bytes_sent;
+        obs.msgs_recv = t.msgs_recv;
+      });
+      return per_rank;
+    };
+    const auto a = run(DedupPolicy::kHash);
+    const auto b = run(DedupPolicy::kDirect);
+    for (int r = 0; r < 4; ++r) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " rank=" + std::to_string(r));
+      const auto& x = a[static_cast<std::size_t>(r)];
+      const auto& y = b[static_cast<std::size_t>(r)];
+      EXPECT_EQ(x.msgs_sent, y.msgs_sent);
+      EXPECT_EQ(x.bytes_sent, y.bytes_sent);
+      EXPECT_EQ(x.msgs_recv, y.msgs_recv);
+      ASSERT_EQ(x.rho.size(), y.rho.size());
+      for (std::size_t i = 0; i < x.rho.size(); ++i)
+        EXPECT_EQ(x.rho[i], y.rho[i]) << "rho[" << i << "]";
+      ASSERT_EQ(x.fetched.size(), y.fetched.size());
+      for (std::size_t i = 0; i < x.fetched.size(); ++i)
+        EXPECT_EQ(x.fetched[i], y.fetched[i]) << "fetched[" << i << "]";
+    }
+  }
+}
+
+// The hash table's generation-stamped reset plus the routing scratch must
+// behave like a cold table on every iteration: entries from iteration k
+// must be invisible in iteration k+1 even when the same gids reappear, and
+// the table must survive growth (many distinct gids -> several rehashes).
+TEST(GhostExchange, HashGenerationResetSurvivesGrowthAndReuse) {
+  GridDesc g(64, 64);
+  const auto part = GridPartition::block(g, 2, 1);
+  LocalGrid lg(part, 0);
+  GhostExchange ge(lg, DedupPolicy::kHash);
+  for (int it = 0; it < 3; ++it) {
+    ge.begin_iteration();
+    // >1000 distinct ghost nodes forces repeated growth past the initial
+    // table size; interleave duplicates to exercise hit paths mid-growth.
+    std::uint32_t created = 0;
+    for (std::uint32_t y = 0; y < 60; ++y)
+      for (std::uint32_t x = 40; x < 60; ++x) {
+        const auto gid = g.node_id(x, y);
+        const auto slot = ge.deposit_slot_index(gid);
+        const auto again = ge.deposit_slot_index(gid);
+        EXPECT_EQ(slot, again);
+        ge.deposit_data(slot)[0] += 1.0;
+        ++created;
+      }
+    EXPECT_EQ(ge.entries(), created);
+    // Every accumulator holds exactly this iteration's sum — stale slots
+    // from the previous iteration must not alias.
+    for (std::uint32_t s = 0; s < created; ++s)
+      EXPECT_DOUBLE_EQ(ge.deposit_data(s)[0], 1.0) << "slot " << s;
+  }
 }
 
 TEST(GhostExchange, ParsePolicyNames) {

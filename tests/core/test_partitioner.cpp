@@ -5,6 +5,7 @@
 #include "core/indexing.hpp"
 #include "core/load_balance.hpp"
 #include "sfc/hilbert.hpp"
+#include "sfc/simple_curves.hpp"
 #include "util/rng.hpp"
 
 namespace picpar::core {
@@ -162,6 +163,66 @@ TEST(Partitioner, RepeatedRedistributionsStayConsistent) {
       EXPECT_EQ(n, total) << "no particles lost or duplicated";
     }
   });
+}
+
+/// Redistributing an already-balanced, already-sorted population must be a
+/// true no-op: nothing is sent, nothing is moved locally, and the particle
+/// arrays come back byte-identical (FP summation order downstream depends
+/// on it). Exercised under two curves since key layouts differ.
+///
+/// Keys here are made distinct (one particle per cell): when a duplicated
+/// key straddles a rank boundary, the bound (taken from the lower rank's
+/// max key) classifies the upper rank's copies as off-processor and the
+/// balance step returns them — correct, but not a no-op. Distinct boundary
+/// keys are the precondition for the settled fast path.
+void expect_redistribute_idempotent(const sfc::Curve& curve) {
+  const int p = 8;
+  const std::uint64_t total = 1024;  // one particle per 32x32 cell
+  const auto g = grid();
+  sim::Machine m(p, sim::CostModel::zero());
+  m.run([&](sim::Comm& c) {
+    ParticleArray mine(-1.0, 1.0);
+    picpar::Rng rng(static_cast<std::uint64_t>(c.rank()) + 9);
+    for (std::uint64_t i = 0; i < total; ++i) {
+      if (static_cast<int>(i % static_cast<std::uint64_t>(p)) != c.rank())
+        continue;
+      ParticleRec r;
+      r.x = static_cast<double>(i % 32) + 0.5;
+      r.y = static_cast<double>(i / 32) + 0.5;
+      r.ux = rng.normal() * 0.05;
+      r.uy = rng.normal() * 0.05;
+      mine.push_back(r);
+    }
+    ParticlePartitioner part(curve, g);
+    part.assign_keys(c, mine);
+    part.distribute(c, mine);
+
+    // Snapshot the post-distribute state bit-for-bit.
+    const auto x = mine.x, y = mine.y, ux = mine.ux, uy = mine.uy;
+    const auto key = mine.key;
+
+    // Keys unchanged (no motion) -> redistribute must detect "settled".
+    const auto rep = part.redistribute(c, mine);
+    EXPECT_TRUE(rep.incremental);
+    EXPECT_EQ(rep.sent_particles, 0u);
+    EXPECT_EQ(rep.work.moves, 0u) << "no local reshuffling on a no-op";
+
+    ASSERT_EQ(mine.size(), key.size());
+    EXPECT_EQ(mine.key, key);
+    EXPECT_EQ(mine.x, x);
+    EXPECT_EQ(mine.y, y);
+    EXPECT_EQ(mine.ux, ux);
+    EXPECT_EQ(mine.uy, uy);
+    expect_globally_sorted_and_balanced(c, mine, total);
+  });
+}
+
+TEST(Partitioner, RedistributeIsIdempotentHilbert) {
+  expect_redistribute_idempotent(sfc::HilbertCurve(32, 32));
+}
+
+TEST(Partitioner, RedistributeIsIdempotentSnake) {
+  expect_redistribute_idempotent(sfc::SnakeCurve(32, 32));
 }
 
 TEST(Partitioner, HighlyIrregularClusterStillBalances) {

@@ -137,6 +137,88 @@ TEST(MergeRuns, StableAcrossRunsForEqualKeys) {
   EXPECT_EQ(p.x[1], 2.0);
 }
 
+TEST(MergeBucketRuns, EquivalentToConcatThenMergeRuns) {
+  // Randomized: buckets cover disjoint ascending key ranges (as the
+  // partitioner guarantees), incoming overlaps them arbitrarily. The
+  // output must match the reference two-run merge_runs exactly, including
+  // tie order.
+  picpar::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::vector<ParticleRec>> buckets(4);
+    std::uint64_t lo = 0;
+    for (auto& b : buckets) {
+      const std::uint64_t hi = lo + 1 + rng.below(30);
+      const auto count = rng.below(25);  // may be empty
+      for (std::uint64_t i = 0; i < count; ++i)
+        b.push_back(rec(lo + rng.below(hi - lo), static_cast<double>(trial)));
+      std::sort(b.begin(), b.end(),
+                [](const ParticleRec& a, const ParticleRec& c) {
+                  return a.key < c.key;
+                });
+      lo = hi;
+    }
+    std::vector<ParticleRec> incoming;
+    for (std::uint64_t i = 0, n = rng.below(60); i < n; ++i)
+      incoming.push_back(rec(rng.below(lo + 10), -1.0));
+    std::sort(incoming.begin(), incoming.end(),
+              [](const ParticleRec& a, const ParticleRec& c) {
+                return a.key < c.key;
+              });
+
+    // Reference: concatenate buckets into run 0 (run 0 wins ties).
+    std::vector<std::vector<ParticleRec>> runs(2);
+    for (const auto& b : buckets)
+      runs[0].insert(runs[0].end(), b.begin(), b.end());
+    runs[1] = incoming;
+    ParticleArray expect(-1.0, 1.0);
+    merge_runs(runs, expect);
+
+    ParticleArray got(-1.0, 1.0);
+    const auto w = merge_bucket_runs(buckets, incoming, got);
+    ASSERT_EQ(got.size(), expect.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got.key[i], expect.key[i]) << "trial " << trial << " i=" << i;
+      EXPECT_EQ(got.x[i], expect.x[i]) << "trial " << trial << " i=" << i;
+    }
+    EXPECT_EQ(w.moves, got.size()) << "one move per output record";
+  }
+}
+
+TEST(MergeBucketRuns, BucketSideWinsKeyTies) {
+  std::vector<std::vector<ParticleRec>> buckets(2);
+  buckets[0].push_back(rec(5, 1.0));
+  buckets[1].push_back(rec(9, 2.0));
+  std::vector<ParticleRec> incoming{rec(5, -1.0), rec(9, -2.0)};
+  ParticleArray p(-1.0, 1.0);
+  merge_bucket_runs(buckets, incoming, p);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.x[0], 1.0) << "kept record first on equal keys";
+  EXPECT_EQ(p.x[1], -1.0);
+  EXPECT_EQ(p.x[2], 2.0);
+  EXPECT_EQ(p.x[3], -2.0);
+}
+
+TEST(MergeBucketRuns, EmptySidesAndReplacement) {
+  std::vector<std::vector<ParticleRec>> buckets(3);  // all empty
+  std::vector<ParticleRec> incoming{rec(2), rec(7)};
+  ParticleArray p(-1.0, 1.0);
+  p.push_back(rec(99));  // stale contents must be replaced
+  merge_bucket_runs(buckets, incoming, p);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.key[0], 2u);
+  EXPECT_EQ(p.key[1], 7u);
+
+  buckets[1].push_back(rec(3));
+  const auto w = merge_bucket_runs(buckets, {}, p);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.key[0], 3u);
+  EXPECT_EQ(w.moves, 1u);
+  EXPECT_EQ(w.comparisons, 0u) << "no dual-live steps with one side empty";
+
+  merge_bucket_runs({}, {}, p);
+  EXPECT_EQ(p.size(), 0u);
+}
+
 TEST(SortWork, AccumulatesWithPlusEquals) {
   SortWork a{10, 5}, b{1, 2};
   a += b;

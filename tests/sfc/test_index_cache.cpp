@@ -1,0 +1,41 @@
+#include "sfc/index_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sfc/hilbert.hpp"
+#include "sfc/simple_curves.hpp"
+
+namespace picpar::sfc {
+namespace {
+
+template <typename CurveT>
+void expect_cache_matches_curve(std::uint32_t nx, std::uint32_t ny) {
+  CurveT curve(nx, ny);
+  IndexCache cache(curve, nx, ny);
+  ASSERT_EQ(cache.size(), static_cast<std::size_t>(nx) * ny);
+  for (std::uint32_t y = 0; y < ny; ++y)
+    for (std::uint32_t x = 0; x < nx; ++x) {
+      const std::uint64_t cell = static_cast<std::uint64_t>(y) * nx + x;
+      EXPECT_EQ(cache[cell], curve.index(x, y))
+          << curve.name() << " (" << x << "," << y << ")";
+    }
+}
+
+TEST(IndexCache, MatchesCurveEverywhere) {
+  expect_cache_matches_curve<HilbertCurve>(16, 16);
+  expect_cache_matches_curve<HilbertCurve>(8, 32);  // non-square
+  expect_cache_matches_curve<SnakeCurve>(16, 16);
+  expect_cache_matches_curve<RowMajorCurve>(7, 5);
+  expect_cache_matches_curve<MortonCurve>(16, 16);
+}
+
+TEST(IndexCache, RejectsDegenerateGrids) {
+  HilbertCurve curve(8, 8);
+  EXPECT_THROW(IndexCache(curve, 0, 8), std::invalid_argument);
+  EXPECT_THROW(IndexCache(curve, 8, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace picpar::sfc

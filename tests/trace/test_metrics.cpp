@@ -9,19 +9,18 @@ namespace {
 
 TEST(Histogram, Log2BucketPlacement) {
   Histogram h;
-  h.observe(0);  // bucket 0
-  h.observe(1);  // bit_width 1
-  h.observe(2);  // bit_width 2
-  h.observe(3);  // bit_width 2
-  h.observe(4);  // bit_width 3
-  h.observe(1024);  // bit_width 11
+  h.observe(0);     // bucket 0: values <= 1
+  h.observe(1);     // bucket 0
+  h.observe(2);     // bucket 1: (1, 2]
+  h.observe(3);     // bucket 2: (2, 4]
+  h.observe(4);     // bucket 2
+  h.observe(1024);  // bucket 10: (512, 1024]
 
   ASSERT_EQ(h.buckets.size(), kHistogramBuckets);
-  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[0], 2u);
   EXPECT_EQ(h.buckets[1], 1u);
   EXPECT_EQ(h.buckets[2], 2u);
-  EXPECT_EQ(h.buckets[3], 1u);
-  EXPECT_EQ(h.buckets[11], 1u);
+  EXPECT_EQ(h.buckets[10], 1u);
   EXPECT_EQ(h.count, 6u);
   EXPECT_EQ(h.min, 0u);
   EXPECT_EQ(h.max, 1024u);
@@ -33,6 +32,35 @@ TEST(Histogram, ExtremeValuesStayInRange) {
   h.observe(~std::uint64_t{0});
   EXPECT_EQ(h.buckets[64], 1u);
   EXPECT_EQ(h.max, ~std::uint64_t{0});
+}
+
+// Every bucket's "le_2^k" label must be an exact inclusive upper bound:
+// bucket 0 covers {0, 1}; bucket k = 1..64 covers (2^(k-1), 2^k].
+// Regression for three historical off-by-ones: value 0 and 1 sharing a
+// bucket, exact powers of two landing one bucket high (bit_width(2^k) is
+// k+1), and the top bucket overflowing past index 64 for values >= 2^63.
+TEST(Histogram, EveryBucketBoundaryIsExact) {
+  for (std::size_t k = 0; k < kHistogramBuckets; ++k) {
+    const std::uint64_t hi =
+        k >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << k);
+    const std::uint64_t lo = k == 0 ? 0 : (std::uint64_t{1} << (k - 1)) + 1;
+
+    Histogram h;
+    h.observe(lo);  // lowest value of bucket k
+    h.observe(hi);  // highest value of bucket k
+    ASSERT_EQ(h.buckets.size(), kHistogramBuckets);
+    EXPECT_EQ(h.buckets[k], 2u) << "bucket " << k << " lo=" << lo
+                                << " hi=" << hi;
+    for (std::size_t j = 0; j < kHistogramBuckets; ++j)
+      if (j != k) EXPECT_EQ(h.buckets[j], 0u) << "bucket " << j << " vs " << k;
+
+    // One past the top of bucket k belongs to bucket k+1.
+    if (k >= 1 && k < 64) {
+      Histogram above;
+      above.observe(hi + 1);
+      EXPECT_EQ(above.buckets[k + 1], 1u) << "value " << hi + 1;
+    }
+  }
 }
 
 TEST(MetricsRegistry, CountersGaugesAccumulate) {
