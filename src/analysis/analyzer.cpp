@@ -188,7 +188,7 @@ void Analyzer::on_recv(const Message& m, const sim::RecvEvent& e,
   const std::uint64_t idx = buf.consume_count++;
   if (buf.gate_open) {
     if (buf.consumed.size() < opt_.consume_log)
-      buf.consumed.push_back(Consumed{idx, m.src, m.tag, m.vclock});
+      buf.consumed.push_back(Consumed{idx, m.src, m.tag, m.epoch, m.vclock});
     else
       buf.consume_overflow = true;
   }
@@ -212,6 +212,7 @@ void Analyzer::on_recv(const Message& m, const sim::RecvEvent& e,
     w.fp = e.fp_payload;
     w.race_check = race_check;
     w.reserved_check = reserved_check;
+    w.epoch = m.epoch;
     w.phase = e.phase;
     w.vtime = e.vtime;
     w.matched_vc = m.vclock;
@@ -243,8 +244,15 @@ void Analyzer::run_deferred_checks(int rank,
     const VectorClock matched(w.matched_vc);
     // Candidates, in deterministic order: messages consumed after this
     // receive, then the sorted leftovers.
-    const auto consider = [&](int src, int tag,
+    const auto consider = [&](int src, int tag, int epoch,
                               const std::vector<std::uint64_t>& vc) {
+      // Traffic from a different membership epoch can never have raced with
+      // this receive: the machine purges pre-agreement messages at the
+      // epoch boundary and crashed senders stop sending, so cross-epoch
+      // pairs are ordered by the membership barrier itself. Without this
+      // filter a shrink-to-survivors recovery would report false races
+      // between a rank's pre-crash traffic and post-recovery receives.
+      if (epoch != w.epoch) return;
       if (w.race_check && matches(w.want_src, w.want_tag, src, tag) &&
           !(src == w.matched_src && tag == w.matched_tag) && !vc.empty()) {
         const VectorClock b(vc);
@@ -325,9 +333,10 @@ void Analyzer::run_deferred_checks(int rank,
 
     for (const auto& c : buf.consumed) {
       if (c.index <= w.consume_index) continue;
-      consider(c.src, c.tag, c.vclock);
+      consider(c.src, c.tag, c.epoch, c.vclock);
     }
-    for (const Message* pm : rest) consider(pm->src, pm->tag, pm->vclock);
+    for (const Message* pm : rest)
+      consider(pm->src, pm->tag, pm->epoch, pm->vclock);
   }
 }
 

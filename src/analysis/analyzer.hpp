@@ -139,6 +139,7 @@ private:
     bool fp = false;
     bool race_check = false;      ///< eligible for race / reduction-order
     bool reserved_check = false;  ///< wildcard-tag pending-reserved check
+    int epoch = 0;                ///< membership epoch of the matched message
     sim::Phase phase = sim::Phase::kOther;
     double vtime = 0.0;
     std::vector<std::uint64_t> matched_vc;  ///< matched message's send clock
@@ -150,6 +151,7 @@ private:
     std::uint64_t index = 0;
     int src = 0;
     int tag = 0;
+    int epoch = 0;  ///< membership epoch the message was sent in
     std::vector<std::uint64_t> vclock;
   };
 

@@ -194,4 +194,19 @@ const double* GhostExchange::field_slot(std::uint64_t gid) const {
   return &field_[static_cast<std::size_t>(slot) * kField];
 }
 
+std::size_t GhostExchange::memory_bytes() const {
+  std::size_t bytes = gids_.capacity() * sizeof(std::uint64_t) +
+                      deposit_.capacity() * sizeof(double) +
+                      field_.capacity() * sizeof(double) +
+                      hash_.capacity() * sizeof(HashEntry) +
+                      direct_.capacity() * sizeof(std::uint32_t);
+  bytes += rank_slots_.capacity() * sizeof(std::vector<std::uint32_t>);
+  for (const auto& slots : rank_slots_)
+    bytes += slots.capacity() * sizeof(std::uint32_t);
+  bytes += requests_.capacity() * sizeof(OwnerRequest);
+  for (const auto& req : requests_)
+    bytes += req.locals.capacity() * sizeof(std::uint32_t);
+  return bytes;
+}
+
 }  // namespace picpar::core

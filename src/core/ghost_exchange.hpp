@@ -95,6 +95,12 @@ public:
   /// nullptr if the node was never deposited to this iteration.
   const double* field_slot(std::uint64_t gid) const;
 
+  /// Resident bytes held by the ghost tables: slot storage, the lookup
+  /// structure (hash or direct), and the persistent routing scratch.
+  /// Capacities, not sizes — this is what the rank's memory budget pays
+  /// for, since scratch capacity persists across iterations.
+  std::size_t memory_bytes() const;
+
 private:
   std::uint32_t find_slot(std::uint64_t gid) const;  ///< kNoSlot if absent
   void hash_insert(std::uint64_t gid, std::uint32_t slot);

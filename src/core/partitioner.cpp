@@ -300,4 +300,15 @@ RedistReport ParticlePartitioner::redistribute(sim::Comm& comm,
   return rep;
 }
 
+std::size_t ParticlePartitioner::scratch_bytes() const {
+  std::size_t bytes =
+      bucket_scratch_.capacity() * sizeof(std::vector<particles::ParticleRec>);
+  for (const auto& b : bucket_scratch_)
+    bytes += b.capacity() * sizeof(particles::ParticleRec);
+  bytes += recv_scratch_.capacity() * sizeof(particles::ParticleRec);
+  bytes += local_bounds_.capacity() * sizeof(std::uint64_t);
+  bytes += global_bounds_.capacity() * sizeof(std::uint64_t);
+  return bytes;
+}
+
 }  // namespace picpar::core

@@ -73,6 +73,12 @@ public:
 
   bool has_state() const { return have_state_; }
 
+  /// Resident bytes held by the redistribution scratch (send buckets,
+  /// receive staging) and the bucket-boundary tables. Capacities, not
+  /// sizes — scratch capacity persists across iterations by design, so
+  /// this is the steady-state memory the partitioner pins per rank.
+  std::size_t scratch_bytes() const;
+
 private:
   void charge_work(sim::Comm& comm, const SortWork& w) const;
   void refresh_state(sim::Comm& comm, const particles::ParticleArray& p);

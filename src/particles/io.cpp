@@ -92,6 +92,18 @@ ParticleArray load_particles(const std::string& path) {
     throw std::runtime_error("load_particles: unsupported version " +
                              std::to_string(h.version));
 
+  // Validate the claimed record count against the actual file size before
+  // allocating anything: a corrupt count field must be rejected here, not
+  // turned into a multi-gigabyte allocation the read can never fill.
+  f.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(f.tellg());
+  f.seekg(static_cast<std::streamoff>(sizeof(Header)));
+  const std::uint64_t payload = file_size - sizeof(Header);
+  if (h.count > payload / sizeof(ParticleRec))
+    throw std::runtime_error("load_particles: record count " +
+                             std::to_string(h.count) +
+                             " exceeds file size in " + path);
+
   ParticleArray p(h.charge, h.mass);
   p.reserve(h.count);
   std::vector<ParticleRec> recs(h.count);

@@ -36,6 +36,9 @@ struct IterRecord {
   /// True when a violation triggered rollback to the last checkpoint plus
   /// a forced full redistribution.
   bool recovered = false;
+  /// True when this is the first iteration executed after a fail-stop
+  /// shrink-to-survivors recovery (the run resumed here from checkpoint).
+  bool crash_recovered = false;
 };
 
 struct EnergySample {
@@ -62,7 +65,18 @@ struct PicResult {
   int recoveries = 0;                 ///< rollback + forced redistribution
   int violation_iterations = 0;       ///< iterations with any violation
   std::uint64_t initial_particles = 0;
-  std::uint64_t final_particles = 0;  ///< summed over ranks at run end
+  std::uint64_t final_particles = 0;  ///< summed over surviving ranks at end
+
+  // Fail-stop crash recovery (populated when crash faults are enabled;
+  // see sim::FaultConfig crash_schedule / crash_prob and PICPAR_CRASH_*).
+  int crash_count = 0;        ///< ranks lost to fail-stop crashes
+  int crash_recoveries = 0;   ///< completed shrink-to-survivors recoveries
+  int final_ranks = 0;        ///< surviving ranks at run end
+  double mttr_seconds_total = 0.0;  ///< summed virtual crash-to-resume time
+  std::uint64_t crash_lost_particles = 0;      ///< in dead ranks' subdomains
+  std::uint64_t crash_restored_particles = 0;  ///< reloaded from checkpoint
+  /// Max-over-survivors / mean final particle count (1.0 = balanced).
+  double final_imbalance = 0.0;
 
   // Happens-before analysis (populated when PicParams::analyze or
   // PICPAR_ANALYZE enables the analyzer; see src/analysis).

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "analysis/analyzer.hpp"
@@ -46,6 +50,52 @@ FieldSolveKind parse_solver(const std::string& name) {
   throw std::invalid_argument("unknown solver: " + name);
 }
 
+std::vector<sim::CrashPoint> parse_crash_schedule(const std::string& spec) {
+  std::vector<sim::CrashPoint> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t at = entry.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= entry.size())
+      throw std::invalid_argument("crash schedule entry '" + entry +
+                                  "' is not rank@vtime");
+    std::size_t used = 0;
+    sim::CrashPoint cp;
+    cp.rank = std::stoi(entry.substr(0, at), &used);
+    if (used != at)
+      throw std::invalid_argument("crash schedule rank '" + entry +
+                                  "' is not an integer");
+    const std::string tstr = entry.substr(at + 1);
+    cp.vtime = std::stod(tstr, &used);
+    if (used != tstr.size())
+      throw std::invalid_argument("crash schedule vtime '" + entry +
+                                  "' is not a number");
+    if (cp.rank < 0 || cp.vtime < 0.0)
+      throw std::invalid_argument("crash schedule entry '" + entry +
+                                  "' must be nonnegative");
+    out.push_back(cp);
+  }
+  return out;
+}
+
+void apply_crash_env(sim::FaultConfig& cfg) {
+  if (const char* s = std::getenv("PICPAR_CRASH_RANKS"); s && *s) {
+    const auto sched = parse_crash_schedule(s);
+    cfg.crash_schedule.insert(cfg.crash_schedule.end(), sched.begin(),
+                              sched.end());
+  }
+  if (const char* s = std::getenv("PICPAR_CRASH_PROB"); s && *s)
+    cfg.crash_prob = std::stod(s);
+  if (const char* s = std::getenv("PICPAR_CRASH_MAX_T"); s && *s)
+    cfg.crash_vtime_max = std::stod(s);
+  if (const char* s = std::getenv("PICPAR_CRASH_LEASE"); s && *s)
+    cfg.crash_lease_seconds = std::stod(s);
+}
+
 namespace {
 
 /// Per-rank, per-iteration raw measurements; merged after the run.
@@ -63,6 +113,7 @@ struct LocalIter {
   std::uint64_t redist_sent = 0;
   std::uint32_t violation_mask = 0;
   bool recovered = false;
+  bool crash_recovered = false;
 };
 
 struct RankOutput {
@@ -74,7 +125,74 @@ struct RankOutput {
   double total_charge = 0.0;
   std::uint64_t final_particles = 0;
   int recoveries = 0;
-  std::vector<EnergySample> energy;  // filled by rank 0 only
+  int crash_recoveries = 0;
+  double mttr_total = 0.0;
+  std::uint64_t crash_lost = 0;
+  std::uint64_t crash_restored = 0;
+  std::vector<EnergySample> energy;  // filled by group rank 0 only
+};
+
+/// Everything a rank's subdomain view depends on the group size: grid
+/// partition, local grid, fields, solvers, partitioner, ghost tables.
+/// Rebuilt in place (std::optional::emplace) whenever membership changes —
+/// the members reference their siblings, so the object is never moved.
+struct Domain {
+  GridPartition part;
+  LocalGrid lg;
+  FieldState f;
+  mesh::MaxwellSolver maxwell;
+  mesh::PoissonSolver poisson;
+  std::vector<double> phi;
+  ParticlePartitioner partitioner;
+  GhostExchange ghosts;
+
+  Domain(const PicParams& params, const mesh::GridDesc& grid,
+         const sfc::Curve& curve, double dt, int p, int grank)
+      : part(params.grid_decomp == GridDecomp::kBlock
+                 ? GridPartition::block_auto(grid, p)
+                 : GridPartition::curve(grid, p, curve)),
+        lg(part, grank),
+        f(lg),
+        maxwell(lg, dt),
+        poisson(lg),
+        phi(lg.make_field()),
+        partitioner(curve, grid, params.partitioner),
+        ghosts(lg, params.dedup) {}
+};
+
+/// One subdomain's particles in the shared checkpoint store. `valid` is the
+/// torn-write seal: it is cleared before the shard contents are rewritten
+/// and set only after the write (and its charged virtual time) completed,
+/// so a rank that crashes mid-checkpoint leaves a shard the loader rejects.
+struct CkptShard {
+  int owner_world = -1;
+  bool valid = false;
+  std::vector<particles::ParticleRec> recs;
+};
+
+struct CkptBuffer {
+  int seq = -2;   ///< checkpoint sequence number (-2 = never used)
+  int iter = -1;  ///< iteration after which it was taken (-1 = baseline)
+  int nshards = 0;
+  std::vector<CkptShard> shards;  ///< indexed by group rank at take time
+};
+
+/// Host-shared, subdomain-addressed particle checkpoints (stands in for
+/// shared stable storage). Double-buffered by sequence parity so a write in
+/// progress never clobbers the last committed checkpoint. The commit record
+/// is collective: a checkpoint counts as committed only once the barrier
+/// after the shard seals completes — otherwise survivors could agree on a
+/// sequence number whose crashed writer left a missing or torn shard.
+struct CheckpointStore {
+  std::mutex mu;  ///< ranks write concurrently under the parallel engine
+  int committed_seq = -1;
+  CkptBuffer buf[2];
+
+  void reset() {
+    committed_seq = -1;
+    buf[0] = CkptBuffer{};
+    buf[1] = CkptBuffer{};
+  }
 };
 
 /// One bit flipped in one random field of one random particle — the host
@@ -129,10 +247,6 @@ PicResult run_pic(const PicParams& params) {
   // rank threads; replaces per-particle curve evaluations on the push and
   // scrub paths (DESIGN.md §10).
   const sfc::IndexCache key_cache(*curve, grid.nx, grid.ny);
-  const GridPartition part =
-      params.grid_decomp == GridDecomp::kBlock
-          ? GridPartition::block_auto(grid, params.nranks)
-          : GridPartition::curve(grid, params.nranks, *curve);
 
   // The global particle population; every rank slices it identically.
   const ParticleArray global =
@@ -144,75 +258,275 @@ PicResult run_pic(const PicParams& params) {
   const PhaseCosts& pc = params.costs;
   const double inv_cell = 1.0 / (grid.dx() * grid.dy());
 
+  // Fail-stop crash configuration: params plus the PICPAR_CRASH_* overrides.
+  // Env entries aimed at ranks this run does not have are dropped so one
+  // schedule can serve sweeps over different rank counts.
+  sim::FaultConfig faults = params.faults;
+  apply_crash_env(faults);
+  faults.crash_schedule.erase(
+      std::remove_if(faults.crash_schedule.begin(),
+                     faults.crash_schedule.end(),
+                     [&](const sim::CrashPoint& cp) {
+                       return cp.rank >= params.nranks;
+                     }),
+      faults.crash_schedule.end());
+  const bool crash_mode = faults.any_crash_faults();
+
   std::vector<RankOutput> outputs(static_cast<std::size_t>(params.nranks));
+  CheckpointStore store;
 
   auto program = [&](Comm& comm) {
-    const int rank = comm.rank();
-    const int p = comm.size();
-    auto& out = outputs[static_cast<std::size_t>(rank)];
+    // The world rank is this thread's permanent identity: it indexes host
+    // outputs and the fault streams. comm.rank()/comm.size() are group
+    // coordinates that shrink after a recovery, so they are re-read after
+    // every membership change instead of being cached up front.
+    const int world = comm.world_rank();
+    auto& out = outputs[static_cast<std::size_t>(world)];
     out.iters.reserve(static_cast<std::size_t>(params.iterations));
 
-    LocalGrid lg(part, rank);
-    FieldState f(lg);
-    mesh::MaxwellSolver maxwell(lg, dt);
-    mesh::PoissonSolver poisson(lg);
-    auto phi = lg.make_field();
-    ParticlePartitioner partitioner(*curve, grid, params.partitioner);
-    GhostExchange ghosts(lg, params.dedup);
-    const auto policy = core::make_policy(params.policy);
-
-    // Initial slice: equal contiguous blocks of the generated population.
-    ParticleArray mine(global.charge(), global.mass());
-    {
-      const auto total = static_cast<std::uint64_t>(global.size());
-      const std::uint64_t b =
-          static_cast<std::uint64_t>(rank) * total / static_cast<std::uint64_t>(p);
-      const std::uint64_t e = static_cast<std::uint64_t>(rank + 1) * total /
-                              static_cast<std::uint64_t>(p);
-      mine.reserve(static_cast<std::size_t>(e - b));
-      for (std::uint64_t i = b; i < e; ++i)
-        mine.push_back(global.rec(static_cast<std::size_t>(i)));
-    }
-
-    // Initial distribution (full sample sort + balance).
-    comm.set_phase(Phase::kRedistribute);
-    const double t0 = comm.clock();
-    partitioner.assign_keys(comm, mine);
-    partitioner.distribute(comm, mine);
-    comm.set_phase(Phase::kOther);
-    out.init_seconds_global = comm.allreduce_max(comm.clock() - t0);
-    policy->notify_redistribution(-1, out.init_seconds_global);
-    out.clock_after_init = comm.clock();
-    if (rank == 0) comm.mark(trace::kMarkInit, -1, out.init_seconds_global);
-
-    const double q = mine.charge();
-    const double m = mine.mass();
-
-    // ---- validation / recovery state ----
     const ValidationParams& vp = params.validate;
     core::InvariantChecker checker(*curve, grid, vp.invariants);
-    if (vp.check_every > 0)
-      checker.set_reference_count(comm.allreduce_sum<std::uint64_t>(
-          static_cast<std::uint64_t>(mine.size())));
+
+    std::optional<Domain> dom;
+    std::unique_ptr<core::RedistributionPolicy> policy;
+    ParticleArray mine(global.charge(), global.mass());
     ParticleArray ckpt(global.charge(), global.mass());
     bool ckpt_valid = false;
+    int ckpt_seq = -1;  ///< last committed sequence this rank knows about
     int recoveries = 0;
-    const auto take_checkpoint = [&] {
+    int energy_owner_world = 0;  ///< world rank of the current group rank 0
+    double pending_crash_vtime = std::numeric_limits<double>::infinity();
+    bool just_recovered = false;
+    std::size_t mem_peak = 0;
+
+    // Take a checkpoint of `mine` as of completed iteration `iter_done`
+    // (-1 = post-init baseline). The in-memory copy serves single-rank
+    // violation rollback exactly as before crash support existed; the
+    // shared-store shard write (crash mode only) additionally makes the
+    // subdomain restorable by any survivor.
+    const auto take_checkpoint = [&](Comm& c, int iter_done) {
       ckpt = mine;
       ckpt_valid = true;
-      comm.charge_ops(static_cast<std::uint64_t>(
+      c.charge_ops(static_cast<std::uint64_t>(
           static_cast<double>(mine.size()) * vp.checkpoint_ops_per_particle));
+      if (!crash_mode) return;
+      const int seq = ckpt_seq + 1;
+      const int p = c.size();
+      const int grank = c.rank();
+      {
+        std::lock_guard<std::mutex> lk(store.mu);
+        auto& b = store.buf[seq & 1];
+        if (b.seq != seq) {
+          b.seq = seq;
+          b.iter = iter_done;
+          b.nshards = p;
+          b.shards.assign(static_cast<std::size_t>(p), CkptShard{});
+        }
+        auto& sh = b.shards[static_cast<std::size_t>(grank)];
+        sh.valid = false;
+        sh.owner_world = world;
+        sh.recs.clear();
+        sh.recs.reserve(mine.size());
+        for (std::size_t i = 0; i < mine.size(); ++i)
+          sh.recs.push_back(mine.rec(i));
+      }
+      // Serialization cost — and a fail-stop point: a crash here leaves the
+      // shard unsealed (valid == false), the torn write the loader rejects.
+      c.charge_ops(static_cast<std::uint64_t>(mine.size()));
+      {
+        std::lock_guard<std::mutex> lk(store.mu);
+        store.buf[seq & 1].shards[static_cast<std::size_t>(grank)].valid =
+            true;
+      }
+      // Commit is collective. Without this barrier, survivors could all be
+      // past their own seals while the crashed rank was still mid-write:
+      // they would agree on `seq` as restorable even though one shard is
+      // torn. Completing the barrier proves every shard was sealed first.
+      c.barrier();
+      {
+        std::lock_guard<std::mutex> lk(store.mu);
+        if (store.committed_seq < seq) store.committed_seq = seq;
+      }
+      ckpt_seq = seq;
     };
-    // Baseline checkpoint: the freshly balanced initial state.
-    if (vp.checkpoint_every > 0) take_checkpoint();
 
-    for (int iter = 0; iter < params.iterations; ++iter) {
+    // (Re)initialize the domain for the current group and slice + balance
+    // the initial population. Runs at start and again if a crash precedes
+    // the first committed checkpoint.
+    const auto do_init = [&](Comm& c) {
+      const int rank = c.rank();
+      const int p = c.size();
+      dom.emplace(params, grid, *curve, dt, p, rank);
+      policy = core::make_policy(params.policy);
+      out.iters.clear();
+
+      // Initial slice: equal contiguous blocks of the generated population.
+      mine.clear();
+      {
+        const auto total = static_cast<std::uint64_t>(global.size());
+        const std::uint64_t b = static_cast<std::uint64_t>(rank) * total /
+                                static_cast<std::uint64_t>(p);
+        const std::uint64_t e = static_cast<std::uint64_t>(rank + 1) * total /
+                                static_cast<std::uint64_t>(p);
+        mine.reserve(static_cast<std::size_t>(e - b));
+        for (std::uint64_t i = b; i < e; ++i)
+          mine.push_back(global.rec(static_cast<std::size_t>(i)));
+      }
+
+      // Initial distribution (full sample sort + balance).
+      c.set_phase(Phase::kRedistribute);
+      const double t0 = c.clock();
+      dom->partitioner.assign_keys(c, mine);
+      dom->partitioner.distribute(c, mine);
+      c.set_phase(Phase::kOther);
+      out.init_seconds_global = c.allreduce_max(c.clock() - t0);
+      policy->notify_redistribution(-1, out.init_seconds_global);
+      out.clock_after_init = c.clock();
+      if (rank == 0) c.mark(trace::kMarkInit, -1, out.init_seconds_global);
+
+      if (vp.check_every > 0)
+        checker.set_reference_count(c.allreduce_sum<std::uint64_t>(
+            static_cast<std::uint64_t>(mine.size())));
+      ckpt_valid = false;
+      // Baseline checkpoint: the freshly balanced initial state. Crash mode
+      // always keeps one so a failure is never unrecoverable.
+      if (vp.checkpoint_every > 0 || crash_mode) take_checkpoint(c, -1);
+    };
+
+    // Shrink-to-survivors recovery after a PeerFailedError. Returns the
+    // iteration to resume at, or -1 when no committed checkpoint exists and
+    // the caller must re-run do_init on the shrunken group.
+    const auto do_recover = [&](Comm& c) -> int {
+      c.set_phase(Phase::kRedistribute);
+      const sim::MembershipView view = c.agree_on_membership();
+      for (const auto& cr : view.failed)
+        pending_crash_vtime = std::min(pending_crash_vtime, cr.vtime);
+      const int rank = c.rank();
+      const int p = c.size();
+
+      // Survivors threw from different program points; align the shared
+      // recovery counters before using them.
+      recoveries = c.allreduce_max(recoveries);
+      int rseq = -1, rit = -1;
+      {
+        std::lock_guard<std::mutex> lk(store.mu);
+        rseq = store.committed_seq;
+        if (rseq >= 0) rit = store.buf[rseq & 1].iter;
+      }
+      rseq = c.allreduce_min(rseq);
+      rit = c.allreduce_min(rit);
+      ckpt_seq = rseq;
+
+      dom.emplace(params, grid, *curve, dt, p, rank);
+      policy = core::make_policy(params.policy);
+      ckpt_valid = false;
+      energy_owner_world = view.survivors.empty() ? world : view.survivors[0];
+
+      if (rseq < 0) {
+        // Crash before the first committed checkpoint: restart from the
+        // initial conditions on the shrunken group. Nothing is restored —
+        // the initial population is regenerated deterministically.
+        out.energy.clear();
+        const double t_done = c.allreduce_max(c.clock());
+        const double mttr = t_done - pending_crash_vtime;
+        pending_crash_vtime = std::numeric_limits<double>::infinity();
+        ++out.crash_recoveries;
+        out.mttr_total += mttr;
+        if (rank == 0) comm.mark(trace::kMarkCrashRecovered, 0, mttr);
+        c.set_phase(Phase::kOther);
+        just_recovered = true;
+        return -1;
+      }
+
+      // Reload every committed shard round-robin across survivors. Shards
+      // are addressed by subdomain, not by rank: a dead owner's particles
+      // are restored by whichever survivor the round-robin assigns them to.
+      std::uint64_t lost = 0;
+      mine.clear();
+      {
+        std::lock_guard<std::mutex> lk(store.mu);
+        const auto& b = store.buf[rseq & 1];
+        for (int s = 0; s < b.nshards; ++s) {
+          const auto& sh = b.shards[static_cast<std::size_t>(s)];
+          if (!sh.valid)
+            throw std::runtime_error(
+                "checkpoint: committed shard is torn (seq " +
+                std::to_string(rseq) + ", subdomain " + std::to_string(s) +
+                ")");
+          if (!std::binary_search(view.survivors.begin(),
+                                  view.survivors.end(), sh.owner_world))
+            lost += static_cast<std::uint64_t>(sh.recs.size());
+          if (s % p == rank) {
+            mine.reserve(mine.size() + sh.recs.size());
+            for (const auto& r : sh.recs) mine.push_back(r);
+          }
+        }
+      }
+      c.charge_ops(static_cast<std::uint64_t>(
+          static_cast<double>(mine.size()) * vp.checkpoint_ops_per_particle));
+
+      // Re-partition the restored population over the surviving group.
+      dom->partitioner.assign_keys(c, mine);
+      dom->partitioner.distribute(c, mine);
+      if (vp.check_every > 0)
+        checker.set_reference_count(c.allreduce_sum<std::uint64_t>(
+            static_cast<std::uint64_t>(mine.size())));
+
+      // Iterations after the checkpoint are re-run: truncate this rank's
+      // history back to the restore point.
+      const int resume = rit + 1;
+      if (out.iters.size() > static_cast<std::size_t>(resume))
+        out.iters.resize(static_cast<std::size_t>(resume));
+      if (rank == 0) {
+        // Energy-history ownership follows group rank 0. If the previous
+        // owner died, adopt its (completed, pre-checkpoint) samples — it is
+        // done, so its output is stable and safe to read.
+        if (energy_owner_world != world && out.energy.empty())
+          out.energy = outputs[static_cast<std::size_t>(energy_owner_world)]
+                           .energy;
+        while (!out.energy.empty() && out.energy.back().iter > rit)
+          out.energy.pop_back();
+      } else {
+        out.energy.clear();
+      }
+      energy_owner_world = view.survivors[0];
+
+      const double t_done = c.allreduce_max(c.clock());
+      const double mttr = t_done - pending_crash_vtime;
+      pending_crash_vtime = std::numeric_limits<double>::infinity();
+      ++out.crash_recoveries;
+      out.mttr_total += mttr;
+      out.crash_lost += lost;
+      out.crash_restored += lost;
+      if (rank == 0) {
+        c.mark(trace::kMarkCrashRecovered, resume, mttr);
+        c.mark(trace::kMarkCrashLost, resume, static_cast<double>(lost));
+        c.mark(trace::kMarkCrashRestored, resume, static_cast<double>(lost));
+      }
+      c.set_phase(Phase::kOther);
+      // Fresh post-recovery baseline so a later crash cannot rewind past
+      // this membership change.
+      take_checkpoint(c, rit);
+      just_recovered = true;
+      return resume;
+    };
+
+    const auto do_iter = [&](Comm& c, int iter) {
+      const int rank = c.rank();
+      const double q = mine.charge();
+      const double m = mine.mass();
+      LocalGrid& lg = dom->lg;
+      FieldState& f = dom->f;
+      GhostExchange& ghosts = dom->ghosts;
+
       LocalIter rec;
-      const double t_iter_start = comm.clock();
+      rec.crash_recovered = just_recovered;
+      just_recovered = false;
+      const double t_iter_start = c.clock();
 
       // ---- Scatter phase ----
-      comm.set_phase(Phase::kScatter);
-      const auto stats_before = comm.stats();
+      c.set_phase(Phase::kScatter);
+      const auto stats_before = c.stats();
       ghosts.begin_iteration();
       f.clear_sources();
       const std::size_t n = mine.size();
@@ -263,13 +577,13 @@ PicResult run_pic(const PicParams& params) {
           }
         }
       }
-      comm.charge(static_cast<double>(4 * n) * pc.scatter_per_vertex * delta);
+      c.charge(static_cast<double>(4 * n) * pc.scatter_per_vertex * delta);
       rec.ghost_entries = ghosts.entries();
-      comm.mark(trace::kMarkGhostEntries, iter,
-                static_cast<double>(rec.ghost_entries));
-      ghosts.flush_scatter(comm, f);
+      c.mark(trace::kMarkGhostEntries, iter,
+             static_cast<double>(rec.ghost_entries));
+      ghosts.flush_scatter(c, f);
       {
-        const auto d = comm.stats().diff(stats_before).phase(Phase::kScatter);
+        const auto d = c.stats().diff(stats_before).phase(Phase::kScatter);
         rec.scatter_sent_bytes = d.bytes_sent;
         rec.scatter_recv_bytes = d.bytes_recv;
         rec.scatter_sent_msgs = d.msgs_sent;
@@ -277,19 +591,19 @@ PicResult run_pic(const PicParams& params) {
       }
 
       // ---- Field solve phase ----
-      comm.set_phase(Phase::kFieldSolve);
+      c.set_phase(Phase::kFieldSolve);
       switch (params.solver) {
         case FieldSolveKind::kMaxwell:
-          maxwell.step(comm, f);
-          comm.charge(static_cast<double>(lg.owned()) * pc.field_per_node *
-                      delta);
+          dom->maxwell.step(c, f);
+          c.charge(static_cast<double>(lg.owned()) * pc.field_per_node *
+                   delta);
           break;
         case FieldSolveKind::kPoisson: {
-          const auto pr = poisson.solve(comm, f.rho, phi);
-          poisson.gradient(phi, f.ex, f.ey);
-          comm.charge(static_cast<double>(lg.owned()) * 0.25 *
-                      pc.field_per_node * delta *
-                      static_cast<double>(pr.iterations) / 10.0);
+          const auto pr = dom->poisson.solve(c, f.rho, dom->phi);
+          dom->poisson.gradient(dom->phi, f.ex, f.ey);
+          c.charge(static_cast<double>(lg.owned()) * 0.25 *
+                   pc.field_per_node * delta *
+                   static_cast<double>(pr.iterations) / 10.0);
           break;
         }
         case FieldSolveKind::kNone:
@@ -297,8 +611,8 @@ PicResult run_pic(const PicParams& params) {
       }
 
       // ---- Gather phase ----
-      comm.set_phase(Phase::kGather);
-      ghosts.fetch_fields(comm, f);
+      c.set_phase(Phase::kGather);
+      ghosts.fetch_fields(c, f);
       // Same per-cell memo as the scatter loop; positions are unchanged
       // since scatter, so every vertex is either owned or already has a
       // ghost slot from the deposit pass.
@@ -342,111 +656,152 @@ PicResult run_pic(const PicParams& params) {
         particles::boris_kick(q, m, dt, lf, mine.ux[i], mine.uy[i],
                               mine.uz[i]);
       }
-      comm.charge(static_cast<double>(4 * n) * pc.gather_per_vertex * delta);
+      c.charge(static_cast<double>(4 * n) * pc.gather_per_vertex * delta);
 
       // ---- Push phase ----
-      comm.set_phase(Phase::kPush);
+      c.set_phase(Phase::kPush);
       for (std::size_t i = 0; i < n; ++i) {
         particles::advance_position(grid, mine, i, dt);
         mine.key[i] = core::key_of(key_cache, grid, mine.x[i], mine.y[i]);
       }
-      comm.charge(static_cast<double>(n) * pc.push_per_particle * delta);
+      c.charge(static_cast<double>(n) * pc.push_per_particle * delta);
 
       // Host-memory corruption the transport checksums cannot see: flip a
-      // bit in local particle state. Detection is the checker's job.
+      // bit in local particle state. Detection is the checker's job. Fault
+      // streams are keyed by world rank — a rank keeps its stream identity
+      // across membership changes.
       if (params.faults.memory_fault_prob > 0.0) {
-        auto& fm = comm.fault_model();
-        if (fm.should_memory_fault(rank)) inject_memory_fault(fm, rank, mine);
+        auto& fm = c.fault_model();
+        if (fm.should_memory_fault(world))
+          inject_memory_fault(fm, world, mine);
       }
 
       // ---- Iteration timing and redistribution decision ----
-      comm.set_phase(Phase::kOther);
-      rec.loop_seconds_global =
-          comm.allreduce_max(comm.clock() - t_iter_start);
-      rec.clock_pre_redist = comm.clock();
+      c.set_phase(Phase::kOther);
+      rec.loop_seconds_global = c.allreduce_max(c.clock() - t_iter_start);
+      rec.clock_pre_redist = c.clock();
 
       if (policy->should_redistribute(iter, rec.loop_seconds_global)) {
         if (rank == 0)
-          comm.mark(trace::kMarkRedistDecision, iter,
-                    rec.loop_seconds_global);
-        comm.set_phase(Phase::kRedistribute);
-        const double tr = comm.clock();
-        const auto rrep = partitioner.redistribute(comm, mine);
-        comm.set_phase(Phase::kOther);
-        rec.redist_seconds_global = comm.allreduce_max(comm.clock() - tr);
+          c.mark(trace::kMarkRedistDecision, iter, rec.loop_seconds_global);
+        c.set_phase(Phase::kRedistribute);
+        const double tr = c.clock();
+        const auto rrep = dom->partitioner.redistribute(c, mine);
+        c.set_phase(Phase::kOther);
+        rec.redist_seconds_global = c.allreduce_max(c.clock() - tr);
         policy->notify_redistribution(iter, rec.redist_seconds_global);
         rec.redistributed = true;
         rec.redist_sent = rrep.sent_particles;
-        comm.mark(trace::kMarkRedistSent, iter,
-                  static_cast<double>(rrep.sent_particles));
+        c.mark(trace::kMarkRedistSent, iter,
+               static_cast<double>(rrep.sent_particles));
         if (rank == 0)
-          comm.mark(trace::kMarkRedistDone, iter, rec.redist_seconds_global);
+          c.mark(trace::kMarkRedistDone, iter, rec.redist_seconds_global);
       }
 
       // ---- Invariant check, rollback, checkpoint refresh ----
+      const ValidationParams& vp2 = params.validate;
       bool checked_bad = false;
-      if (vp.check_every > 0 && (iter + 1) % vp.check_every == 0) {
+      if (vp2.check_every > 0 && (iter + 1) % vp2.check_every == 0) {
         double local_energy = -1.0;
-        if (vp.invariants.energy_factor > 0.0)
+        if (vp2.invariants.energy_factor > 0.0)
           local_energy = f.energy(lg) + mine.kinetic_energy();
         const auto report = checker.check(
-            comm, mine, iter,
-            rec.redistributed ? &partitioner.rank_upper_bounds() : nullptr,
+            c, mine, iter,
+            rec.redistributed ? &dom->partitioner.rank_upper_bounds()
+                              : nullptr,
             local_energy);
         rec.violation_mask = report.mask;
         checked_bad = !report.ok();
         if (checked_bad && rank == 0)
-          comm.mark(trace::kMarkViolation, iter,
-                    static_cast<double>(report.mask));
-        if (checked_bad && ckpt_valid && recoveries < vp.max_recoveries) {
+          c.mark(trace::kMarkViolation, iter,
+                 static_cast<double>(report.mask));
+        if (checked_bad && ckpt_valid && recoveries < vp2.max_recoveries) {
           // Every rank saw the same OR-combined mask, so all of them take
           // this branch together: restore the last good checkpoint and
           // force a full redistribution to re-enter a balanced state.
-          comm.set_phase(Phase::kRedistribute);
-          const double tr = comm.clock();
+          c.set_phase(Phase::kRedistribute);
+          const double tr = c.clock();
           mine = ckpt;
-          comm.charge_ops(static_cast<std::uint64_t>(
+          c.charge_ops(static_cast<std::uint64_t>(
               static_cast<double>(mine.size()) *
-              vp.checkpoint_ops_per_particle));
-          partitioner.assign_keys(comm, mine);
-          partitioner.distribute(comm, mine);
-          comm.set_phase(Phase::kOther);
-          const double cost = comm.allreduce_max(comm.clock() - tr);
+              vp2.checkpoint_ops_per_particle));
+          dom->partitioner.assign_keys(c, mine);
+          dom->partitioner.distribute(c, mine);
+          c.set_phase(Phase::kOther);
+          const double cost = c.allreduce_max(c.clock() - tr);
           policy->notify_redistribution(iter, cost);
           rec.recovered = true;
           rec.redistributed = true;
           rec.redist_seconds_global += cost;
           ++recoveries;
-          if (rank == 0) comm.mark(trace::kMarkRecovered, iter, cost);
+          if (rank == 0) c.mark(trace::kMarkRecovered, iter, cost);
         } else if (checked_bad) {
           // Rollback unavailable: repair in place so the run continues in a
           // degraded but well-defined state.
           scrub_particles(key_cache, grid, mine);
-          comm.charge_ops(static_cast<std::uint64_t>(mine.size()));
+          c.charge_ops(static_cast<std::uint64_t>(mine.size()));
         }
       }
-      if (vp.checkpoint_every > 0 && (iter + 1) % vp.checkpoint_every == 0) {
+      if (vp2.checkpoint_every > 0 &&
+          (iter + 1) % vp2.checkpoint_every == 0) {
         // With checks enabled, only refresh on an iteration whose check
         // just passed — a rollback target must never itself be corrupt.
         const bool checked_ok =
-            vp.check_every > 0 && (iter + 1) % vp.check_every == 0 &&
+            vp2.check_every > 0 && (iter + 1) % vp2.check_every == 0 &&
             !checked_bad && !rec.recovered;
-        if (vp.check_every == 0 || checked_ok) take_checkpoint();
+        if (vp2.check_every == 0 || checked_ok) take_checkpoint(c, iter);
       }
       // Per-iteration trace samples (free without an observer): local
-      // particle count on every rank, global loop time on rank 0.
-      comm.mark(trace::kMarkParticles, iter,
-                static_cast<double>(mine.size()));
-      if (rank == 0)
-        comm.mark(trace::kMarkIter, iter, rec.loop_seconds_global);
-      rec.clock_end = comm.clock();
+      // particle count on every rank, global loop time on group rank 0.
+      c.mark(trace::kMarkParticles, iter, static_cast<double>(mine.size()));
+      if (rank == 0) c.mark(trace::kMarkIter, iter, rec.loop_seconds_global);
+      rec.clock_end = c.clock();
       out.iters.push_back(rec);
+
+      // Memory-budget gauge: peak resident bytes pinned by the ghost
+      // tables and the sort/redistribution scratch on this rank.
+      mem_peak = std::max(
+          mem_peak, ghosts.memory_bytes() + dom->partitioner.scratch_bytes());
 
       if (params.sample_energy_every > 0 &&
           (iter + 1) % params.sample_energy_every == 0) {
-        const double fe = comm.allreduce_sum(f.energy(lg));
-        const double ke = comm.allreduce_sum(mine.kinetic_energy());
+        const double fe = c.allreduce_sum(f.energy(lg));
+        const double ke = c.allreduce_sum(mine.kinetic_energy());
         if (rank == 0) out.energy.push_back({iter, fe, ke});
+      }
+    };
+
+    // ---- Main loop with fail-stop recovery ----
+    // A crash surfaces on survivors as PeerFailedError thrown from whatever
+    // communication they were blocked in. Recovery itself may be interrupted
+    // by further crashes (a cascade); the loop simply re-enters do_recover,
+    // whose membership agreement folds in the newly failed ranks.
+    bool initialized = false;
+    bool need_recover = false;
+    int iter = 0;
+    for (;;) {
+      try {
+        if (need_recover) {
+          const int resume = do_recover(comm);
+          need_recover = false;
+          if (resume < 0) {
+            initialized = false;
+          } else {
+            iter = resume;
+          }
+        }
+        if (!initialized) {
+          do_init(comm);
+          initialized = true;
+          iter = 0;
+        }
+        while (iter < params.iterations) {
+          do_iter(comm, iter);
+          ++iter;
+        }
+        break;
+      } catch (const sim::PeerFailedError&) {
+        need_recover = true;
       }
     }
 
@@ -454,14 +809,17 @@ PicResult run_pic(const PicParams& params) {
     out.recoveries = recoveries;
 
     // Final physics diagnostics (local sums; merged by the aggregator).
-    out.field_energy = f.energy(lg);
+    out.field_energy = dom->f.energy(dom->lg);
     out.kinetic_energy = mine.kinetic_energy();
     double charge_sum = 0.0;
-    for (std::size_t l = 0; l < lg.owned(); ++l) charge_sum += f.rho[l];
+    for (std::size_t l = 0; l < dom->lg.owned(); ++l)
+      charge_sum += dom->f.rho[l];
     out.total_charge = charge_sum * grid.dx() * grid.dy();
+    if (mem_peak > 0)
+      comm.mark(trace::kMarkMemPeak, -1, static_cast<double>(mem_peak));
   };
 
-  sim::Machine machine(params.nranks, params.machine, params.faults);
+  sim::Machine machine(params.nranks, params.machine, faults);
 
   // ---- execution engine (default: sequential reference scheduler) ----
   if (params.exec.parallel || runtime::parallel_env_enabled())
@@ -497,12 +855,14 @@ PicResult run_pic(const PicParams& params) {
   sim::RunResult run;
   if (analyze_on && params.analyze.audit_determinism) {
     // First run establishes the happens-before DAG fingerprint; the second
-    // must reproduce it exactly. Per-rank outputs are host-side state the
-    // program accumulates into, so they reset between runs.
+    // must reproduce it exactly. Per-rank outputs and the checkpoint store
+    // are host-side state the program accumulates into, so they reset
+    // between runs.
     machine.run(program);
     const auto fp1 = analyzer.fingerprint();
     const auto ev1 = analyzer.events();
     for (auto& o : outputs) o = RankOutput{};
+    store.reset();
     run = machine.run(program);
     audit_state =
         (fp1 == analyzer.fingerprint() && ev1 == analyzer.events()) ? 1 : 0;
@@ -515,22 +875,46 @@ PicResult run_pic(const PicParams& params) {
   result.machine = std::move(run);
   result.total_seconds = result.machine.makespan();
   result.compute_seconds = result.machine.max_compute();
-  result.initial_distribution_seconds =
-      outputs.empty() ? 0.0 : outputs[0].init_seconds_global;
+
+  // Survivor bookkeeping: crashed ranks' outputs stop mid-run and describe
+  // rolled-back state, so only survivors feed the aggregates. The first
+  // survivor is the final group rank 0 — the reference for global values.
+  std::vector<char> alive(static_cast<std::size_t>(params.nranks), 1);
+  for (const auto& cr : result.machine.crashes)
+    alive[static_cast<std::size_t>(cr.rank)] = 0;
+  int first_survivor = -1;
+  for (int r = 0; r < params.nranks; ++r)
+    if (alive[static_cast<std::size_t>(r)]) {
+      first_survivor = r;
+      break;
+    }
+  result.crash_count = static_cast<int>(result.machine.crashes.size());
+  result.final_ranks = params.nranks - result.crash_count;
+
+  const RankOutput* ref =
+      first_survivor >= 0
+          ? &outputs[static_cast<std::size_t>(first_survivor)]
+          : nullptr;
+  result.initial_distribution_seconds = ref ? ref->init_seconds_global : 0.0;
 
   double prev_end = 0.0;
-  for (const auto& o : outputs)
-    prev_end = std::max(prev_end, o.clock_after_init);
+  for (int r = 0; r < params.nranks; ++r)
+    if (alive[static_cast<std::size_t>(r)])
+      prev_end = std::max(prev_end,
+                          outputs[static_cast<std::size_t>(r)]
+                              .clock_after_init);
 
   result.iters.resize(static_cast<std::size_t>(params.iterations));
   for (int i = 0; i < params.iterations; ++i) {
     auto& rec = result.iters[static_cast<std::size_t>(i)];
     rec.iter = i;
-    double end = 0.0, pre = 0.0;
-    for (const auto& o : outputs) {
+    double end = 0.0;
+    for (int r = 0; r < params.nranks; ++r) {
+      if (!alive[static_cast<std::size_t>(r)]) continue;
+      const auto& o = outputs[static_cast<std::size_t>(r)];
+      if (static_cast<std::size_t>(i) >= o.iters.size()) continue;
       const auto& li = o.iters[static_cast<std::size_t>(i)];
       end = std::max(end, li.clock_end);
-      pre = std::max(pre, li.clock_pre_redist);
       rec.scatter_max_sent_bytes =
           std::max(rec.scatter_max_sent_bytes, li.scatter_sent_bytes);
       rec.scatter_max_recv_bytes =
@@ -539,15 +923,19 @@ PicResult run_pic(const PicParams& params) {
           std::max(rec.scatter_max_sent_msgs, li.scatter_sent_msgs);
       rec.scatter_max_recv_msgs =
           std::max(rec.scatter_max_recv_msgs, li.scatter_recv_msgs);
-      rec.max_ghost_entries = std::max(rec.max_ghost_entries, li.ghost_entries);
+      rec.max_ghost_entries =
+          std::max(rec.max_ghost_entries, li.ghost_entries);
       rec.redistributed = rec.redistributed || li.redistributed;
-      rec.redist_seconds = std::max(rec.redist_seconds, li.redist_seconds_global);
+      rec.redist_seconds =
+          std::max(rec.redist_seconds, li.redist_seconds_global);
       rec.redist_particles_moved += li.redist_sent;
       rec.violation_mask |= li.violation_mask;
       rec.recovered = rec.recovered || li.recovered;
+      rec.crash_recovered = rec.crash_recovered || li.crash_recovered;
     }
-    const auto& li0 = outputs[0].iters[static_cast<std::size_t>(i)];
-    rec.loop_seconds = li0.loop_seconds_global;
+    if (ref && static_cast<std::size_t>(i) < ref->iters.size())
+      rec.loop_seconds =
+          ref->iters[static_cast<std::size_t>(i)].loop_seconds_global;
     rec.exec_seconds = end - prev_end;
     prev_end = end;
     if (rec.redistributed) {
@@ -555,19 +943,33 @@ PicResult run_pic(const PicParams& params) {
       result.redist_seconds_total += rec.redist_seconds;
     }
     if (rec.violation_mask != 0) ++result.violation_iterations;
-    (void)pre;
   }
 
   result.initial_particles = static_cast<std::uint64_t>(global.size());
-  result.recoveries = outputs.empty() ? 0 : outputs[0].recoveries;
-  for (const auto& o : outputs) result.final_particles += o.final_particles;
+  result.recoveries = ref ? ref->recoveries : 0;
+  result.crash_recoveries = ref ? ref->crash_recoveries : 0;
+  result.mttr_seconds_total = ref ? ref->mttr_total : 0.0;
+  result.crash_lost_particles = ref ? ref->crash_lost : 0;
+  result.crash_restored_particles = ref ? ref->crash_restored : 0;
 
-  for (const auto& o : outputs) {
+  std::uint64_t final_max = 0;
+  for (int r = 0; r < params.nranks; ++r) {
+    if (!alive[static_cast<std::size_t>(r)]) continue;
+    const auto& o = outputs[static_cast<std::size_t>(r)];
+    result.final_particles += o.final_particles;
+    final_max = std::max(final_max, o.final_particles);
     result.field_energy += o.field_energy;
     result.kinetic_energy += o.kinetic_energy;
     result.total_charge += o.total_charge;
   }
-  result.energy_history = std::move(outputs[0].energy);
+  if (result.final_ranks > 0 && result.final_particles > 0)
+    result.final_imbalance =
+        static_cast<double>(final_max) /
+        (static_cast<double>(result.final_particles) /
+         static_cast<double>(result.final_ranks));
+  if (ref)
+    result.energy_history =
+        std::move(outputs[static_cast<std::size_t>(first_survivor)].energy);
 
   if (analyze_on) {
     result.analysis_findings =

@@ -8,6 +8,9 @@
 // two-level cost model.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "pic/config.hpp"
 #include "pic/result.hpp"
 
@@ -16,5 +19,17 @@ namespace picpar::pic {
 /// Run the full simulation described by `params`. Deterministic for a
 /// given configuration (same seeds, same schedule, same virtual clocks).
 PicResult run_pic(const PicParams& params);
+
+/// Parse a crash schedule spec "rank@vtime[,rank@vtime...]" (e.g.
+/// "2@0.5,5@1.25") into fault-model crash points. Empty string => empty
+/// schedule; malformed entries throw std::invalid_argument.
+std::vector<sim::CrashPoint> parse_crash_schedule(const std::string& spec);
+
+/// Fold the PICPAR_CRASH_* environment variables into a fault config:
+/// PICPAR_CRASH_RANKS ("rank@vtime,..."), PICPAR_CRASH_PROB,
+/// PICPAR_CRASH_MAX_T (per-rank crash probability and latest crash time),
+/// PICPAR_CRASH_LEASE (failure-detection lease seconds). Unset variables
+/// leave the corresponding fields untouched.
+void apply_crash_env(sim::FaultConfig& cfg);
 
 }  // namespace picpar::pic

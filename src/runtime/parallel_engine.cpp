@@ -53,9 +53,18 @@ void ParallelEngine::rank_thread(
     acquire_slot(lk);
     holds_slot_[static_cast<std::size_t>(rank)] = 1;
   }
+  bool did_crash = false;
+  double crash_vt = 0.0;
   try {
     sim::Comm comm(&m, rank);
     program(comm);
+  } catch (const sim::RankCrashed& c) {
+    // Fail-stop: the thread retires quietly. The crash is recorded under
+    // the engine mutex below, *before* the rank counts as finished, so any
+    // quiescent stall that observes this rank as done also observes its
+    // crash — the same invariant the sequential scheduler keeps.
+    did_crash = true;
+    crash_vt = c.vtime();
   } catch (const sim::DeadlockError&) {
     // Recorded globally at detection; this rank just unwinds. Its slot was
     // released when it parked (the throw comes out of park_for_progress
@@ -65,6 +74,7 @@ void ParallelEngine::rank_thread(
   }
   {
     std::unique_lock<std::mutex> lk(mu_);
+    if (did_crash) m.record_crash(rank, crash_vt);
     m.ranks_[static_cast<std::size_t>(rank)].done = true;
     --m.live_;
     ++finished_;
@@ -105,6 +115,10 @@ sim::Message ParallelEngine::recv(sim::Machine& m, int rank, int src, int tag,
   auto& rs = m.ranks_[static_cast<std::size_t>(rank)];
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
+    if (m.fail_recv_rank_ == rank) {
+      m.fail_recv_rank_ = -1;
+      m.throw_peer_failure(rank);  // throws PeerFailedError; lk unlocks
+    }
     const auto c = m.find_candidate(rank, src, tag);
     if (c.pos >= 0 &&
         (m.force_commit_rank_ == rank || m.commit_safe(rank, src, c))) {
@@ -147,7 +161,7 @@ void ParallelEngine::park_for_progress(std::unique_lock<std::mutex>& lk,
   // forced commit, or a deadlock unwind: all finite progress.
   cv_.wait(lk, [&] {
     return m.deadlocked_ || m.force_commit_rank_ == rank ||
-           m.recv_deliverable(rank);
+           m.fail_recv_rank_ == rank || m.recv_deliverable(rank);
   });
   --parked_;
   if (m.deadlocked_)
@@ -155,6 +169,29 @@ void ParallelEngine::park_for_progress(std::unique_lock<std::mutex>& lk,
                              " unwound due to deadlock");
   acquire_slot(lk);
   holds_slot_[static_cast<std::size_t>(rank)] = 1;
+}
+
+sim::MembershipView ParallelEngine::agree(sim::Machine& m, int rank) {
+  // Mirrors the sequential do_agree: park in the membership barrier
+  // (counted as parked for quiescence), wait for the barrier to complete
+  // at a stall resolution, then consume the agreed view.
+  auto& rs = m.ranks_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lk(mu_);
+  rs.in_membership = true;
+  ++parked_;
+  holds_slot_[static_cast<std::size_t>(rank)] = 0;
+  release_slot();
+  resolve_if_quiescent(m);
+  cv_.wait(lk, [&] { return rs.membership_ready || m.deadlocked_; });
+  --parked_;
+  if (m.deadlocked_)
+    throw sim::DeadlockError("rank " + std::to_string(rank) +
+                             " unwound due to deadlock");
+  acquire_slot(lk);
+  holds_slot_[static_cast<std::size_t>(rank)] = 1;
+  rs.in_membership = false;
+  rs.membership_ready = false;
+  return m.pending_view_;
 }
 
 void ParallelEngine::resolve_if_quiescent(sim::Machine& m) {
@@ -165,6 +202,19 @@ void ParallelEngine::resolve_if_quiescent(sim::Machine& m) {
   // what makes deadlock detection race-free under the parallel scheduler.
   if (parked_ + finished_ < nranks_) return;
   if (m.live_ <= 0) return;  // normal completion; nothing to decide
+  // A previous resolution may still be pending consumption (the designated
+  // rank has been notified but not yet woken): renotify and stand down —
+  // re-running the ladder would double-resolve the same stall.
+  if (m.force_commit_rank_ >= 0 || m.fail_recv_rank_ >= 0) {
+    cv_.notify_all();
+    return;
+  }
+  for (auto& rs : m.ranks_) {
+    if (!rs.done && rs.in_membership && rs.membership_ready) {
+      cv_.notify_all();
+      return;
+    }
+  }
   // A parked rank may already be deliverable without having been notified:
   // clock charges advance rank-owned clocks outside the engine lock, so the
   // bound that unblocks a peer may only become decisive when the charging
@@ -177,9 +227,16 @@ void ParallelEngine::resolve_if_quiescent(sim::Machine& m) {
       return;
     }
   }
+  // Same resolution ladder as the sequential scheduler's yield_from:
+  // force-commit the global-min candidate, else elect a peer-failure
+  // victim, else complete a full membership barrier, else deadlock.
   const int forced = m.stall_pick();
   if (forced >= 0) {
     m.force_commit_rank_ = forced;
+  } else if (const int victim = m.pick_failure_victim(); victim >= 0) {
+    m.fail_recv_rank_ = victim;
+  } else if (m.try_complete_membership()) {
+    // Members are marked ready; the notify below wakes them.
   } else if (!m.deadlocked_) {
     m.deadlocked_ = true;
     m.deadlock_report_str_ = m.deadlock_report();

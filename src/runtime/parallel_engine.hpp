@@ -59,6 +59,7 @@ public:
   sim::Message recv(sim::Machine& m, int rank, int src, int tag,
                     bool fp_payload) override;
   bool iprobe(sim::Machine& m, int rank, int src, int tag) override;
+  sim::MembershipView agree(sim::Machine& m, int rank) override;
 
 private:
   void rank_thread(sim::Machine& m, int rank,

@@ -29,18 +29,20 @@ std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(
   }
   CollectiveScope scope(*this);
 
-  // Binomial-tree gather of records to rank 0.
+  // Binomial-tree gather of records to group rank 0 (all ranks below are
+  // group indices; send/recv translate to physical ranks).
+  const int gr = rank();
   std::vector<std::byte> acc;
-  append_record(acc, static_cast<std::uint64_t>(rank_), mine.data(),
+  append_record(acc, static_cast<std::uint64_t>(gr), mine.data(),
                 mine.size());
   constexpr int kTagGather = -450;
   for (int mask = 1; mask < p; mask <<= 1) {
-    if ((rank_ & mask) != 0) {
-      send_bytes(rank_ & ~mask, kTagGather, std::move(acc));
+    if ((gr & mask) != 0) {
+      send_bytes(gr & ~mask, kTagGather, std::move(acc));
       acc.clear();
       break;
     }
-    const int partner = rank_ | mask;
+    const int partner = gr | mask;
     if (partner < p) {
       Message m = recv_msg(partner, kTagGather);
       acc.insert(acc.end(), m.payload.begin(), m.payload.end());
@@ -48,7 +50,7 @@ std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(
   }
 
   // Rank 0 parses and reorders records, then broadcasts the flat stream.
-  if (rank_ == 0) {
+  if (gr == 0) {
     std::size_t pos = 0;
     std::vector<std::byte> ordered;
     std::vector<std::vector<std::byte>> parsed(static_cast<std::size_t>(p));
@@ -74,8 +76,8 @@ std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(
     constexpr int kTagCat = -460;
     int mask = 1;
     while (mask < p) {
-      if (rank_ & mask) {
-        Message m = recv_msg(rank_ - mask, kTagCat);
+      if (gr & mask) {
+        Message m = recv_msg(gr - mask, kTagCat);
         acc = std::move(m.payload);
         break;
       }
@@ -83,9 +85,9 @@ std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(
     }
     mask >>= 1;
     while (mask > 0) {
-      if (rank_ + mask < p) {
+      if (gr + mask < p) {
         std::vector<std::byte> copy = acc;
-        send_bytes(rank_ + mask, kTagCat, std::move(copy));
+        send_bytes(gr + mask, kTagCat, std::move(copy));
       }
       mask >>= 1;
     }
@@ -109,11 +111,12 @@ void Comm::barrier() {
   const int p = size();
   if (p == 1) return;
   CollectiveScope scope(*this);
-  // Dissemination barrier: ceil(log2 p) rounds; in round k, rank r signals
-  // (r + 2^k) mod p and waits for (r - 2^k) mod p.
+  // Dissemination barrier: ceil(log2 p) rounds; in round k, group rank r
+  // signals (r + 2^k) mod p and waits for (r - 2^k) mod p.
+  const int gr = rank();
   for (int dist = 1; dist < p; dist <<= 1) {
-    const int to = (rank_ + dist) % p;
-    const int from = (rank_ - dist % p + p) % p;
+    const int to = (gr + dist) % p;
+    const int from = (gr - dist % p + p) % p;
     send_value<std::uint8_t>(to, kTagBarrier - dist, 1);
     (void)recv_value<std::uint8_t>(from, kTagBarrier - dist);
   }

@@ -12,6 +12,7 @@
 // (see Machine::set_strict_tags to trade the throw for analyzer findings).
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <numeric>
 #include <span>
@@ -24,11 +25,40 @@ namespace picpar::sim {
 
 class Comm {
 public:
-  Comm(Machine* machine, int rank) : machine_(machine), rank_(rank) {}
+  Comm(Machine* machine, int rank)
+      : machine_(machine), rank_(rank), grank_(rank),
+        gsize_(machine->size()) {}
 
-  int rank() const { return rank_; }
-  int size() const { return machine_->size(); }
+  /// Rank and size are *group-relative*: initially the group is the whole
+  /// machine (identity), and after agree_on_membership() it shrinks to the
+  /// survivors — rank() is this rank's index among them, and every src/dst
+  /// passed to point-to-point calls or assumed by collectives is a group
+  /// index. world_rank() is the physical rank, stable across shrinks.
+  int rank() const { return grank_; }
+  int size() const { return gsize_; }
+  int world_rank() const { return rank_; }
   const CostModel& cost() const { return machine_->cost(); }
+
+  /// Physical ranks of the current group, ascending (empty vector = the
+  /// identity group over the whole machine, materialized on demand).
+  std::vector<int> group() const {
+    if (!group_.empty()) return group_;
+    std::vector<int> g(static_cast<std::size_t>(gsize_));
+    for (int i = 0; i < gsize_; ++i) g[static_cast<std::size_t>(i)] = i;
+    return g;
+  }
+
+  /// Collective over all live ranks: block until every survivor has entered,
+  /// then shrink this Comm's group to the agreed survivor set. Returns the
+  /// identical view every survivor receives at the identical virtual time.
+  /// Typically called from a PeerFailedError handler to start recovery.
+  MembershipView agree_on_membership() {
+    const MembershipView v = machine_->do_agree(rank_);
+    group_ = v.survivors;
+    gsize_ = static_cast<int>(group_.size());
+    grank_ = gidx(rank_);
+    return v;
+  }
 
   /// Current virtual time of this rank, in seconds.
   double clock() const { return machine_->ranks_[rank_].clock; }
@@ -83,10 +113,10 @@ public:
   FaultModel& fault_model() { return machine_->faults_; }
   const FaultModel& fault_model() const { return machine_->faults_; }
 
-  // ---- point to point ----
+  // ---- point to point (src/dst are group indices) ----
 
   void send_bytes(int dst, int tag, std::vector<std::byte> payload) {
-    machine_->do_send(rank_, dst, tag, std::move(payload));
+    machine_->do_send(rank_, phys(dst), tag, std::move(payload));
   }
 
   template <typename T>
@@ -107,9 +137,13 @@ public:
     send(dst, tag, std::span<const T>(&v, 1));
   }
 
-  /// Blocking receive; returns the raw message (src/tag/payload).
+  /// Blocking receive; returns the raw message (src/tag/payload) with the
+  /// source translated to a group index.
   Message recv_msg(int src = kAnySource, int tag = kAnyTag) {
-    return machine_->do_recv(rank_, src, tag);
+    Message m = machine_->do_recv(
+        rank_, src == kAnySource ? kAnySource : phys(src), tag);
+    m.src = gidx(m.src);
+    return m;
   }
 
   template <typename T>
@@ -119,8 +153,10 @@ public:
     // The element type is surfaced to the analyzer: a wildcard receive of
     // floating-point data feeding an accumulation is how reduction-order
     // sensitivity enters a program.
-    Message m = machine_->do_recv(rank_, src, tag, std::is_floating_point_v<T>);
-    if (actual_src) *actual_src = m.src;
+    Message m =
+        machine_->do_recv(rank_, src == kAnySource ? kAnySource : phys(src),
+                          tag, std::is_floating_point_v<T>);
+    if (actual_src) *actual_src = gidx(m.src);
     if (m.payload.size() % sizeof(T) != 0)
       throw std::runtime_error("recv: payload size not a multiple of sizeof(T)");
     std::vector<T> out(m.payload.size() / sizeof(T));
@@ -138,7 +174,8 @@ public:
 
   /// Non-blocking probe for a matching message.
   bool iprobe(int src = kAnySource, int tag = kAnyTag) const {
-    return machine_->do_iprobe(rank_, src, tag);
+    return machine_->do_iprobe(
+        rank_, src == kAnySource ? kAnySource : phys(src), tag);
   }
 
   // ---- collectives (all ranks must call with matching arguments) ----
@@ -247,9 +284,29 @@ public:
   static constexpr int kTagRetransmit = -900;
 
 private:
+  /// Group index -> physical rank (identity while group_ is empty).
+  int phys(int g) const {
+    if (group_.empty()) return g;
+    if (g < 0 || g >= gsize_)
+      throw std::out_of_range("comm: group rank " + std::to_string(g) +
+                              " outside the current group of " +
+                              std::to_string(gsize_));
+    return group_[static_cast<std::size_t>(g)];
+  }
+  /// Physical rank -> group index; -1 when not a member.
+  int gidx(int p) const {
+    if (group_.empty()) return p;
+    const auto it = std::lower_bound(group_.begin(), group_.end(), p);
+    if (it == group_.end() || *it != p) return -1;
+    return static_cast<int>(it - group_.begin());
+  }
 
   Machine* machine_;
-  int rank_;
+  int rank_;   ///< physical (world) rank; indexes machine state
+  /// Survivor group after agree_on_membership(); empty = identity.
+  std::vector<int> group_;
+  int grank_;  ///< this rank's index within the group
+  int gsize_;  ///< group size
 };
 
 // ---- collective implementations ----
@@ -260,8 +317,8 @@ std::vector<T> Comm::bcast(std::vector<T> data, int root) {
   const int p = size();
   if (p == 1) return data;
   CollectiveScope scope(*this);
-  // Rotate ranks so the tree is rooted at `root`.
-  const int vrank = (rank_ - root + p) % p;
+  // Rotate ranks so the tree is rooted at `root` (group indices throughout).
+  const int vrank = (rank() - root + p) % p;
   // Walk masks upward to find the level at which we receive from our
   // parent, then forward downward to each child (standard binomial tree).
   int mask = 1;
@@ -287,13 +344,14 @@ std::vector<T> Comm::allreduce(std::vector<T> v, Op op) {
   const int p = size();
   if (p == 1) return v;
   CollectiveScope scope(*this);
-  // Binomial-tree reduction to rank 0.
+  // Binomial-tree reduction to group rank 0.
+  const int r = rank();
   for (int mask = 1; mask < p; mask <<= 1) {
-    if ((rank_ & mask) != 0) {
-      send(rank_ & ~mask, kTagReduce, v);
+    if ((r & mask) != 0) {
+      send(r & ~mask, kTagReduce, v);
       break;
     }
-    const int partner = rank_ | mask;
+    const int partner = r | mask;
     if (partner < p) {
       auto other = recv<T>(partner, kTagReduce);
       if (other.size() != v.size())
@@ -311,8 +369,9 @@ T Comm::exscan_sum(T v) {
   // simple and exact; used only in setup paths.
   CollectiveScope scope(*this);
   T prefix{};
-  if (rank_ > 0) prefix = recv_value<T>(rank_ - 1, kTagScan);
-  if (rank_ + 1 < size()) send_value(rank_ + 1, kTagScan, static_cast<T>(prefix + v));
+  const int r = rank();
+  if (r > 0) prefix = recv_value<T>(r - 1, kTagScan);
+  if (r + 1 < size()) send_value(r + 1, kTagScan, static_cast<T>(prefix + v));
   return prefix;
 }
 
@@ -361,23 +420,24 @@ std::vector<std::vector<T>> Comm::all_to_many(
 
   // Agree on receive counts: element d of the allreduced vector is the
   // number of coalesced messages headed for rank d.
+  const int r = rank();
   std::vector<std::uint32_t> incoming(static_cast<std::size_t>(p), 0);
   for (int d = 0; d < p; ++d)
-    if (d != rank_ && !send_bufs[static_cast<std::size_t>(d)].empty())
+    if (d != r && !send_bufs[static_cast<std::size_t>(d)].empty())
       incoming[static_cast<std::size_t>(d)] = 1;
   incoming = allreduce(std::move(incoming),
                        [](std::uint32_t a, std::uint32_t b) { return a + b; });
-  const std::uint32_t expected = incoming[static_cast<std::size_t>(rank_)];
+  const std::uint32_t expected = incoming[static_cast<std::size_t>(r)];
 
   std::vector<std::vector<T>> recv_bufs(static_cast<std::size_t>(p));
   // Local "self-message" costs nothing.
-  recv_bufs[static_cast<std::size_t>(rank_)] =
-      std::move(send_bufs[static_cast<std::size_t>(rank_)]);
+  recv_bufs[static_cast<std::size_t>(r)] =
+      std::move(send_bufs[static_cast<std::size_t>(r)]);
 
   // Post all sends (buffered), then receive the promised message count;
   // each source sends at most one message, identified by its origin.
   for (int d = 0; d < p; ++d) {
-    if (d == rank_) continue;
+    if (d == r) continue;
     if (!send_bufs[static_cast<std::size_t>(d)].empty())
       send(d, kTagAllToMany, send_bufs[static_cast<std::size_t>(d)]);
   }

@@ -1,5 +1,6 @@
 #include "sim/faults.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -20,6 +21,7 @@ std::string FaultCounters::summary() const {
   add("duplicated", duplicated_messages);
   add("reordered", reordered_messages);
   add("memory", memory_faults);
+  add("crashes", crashes);
   return out.empty() ? "clean" : out;
 }
 
@@ -30,6 +32,7 @@ FaultCounters& FaultCounters::operator+=(const FaultCounters& rhs) {
   duplicated_messages += rhs.duplicated_messages;
   reordered_messages += rhs.reordered_messages;
   memory_faults += rhs.memory_faults;
+  crashes += rhs.crashes;
   return *this;
 }
 
@@ -41,9 +44,18 @@ FaultModel::FaultModel(FaultConfig cfg, int nranks)
   enabled_ = cfg_.any();
   message_faults_ = cfg_.any_message_faults();
   compute_faults_ = cfg_.any_compute_faults();
+  crash_faults_ = cfg_.any_crash_faults();
   for (const int r : cfg_.straggler_ranks)
     if (r < 0 || r >= nranks)
       throw std::invalid_argument("FaultModel: straggler rank out of range");
+  for (const auto& cp : cfg_.crash_schedule) {
+    if (cp.rank < 0 || cp.rank >= nranks)
+      throw std::invalid_argument("FaultModel: crash rank out of range");
+    if (cp.vtime < 0.0)
+      throw std::invalid_argument("FaultModel: crash vtime must be >= 0");
+  }
+  if (cfg_.crash_lease_seconds < 0.0)
+    throw std::invalid_argument("FaultModel: crash lease must be >= 0");
   streams_.resize(static_cast<std::size_t>(nranks));
   reset();
 }
@@ -57,10 +69,31 @@ void FaultModel::reset() {
     s.rng.reseed(split.next());
     s.counters = FaultCounters{};
     s.straggler = false;
+    s.crash_at = std::numeric_limits<double>::infinity();
   }
   for (const int r : cfg_.straggler_ranks)
     streams_[static_cast<std::size_t>(r)].straggler = true;
+  // Fail-stop times are fixed up front — a crash point is a property of the
+  // run, not of the execution order that reaches it.
+  if (cfg_.crash_prob > 0.0 && cfg_.crash_vtime_max > 0.0) {
+    for (int r = 0; r < nranks_; ++r) {
+      auto& s = streams_[static_cast<std::size_t>(r)];
+      if (s.rng.uniform() < cfg_.crash_prob)
+        s.crash_at = s.rng.uniform(0.0, cfg_.crash_vtime_max);
+    }
+  }
+  for (const auto& cp : cfg_.crash_schedule) {
+    auto& s = streams_[static_cast<std::size_t>(cp.rank)];
+    if (cp.vtime < s.crash_at) s.crash_at = cp.vtime;
+  }
 }
+
+double FaultModel::crash_time(int rank) const {
+  if (!crash_faults_) return std::numeric_limits<double>::infinity();
+  return streams_[static_cast<std::size_t>(rank)].crash_at;
+}
+
+void FaultModel::count_crash(int rank) { ++stream(rank).counters.crashes; }
 
 FaultModel::Stream& FaultModel::stream(int rank) {
   return streams_[static_cast<std::size_t>(rank)];

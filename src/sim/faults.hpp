@@ -29,6 +29,13 @@
 
 namespace picpar::sim {
 
+/// One scheduled fail-stop crash: `rank` stops executing at the first
+/// communication or compute boundary at/after `vtime` on its own clock.
+struct CrashPoint {
+  int rank = -1;
+  double vtime = 0.0;
+};
+
 struct FaultConfig {
   /// Master seed; per-rank streams are split deterministically from it.
   std::uint64_t seed = 0x5EEDFA17ULL;
@@ -66,6 +73,17 @@ struct FaultConfig {
   /// its own state (see run_pic); caught by invariant validation.
   double memory_fault_prob = 0.0;
 
+  // ---- fail-stop crashes (detected via virtual-time leases; machine.hpp) ----
+  /// Scheduled crashes: each entry fail-stops one rank at its virtual time.
+  std::vector<CrashPoint> crash_schedule;
+  /// Probabilistic crashes: each rank draws once at reset; with this
+  /// probability it crashes at a uniform time in [0, crash_vtime_max).
+  double crash_prob = 0.0;
+  double crash_vtime_max = 0.0;
+  /// Detection lease: survivors declare a peer failed no earlier than its
+  /// crash time plus this many virtual seconds (heartbeat-timeout analogue).
+  double crash_lease_seconds = 1e-3;
+
   bool any_compute_faults() const {
     return transient_slow_prob > 0.0 ||
            (straggler_factor != 1.0 && !straggler_ranks.empty());
@@ -74,9 +92,13 @@ struct FaultConfig {
     return latency_jitter_prob > 0.0 || corrupt_prob > 0.0 ||
            duplicate_prob > 0.0 || reorder_prob > 0.0;
   }
+  bool any_crash_faults() const {
+    return !crash_schedule.empty() ||
+           (crash_prob > 0.0 && crash_vtime_max > 0.0);
+  }
   bool any() const {
     return any_compute_faults() || any_message_faults() ||
-           memory_fault_prob > 0.0;
+           memory_fault_prob > 0.0 || any_crash_faults();
   }
 };
 
@@ -89,11 +111,12 @@ struct FaultCounters {
   std::uint64_t duplicated_messages = 0;
   std::uint64_t reordered_messages = 0;
   std::uint64_t memory_faults = 0;
+  std::uint64_t crashes = 0;
 
   FaultCounters& operator+=(const FaultCounters& rhs);
   std::uint64_t total() const {
     return transient_slowdowns + jittered_messages + corrupted_deliveries +
-           duplicated_messages + reordered_messages + memory_faults;
+           duplicated_messages + reordered_messages + memory_faults + crashes;
   }
   /// One-line "kind=count ..." summary of the non-zero tallies ("clean"
   /// when nothing fired) — for logs and test diagnostics.
@@ -109,6 +132,7 @@ public:
   bool enabled() const { return enabled_; }
   bool message_faults() const { return message_faults_; }
   bool compute_faults() const { return compute_faults_; }
+  bool crash_faults() const { return crash_faults_; }
   const FaultConfig& config() const { return cfg_; }
 
   /// Re-seed every stream and zero the counters (Machine::run calls this so
@@ -128,6 +152,13 @@ public:
   /// Uniform draw in [0, n) from the rank's stream (for driver-side faults).
   std::uint64_t draw_below(int rank, std::uint64_t n);
 
+  /// Pre-drawn fail-stop time for the rank's own clock; +infinity when the
+  /// rank never crashes. Fixed at reset() so every execution order sees the
+  /// same crash points.
+  double crash_time(int rank) const;
+  /// Book the crash of `rank` (the Machine calls this once when it fires).
+  void count_crash(int rank);
+
   const FaultCounters& counters(int rank) const;
   FaultCounters total_counters() const;
 
@@ -136,6 +167,8 @@ private:
     Rng rng{0};
     FaultCounters counters;
     bool straggler = false;
+    /// This rank's fail-stop time (+inf = never crashes).
+    double crash_at = 0.0;
   };
 
   Stream& stream(int rank);
@@ -145,6 +178,7 @@ private:
   bool enabled_ = false;
   bool message_faults_ = false;
   bool compute_faults_ = false;
+  bool crash_faults_ = false;
   std::vector<Stream> streams_;
 };
 

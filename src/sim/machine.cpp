@@ -190,7 +190,9 @@ int Machine::stall_pick() {
 
 bool Machine::runnable(RankState& rs) {
   if (rs.done) return false;
+  if (rs.in_membership) return rs.membership_ready;
   if (!rs.waiting) return true;
+  if (fail_recv_rank_ == rs.id) return true;
   return recv_deliverable(rs.id);
 }
 
@@ -206,7 +208,11 @@ std::vector<BlockedInfo> Machine::blocked_ranks() const {
   std::vector<BlockedInfo> blocked;
   for (const auto& rs : ranks_) {
     if (rs.done) continue;
-    blocked.push_back({rs.id, rs.want_src, rs.want_tag, rs.mailbox.size()});
+    BlockedInfo bi{rs.id, rs.want_src, rs.want_tag, rs.mailbox.size(), false};
+    if (rs.want_src >= 0 && rs.want_src < nranks_)
+      bi.want_src_crashed =
+          ranks_[static_cast<std::size_t>(rs.want_src)].crashed;
+    blocked.push_back(bi);
   }
   return blocked;
 }
@@ -214,9 +220,14 @@ std::vector<BlockedInfo> Machine::blocked_ranks() const {
 std::string Machine::deadlock_report() const {
   // Emit the wait graph: each blocked rank, what it wants, and the state of
   // the rank it is waiting on (done ranks can never satisfy a recv — the
-  // most common deadlock cause).
+  // most common deadlock cause). Fail-stopped ranks are named explicitly:
+  // waiting on one is a peer failure, not part of a wait cycle.
   std::ostringstream os;
   os << "simulated machine deadlock: all live ranks blocked in recv\n";
+  for (const auto& rs : ranks_)
+    if (rs.crashed)
+      os << "  rank " << rs.id << " CRASHED (fail-stop) at t=" << rs.crash_vtime
+         << " and will never send again\n";
   for (const auto& rs : ranks_) {
     if (rs.done) continue;
     os << "  rank " << rs.id << " waiting for (src=" << rs.want_src
@@ -224,7 +235,10 @@ std::string Machine::deadlock_report() const {
        << " message(s)";
     if (rs.want_src >= 0 && rs.want_src < nranks_) {
       const auto& peer = ranks_[static_cast<std::size_t>(rs.want_src)];
-      if (peer.done)
+      if (peer.crashed)
+        os << "; rank " << rs.want_src << " crashed at t=" << peer.crash_vtime
+           << " — peer failure, not a wait cycle";
+      else if (peer.done)
         os << "; rank " << rs.want_src << " already finished";
       else if (peer.waiting)
         os << "; rank " << rs.want_src << " is itself blocked on (src="
@@ -242,12 +256,23 @@ void Machine::yield_from(int rank) {
   int next = pick_next(rank);
   if (next == -1 && live_ > 0) {
     // Global stall: nobody is runnable under the commit-safety rule. Force
-    // the globally minimal candidate (see stall_pick); only a state with
-    // no candidate at all is a real deadlock.
+    // the globally minimal candidate (see stall_pick); then run the
+    // fail-stop ladder — elect the lowest blocked rank that has not yet
+    // acknowledged every crash (it wakes into PeerFailedError), else
+    // complete a full membership barrier. Only after all three steps fail
+    // is the stall a true deadlock.
     const int forced = stall_pick();
     if (forced >= 0) {
       force_commit_rank_ = forced;
       next = forced;
+    } else {
+      const int victim = pick_failure_victim();
+      if (victim >= 0) {
+        fail_recv_rank_ = victim;
+        next = victim;
+      } else if (try_complete_membership()) {
+        next = pick_next(rank);
+      }
     }
   }
   if (next == -1) {
@@ -313,6 +338,7 @@ int Machine::build_send(int src, int dst, int tag,
   m.tag = tag;
   m.arrival = clock;
   m.sent_phase = s.phase;
+  m.epoch = s.epoch;
   m.payload = std::move(payload);
 
   // The link sequence number orders a link's traffic for deterministic
@@ -381,6 +407,7 @@ void Machine::do_send(int src, int dst, int tag,
   if (dst < 0 || dst >= nranks_)
     throw std::out_of_range("send: bad destination rank " +
                             std::to_string(dst));
+  check_crash(src);
   if (prt_) {
     prt_->send(*this, src, dst, tag, std::move(payload));
     return;
@@ -500,8 +527,13 @@ Message Machine::do_recv(int rank, int src, int tag, bool fp_payload) {
         "recv: explicit tag " + std::to_string(tag) +
         " is in the reserved (negative) collective tag space; user receives "
         "must use tags >= 0 or kAnyTag");
+  check_crash(rank);
   if (prt_) return prt_->recv(*this, rank, src, tag, fp_payload);
   for (;;) {
+    if (fail_recv_rank_ == rank) {
+      fail_recv_rank_ = -1;
+      throw_peer_failure(rank);
+    }
     const Candidate c = find_candidate(rank, src, tag);
     if (c.pos >= 0 &&
         (force_commit_rank_ == rank || commit_safe(rank, src, c))) {
@@ -533,6 +565,153 @@ void Machine::charge(int rank, double seconds, bool is_compute) {
     pc.compute_seconds += seconds;
   else
     pc.comm_seconds += seconds;
+  // Compute boundaries are fail-stop points too: the stats above stay
+  // booked — a real node burns the cycles before it dies.
+  check_crash(rank);
+}
+
+// ---------------------------------------------------------------------------
+// Fail-stop crash machinery. Crash points are pre-drawn per rank (FaultModel)
+// and compared against the rank's own clock at rank-local boundaries, so the
+// set of crashes reached by any quiescent state is a per-rank property of the
+// program — identical under sequential and parallel execution. All bookkeeping
+// below runs under the owning engine's serialization (handoff lock / engine
+// mutex) or touches only rank-owned state.
+// ---------------------------------------------------------------------------
+
+void Machine::check_crash(int rank) {
+  if (!faults_.crash_faults()) return;
+  auto& rs = ranks_[static_cast<std::size_t>(rank)];
+  if (rs.crashed) return;
+  const double now = rs.clock.load();
+  if (now < faults_.crash_time(rank)) return;
+  faults_.count_crash(rank);
+  note_mark(rank, "fault.crash", -1, now);
+  throw RankCrashed(rank, now);
+}
+
+void Machine::record_crash(int rank, double vtime) {
+  auto& rs = ranks_[static_cast<std::size_t>(rank)];
+  rs.crashed = true;
+  rs.crash_vtime = vtime;
+  ++crashed_count_;
+  if (fail_recv_rank_ == rank) fail_recv_rank_ = -1;
+  if (force_commit_rank_ == rank) force_commit_rank_ = -1;
+}
+
+int Machine::pick_failure_victim() const {
+  if (crashed_count_ == 0) return -1;
+  for (const auto& rs : ranks_) {
+    if (rs.done || !rs.waiting) continue;
+    for (const auto& peer : ranks_) {
+      if (!peer.crashed) continue;
+      if (rs.acked_peer.empty() ||
+          !rs.acked_peer[static_cast<std::size_t>(peer.id)])
+        return rs.id;
+    }
+  }
+  return -1;
+}
+
+void Machine::throw_peer_failure(int rank) {
+  auto& rs = ranks_[static_cast<std::size_t>(rank)];
+  if (rs.acked_peer.empty())
+    rs.acked_peer.assign(static_cast<std::size_t>(nranks_), 0);
+  const double lease = faults_.config().crash_lease_seconds;
+  std::vector<CrashRecord> fresh;
+  double bound = rs.clock.load();
+  for (const auto& peer : ranks_) {
+    if (!peer.crashed || rs.acked_peer[static_cast<std::size_t>(peer.id)])
+      continue;
+    rs.acked_peer[static_cast<std::size_t>(peer.id)] = 1;
+    fresh.push_back({peer.id, peer.crash_vtime});
+    bound = std::max(bound, peer.crash_vtime + lease);
+  }
+  // Detection costs virtual time: the survivor sits out the dead peer's
+  // lease before it may declare the failure, like a heartbeat timeout.
+  const double before = rs.clock.load();
+  rs.clock = bound;
+  rs.stats.phase(rs.phase).comm_seconds += bound - before;
+  rs.waiting = false;
+  note_mark(rank, "fault.crash_detected", -1,
+            static_cast<double>(fresh.size()));
+  std::ostringstream os;
+  os << "rank " << rank << " detected fail-stop of peer(s):";
+  for (const auto& f : fresh)
+    os << " rank " << f.rank << " (crashed at t=" << f.vtime << ")";
+  throw PeerFailedError(os.str(), std::move(fresh), rank);
+}
+
+bool Machine::try_complete_membership() {
+  bool any = false;
+  for (const auto& rs : ranks_) {
+    if (rs.done) continue;
+    // A ready-but-not-yet-woken member is *leaving* the barrier, not in it;
+    // counting it would let a quiescent stall build a second view before
+    // every survivor consumed the first.
+    if (!rs.in_membership || rs.membership_ready) return false;
+    any = true;
+  }
+  if (!any) return false;
+
+  MembershipView v;
+  v.epoch = ++epoch_;
+  const double lease = faults_.config().crash_lease_seconds;
+  double agreed = 0.0;
+  if (view_reported_.size() != static_cast<std::size_t>(nranks_))
+    view_reported_.assign(static_cast<std::size_t>(nranks_), 0);
+  for (const auto& rs : ranks_) {
+    if (rs.crashed && !view_reported_[static_cast<std::size_t>(rs.id)]) {
+      view_reported_[static_cast<std::size_t>(rs.id)] = 1;
+      v.failed.push_back({rs.id, rs.crash_vtime});
+      agreed = std::max(agreed, rs.crash_vtime + lease);
+    }
+    if (!rs.done) {
+      v.survivors.push_back(rs.id);
+      agreed = std::max(agreed, rs.clock.load());
+    }
+  }
+  // Deterministic agreement cost: two binomial sweeps (propose + confirm)
+  // of small control messages over the survivor group.
+  static constexpr std::size_t kAgreeBytes = 16;
+  int rounds = 0;
+  while ((1 << rounds) < static_cast<int>(v.survivors.size())) ++rounds;
+  v.vtime = agreed + 2.0 * rounds * cost_.message_cost(kAgreeBytes);
+
+  for (auto& rs : ranks_) {
+    if (rs.done) continue;
+    auto& pc = rs.stats.phase(rs.phase);
+    pc.comm_seconds += v.vtime - rs.clock.load();
+    rs.clock = v.vtime;
+    rs.epoch = v.epoch;
+    if (rs.acked_peer.empty())
+      rs.acked_peer.assign(static_cast<std::size_t>(nranks_), 0);
+    for (const auto& peer : ranks_)
+      if (peer.crashed) rs.acked_peer[static_cast<std::size_t>(peer.id)] = 1;
+    // Purge pre-agreement traffic: messages stamped with an older epoch can
+    // never be matched again (their senders' epoch has moved on, or died).
+    auto& box = rs.mailbox;
+    for (auto it = box.begin(); it != box.end();)
+      it = (it->epoch < v.epoch) ? box.erase(it) : std::next(it);
+    rs.membership_ready = true;
+    // Every survivor resumes at the same agreed time in the same epoch; the
+    // mark fires at quiescence, so observer buffers are safe to touch.
+    note_mark(rs.id, "membership.agree", v.epoch,
+              static_cast<double>(v.survivors.size()));
+  }
+  pending_view_ = std::move(v);
+  return true;
+}
+
+MembershipView Machine::do_agree(int rank) {
+  check_crash(rank);
+  if (prt_) return prt_->agree(*this, rank);
+  auto& rs = ranks_[static_cast<std::size_t>(rank)];
+  rs.in_membership = true;
+  while (!rs.membership_ready) yield_from(rank);
+  rs.in_membership = false;
+  rs.membership_ready = false;
+  return pending_view_;
 }
 
 void Machine::rank_main(int rank, const std::function<void(Comm&)>& program) {
@@ -545,9 +724,16 @@ void Machine::rank_main(int rank, const std::function<void(Comm&)>& program) {
       return;
     }
   }
+  bool did_crash = false;
+  double crash_vt = 0.0;
   try {
     Comm comm(this, rank);
     program(comm);
+  } catch (const RankCrashed& c) {
+    // Fail-stop: the rank simply stops. Not an error — survivors detect it
+    // through the lease machinery and may recover.
+    did_crash = true;
+    crash_vt = c.vtime();
   } catch (const DeadlockError&) {
     // Already recorded globally; just unwind.
   } catch (...) {
@@ -555,6 +741,7 @@ void Machine::rank_main(int rank, const std::function<void(Comm&)>& program) {
   }
   {
     std::lock_guard<std::mutex> lk(sync_->mutex);
+    if (did_crash) record_crash(rank, crash_vt);
     ranks_[rank].done = true;
     --live_;
   }
@@ -575,6 +762,14 @@ void Machine::reset_run_state() {
   deadlocked_ = false;
   current_ = -1;
   force_commit_rank_ = -1;
+  fail_recv_rank_ = -1;
+  epoch_ = 0;
+  crashed_count_ = 0;
+  pending_view_ = MembershipView{};
+  view_reported_.assign(static_cast<std::size_t>(nranks_), 0);
+  if (faults_.crash_faults())
+    for (auto& rs : ranks_)
+      rs.acked_peer.assign(static_cast<std::size_t>(nranks_), 0);
   deadlock_report_str_.clear();
   deadlock_blocked_.clear();
 }
@@ -604,8 +799,12 @@ RunResult Machine::collect_results() {
     rep.stats = rs.stats;
     if (faults_.enabled()) rep.faults = faults_.counters(rs.id);
     rep.links = rs.links;
+    rep.crashed = rs.crashed;
+    rep.crash_vtime = rs.crash_vtime;
+    if (rs.crashed) result.crashes.push_back({rs.id, rs.crash_vtime});
     result.ranks.push_back(std::move(rep));
   }
+  result.epochs = epoch_;
   return result;
 }
 

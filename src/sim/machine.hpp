@@ -81,6 +81,63 @@ struct BlockedInfo {
   int want_src = kAnySource;
   int want_tag = kAnyTag;
   std::size_t mailbox_size = 0;
+  /// The pinned source this rank waits on has fail-stopped: the wait is a
+  /// peer failure, not part of a cycle among live ranks.
+  bool want_src_crashed = false;
+};
+
+/// One fail-stop crash that actually fired: which rank, and the virtual
+/// time on its own clock at which it stopped.
+struct CrashRecord {
+  int rank = -1;
+  double vtime = 0.0;
+};
+
+/// Internal control flow: thrown out of a rank's program at its fail-stop
+/// point and caught only by the execution engines. Deliberately NOT derived
+/// from std::exception so no library-level `catch (const std::exception&)`
+/// along the unwind path can swallow a crash.
+class RankCrashed {
+public:
+  RankCrashed(int rank, double vtime) : rank_(rank), vtime_(vtime) {}
+  int rank() const { return rank_; }
+  double vtime() const { return vtime_; }
+
+private:
+  int rank_;
+  double vtime_;
+};
+
+/// Thrown into a survivor blocked on a dead peer once the peer's lease has
+/// expired — the ULFM-style "revoked" notification. The survivor's clock is
+/// first advanced to the latest lease expiry, so detection costs virtual
+/// time like a real heartbeat timeout. Programs that want to continue catch
+/// this and call Comm::agree_on_membership().
+class PeerFailedError : public std::runtime_error {
+public:
+  PeerFailedError(const std::string& what, std::vector<CrashRecord> failed,
+                  int observer_rank)
+      : std::runtime_error(what),
+        failed_(std::move(failed)),
+        observer_rank_(observer_rank) {}
+
+  /// Crashes newly acknowledged by the observing rank, sorted by rank id.
+  const std::vector<CrashRecord>& failed() const { return failed_; }
+  int observer_rank() const { return observer_rank_; }
+
+private:
+  std::vector<CrashRecord> failed_;
+  int observer_rank_ = -1;
+};
+
+/// The agreed outcome of one membership change: every survivor receives an
+/// identical copy at an identical virtual time, so post-agreement execution
+/// is deterministic regardless of who detected the crash first.
+struct MembershipView {
+  int epoch = 0;      ///< completed agreements this run (starts at 0)
+  double vtime = 0.0; ///< agreed clock value every survivor resumes at
+  std::vector<int> survivors;       ///< physical ranks, ascending
+  std::vector<CrashRecord> failed;  ///< crashes new in this view, by rank
 };
 
 /// Thrown by Machine::run when every live rank is blocked in a receive.
@@ -120,12 +177,18 @@ struct RankReport {
   FaultCounters faults;          ///< faults injected *by* this rank
   std::vector<LinkStats> links;  ///< per-source transport recovery counters
                                  ///< (empty when no fault model is active)
+  bool crashed = false;          ///< this rank fail-stopped mid-run
+  double crash_vtime = 0.0;
 
   LinkStats transport_total() const;
 };
 
 struct RunResult {
   std::vector<RankReport> ranks;
+  /// Fail-stop crashes that fired, sorted by rank id.
+  std::vector<CrashRecord> crashes;
+  /// Membership agreements completed (the final epoch).
+  int epochs = 0;
 
   /// Virtual makespan: max over ranks of the final clock.
   double makespan() const;
@@ -156,6 +219,9 @@ public:
   virtual Message recv(Machine& m, int rank, int src, int tag,
                        bool fp_payload) = 0;
   virtual bool iprobe(Machine& m, int rank, int src, int tag) = 0;
+  /// Park the rank in the membership barrier until the agreement completes
+  /// (see Machine::do_agree); returns the agreed view.
+  virtual MembershipView agree(Machine& m, int rank) = 0;
 };
 
 class Machine {
@@ -240,6 +306,15 @@ private:
     std::vector<std::uint64_t> next_seq;           ///< per-destination sender seq
     std::vector<std::unordered_set<std::uint64_t>> seen_seq;  ///< per-source
     std::vector<LinkStats> links;                  ///< per-source counters
+    // ---- fail-stop crash / membership state (crash faults only) ----
+    bool crashed = false;
+    double crash_vtime = 0.0;
+    /// Per-peer acknowledgement flags: acked_peer[k] is set once this rank
+    /// has observed rank k's crash (via PeerFailedError or an agreement).
+    std::vector<char> acked_peer;
+    int epoch = 0;               ///< membership epoch this rank executes in
+    bool in_membership = false;  ///< parked in agree_on_membership
+    bool membership_ready = false;
   };
 
   // --- used by Comm (sequential: only the active rank executes; parallel:
@@ -247,9 +322,32 @@ private:
   void do_send(int src, int dst, int tag, std::vector<std::byte> payload);
   Message do_recv(int rank, int src, int tag, bool fp_payload = false);
   bool do_iprobe(int rank, int src, int tag);
+  MembershipView do_agree(int rank);
   void charge(int rank, double seconds, bool is_compute);
   LinkStats& link_stats(RankState& rs, int src);
   void recover_corruption(int rank, const Message& m);
+
+  // --- fail-stop crash machinery (shared by both engines) ---
+
+  /// Throw RankCrashed once the rank's own clock reaches its pre-drawn
+  /// fail-stop time. Called at every communication and compute boundary, so
+  /// crash points are rank-local and execution-order independent.
+  void check_crash(int rank);
+  /// Engine catch handlers call this (under the engine's lock) when a
+  /// RankCrashed unwind reaches them.
+  void record_crash(int rank, double vtime);
+  /// Lease-expiry detection: acknowledge every not-yet-acked crash on the
+  /// calling rank, advance its clock past the latest lease, and throw
+  /// PeerFailedError. Runs under the engine's serialization.
+  [[noreturn]] void throw_peer_failure(int rank);
+  /// Lowest blocked rank that has not yet acknowledged every crash; -1 when
+  /// none (stall-resolution step between force-commit and deadlock).
+  int pick_failure_victim() const;
+  /// Complete the membership barrier once every non-done rank is parked in
+  /// it: build the agreed view, advance members to the agreed time, purge
+  /// stale-epoch mailboxes, and mark members ready. Returns false when the
+  /// barrier is not yet full (or nobody is in it).
+  bool try_complete_membership();
 
   /// Set a rank's phase, firing the observer on an actual change. Phase is
   /// rank-owned state, so this needs no cross-rank synchronization.
@@ -358,6 +456,17 @@ private:
   /// Rank allowed to commit its candidate past the safety rule (stall
   /// resolution); -1 = none. Cleared by the rank at commit.
   int force_commit_rank_ = -1;
+  /// Blocked rank elected at a stall to observe peer failure; it wakes,
+  /// clears the flag and throws PeerFailedError. -1 = none.
+  int fail_recv_rank_ = -1;
+  int epoch_ = 0;          ///< completed membership agreements this run
+  int crashed_count_ = 0;  ///< ranks that have fail-stopped this run
+  /// Crashes already published in some MembershipView (index = rank).
+  std::vector<char> view_reported_;
+  /// The last completed agreement; members copy it on wakeup. Safe as a
+  /// single slot: a new agreement cannot complete until every survivor has
+  /// consumed the previous one and re-entered the barrier.
+  MembershipView pending_view_;
   /// Per-source flow-head scratch for find_candidate (guarded by the
   /// engine's serialization: handoff lock or the parallel engine mutex).
   std::vector<int> scratch_head_;

@@ -234,6 +234,12 @@ void Tracer::build_metrics() {
       metrics_.add("phase." + p + ".bytes_recv", f.bytes);
     }
   }
+  // Fail-stop recovery accounting. Every key below is folded only when the
+  // corresponding marks exist, so a crash-free run's metrics snapshot is
+  // byte-identical to one produced before crash support existed.
+  std::uint64_t crashes = 0, detections = 0, epochs = 0;
+  double mttr = 0.0, lost = 0.0, restored = 0.0, recoveries = 0.0;
+  double mem_peak = 0.0;
   for (const Mark& m : data_.marks) {
     if (m.name == kMarkTransportRetry) metrics_.add("transport.retries");
     // Ghost-table size distribution: one observation per rank per
@@ -241,7 +247,29 @@ void Tracer::build_metrics() {
     if (m.name == kMarkGhostEntries)
       metrics_.observe("pic.ghost_entries",
                        static_cast<std::uint64_t>(m.value));
+    if (m.name == kMarkCrash) ++crashes;
+    if (m.name == kMarkCrashDetected) ++detections;
+    if (m.name == kMarkMembership)
+      epochs = std::max(epochs, static_cast<std::uint64_t>(m.iter));
+    if (m.name == kMarkCrashRecovered) {
+      recoveries += 1.0;
+      mttr += m.value;
+    }
+    if (m.name == kMarkCrashLost) lost += m.value;
+    if (m.name == kMarkCrashRestored) restored += m.value;
+    if (m.name == kMarkMemPeak) mem_peak = std::max(mem_peak, m.value);
   }
+  if (crashes > 0) metrics_.add("fault.crashes", crashes);
+  if (detections > 0) metrics_.add("fault.crash_detections", detections);
+  if (epochs > 0) metrics_.set("fault.membership_epochs",
+                               static_cast<double>(epochs));
+  if (recoveries > 0.0) {
+    metrics_.set("recovery.count", recoveries);
+    metrics_.set("recovery.mttr_seconds_total", mttr);
+    metrics_.set("recovery.lost_particles", lost);
+    metrics_.set("recovery.restored_particles", restored);
+  }
+  if (mem_peak > 0.0) metrics_.set("mem.peak_bytes", mem_peak);
 
   metrics_.add("trace.spans", data_.spans.size());
   metrics_.add("trace.flows", data_.flows.size());

@@ -42,6 +42,24 @@ inline constexpr const char* kMarkViolation = "pic.violation";  ///< value = val
 inline constexpr const char* kMarkRecovered = "pic.recovered";  ///< value = recovery seconds
 inline constexpr const char* kMarkInit = "pic.init";  ///< iter = -1, value = init seconds
 inline constexpr const char* kMarkTransportRetry = "transport.retry";
+// Fail-stop recovery marks. The first three are emitted by the machine
+// itself (sim/machine.cpp uses the string literals; keep them in sync):
+// fault.crash at the crashing rank's last instant, fault.crash_detected at
+// the survivor that first times out the dead peer's lease (value = newly
+// detected peers), membership.agree on every survivor when the shrunken
+// view commits (iter = epoch, value = survivor count). The pic.* marks are
+// emitted by run_pic during recovery orchestration.
+inline constexpr const char* kMarkCrash = "fault.crash";
+inline constexpr const char* kMarkCrashDetected = "fault.crash_detected";
+inline constexpr const char* kMarkMembership = "membership.agree";
+inline constexpr const char* kMarkCrashRecovered =
+    "pic.crash_recovered";  ///< rank 0, iter = resume iter, value = MTTR s
+inline constexpr const char* kMarkCrashLost =
+    "pic.crash_lost";  ///< rank 0, value = particles lost to the crash
+inline constexpr const char* kMarkCrashRestored =
+    "pic.crash_restored";  ///< rank 0, value = particles restored from ckpt
+inline constexpr const char* kMarkMemPeak =
+    "mem.peak_bytes";  ///< every rank, value = peak ghost+sort bytes
 
 /// One contiguous interval a rank spent in one phase. Virtual times are
 /// deterministic; w0/w1 are wall-clock microseconds since run start and are

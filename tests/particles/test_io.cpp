@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "particles/init.hpp"
 
@@ -133,6 +135,50 @@ TEST_F(ParticleIo, LoadsVersion1FilesWithoutTrailer) {
   EXPECT_EQ(loaded.mass(), 2.0);
   EXPECT_EQ(loaded.x[0], 1.0);
   EXPECT_EQ(loaded.key[1], 99u);
+}
+
+TEST_F(ParticleIo, TornWritesNeverPartiallyLoad) {
+  // A fail-stop crash mid-write leaves an arbitrary prefix of the file.
+  // Sweep every truncation point: a torn checkpoint must always throw —
+  // load_particles may never return an array with fewer records than the
+  // header promised, and never a v2 payload unprotected by its trailer.
+  mesh::GridDesc g(32, 32);
+  InitParams params;
+  params.total = 16;
+  save_particles(path_, generate(Distribution::kUniform, g, params));
+  const auto full = fs::file_size(path_);
+
+  const auto torn = path_ + ".torn";
+  std::vector<char> bytes(full);
+  std::ifstream in(path_, std::ios::binary);
+  in.read(bytes.data(), static_cast<std::streamsize>(full));
+  in.close();
+  for (std::uintmax_t cut = 0; cut < full; ++cut) {
+    std::ofstream out(torn, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_THROW(load_particles(torn), std::runtime_error)
+        << "prefix of " << cut << "/" << full << " bytes loaded";
+  }
+  fs::remove(torn);
+}
+
+TEST_F(ParticleIo, OversizedCountFieldThrows) {
+  // Corrupt the header's record count to a huge value: the loader must
+  // reject the file (short read / checksum), not attempt the allocation of
+  // a billion records it can never fill.
+  mesh::GridDesc g(32, 32);
+  InitParams params;
+  params.total = 8;
+  save_particles(path_, generate(Distribution::kUniform, g, params));
+
+  // Header layout: magic (8) + version (4) + reserved (4) + count (8).
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  const std::uint64_t huge = 1ULL << 30;
+  f.seekp(16);
+  f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  f.close();
+  EXPECT_THROW(load_particles(path_), std::runtime_error);
 }
 
 TEST_F(ParticleIo, OverwritesExistingFile) {
