@@ -180,6 +180,10 @@ private:
   std::uint64_t events_ = 0;
   bool any_consume_overflow_ = false;
   std::vector<Finding> findings_;
+  /// Dedup keys for findings_ — membership-only (insert/contains, never
+  /// iterated), so hash order cannot reach the report; findings_ itself
+  /// carries the deterministic order.
+  // picpar-lint: allow(unordered-iteration-escape) membership-only set
   std::unordered_set<std::string> finding_keys_;
   std::uint64_t counts_[kNumFindingKinds] = {0, 0, 0, 0};
 };

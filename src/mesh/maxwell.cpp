@@ -7,6 +7,7 @@ namespace picpar::mesh {
 
 double FieldState::energy(const LocalGrid& lg) const {
   const double cell = lg.grid().dx() * lg.grid().dy();
+  // picpar-lint: allow(float-reduction-order) fixed local-index sum
   double e = 0.0;
   for (std::size_t l = 0; l < lg.owned(); ++l) {
     e += ex[l] * ex[l] + ey[l] * ey[l] + ez[l] * ez[l];

@@ -23,6 +23,7 @@ PoissonResult PoissonSolver::solve(sim::Comm& comm,
   const double denom = 2.0 * (dx2 + dy2);
 
   // Periodic Poisson needs zero-mean source; subtract the global mean.
+  // picpar-lint: allow(float-reduction-order) fixed local-index sum
   double local_sum = 0.0;
   for (std::size_t l = 0; l < lg.owned(); ++l) local_sum += rho[l];
   const double mean = comm.allreduce_sum(local_sum) /

@@ -121,6 +121,7 @@ PicResult run_eulerian(const PicParams& params) {
       ghosts.fetch_fields(comm, f);
       for (std::size_t i = 0; i < n; ++i) {
         const auto st = particles::cic_stencil(grid, mine.x[i], mine.y[i]);
+        // picpar-lint: allow(float-reduction-order) fixed 4-point stencil
         particles::LocalFields lf;
         for (int k = 0; k < 4; ++k) {
           const double w = st.weight[k];
@@ -196,7 +197,11 @@ PicResult run_eulerian(const PicParams& params) {
     rec.loop_seconds = rec.exec_seconds;
     prev = end;
   }
+  // Rank-order merge of per-rank partials: a fixed, mode-independent
+  // summation order by construction.
+  // picpar-lint: allow(float-reduction-order) rank-order merge
   for (double e : field_energy) result.field_energy += e;
+  // picpar-lint: allow(float-reduction-order) rank-order merge
   for (double k : kinetic) result.kinetic_energy += k;
   return result;
 }

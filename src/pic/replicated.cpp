@@ -191,6 +191,7 @@ PicResult run_replicated(const PicParams& params) {
       comm.set_phase(Phase::kGather);
       for (std::size_t i = 0; i < n; ++i) {
         const auto st = particles::cic_stencil(grid, mine.x[i], mine.y[i]);
+        // picpar-lint: allow(float-reduction-order) fixed 4-point stencil
         particles::LocalFields lf;
         for (int k = 0; k < 4; ++k) {
           const double w = st.weight[k];
@@ -220,6 +221,7 @@ PicResult run_replicated(const PicParams& params) {
 
     // Replicated fields: charge the energy to rank 0 only.
     if (rank == 0) {
+      // picpar-lint: allow(float-reduction-order) fixed node-index sum
       double e = 0.0;
       for (std::uint64_t id = 0; id < m; ++id)
         e += f.ex[id] * f.ex[id] + f.ey[id] * f.ey[id] + f.ez[id] * f.ez[id] +
@@ -251,7 +253,9 @@ PicResult run_replicated(const PicParams& params) {
     rec.loop_seconds = rec.exec_seconds;
     prev = end;
   }
+  // picpar-lint: allow(float-reduction-order) rank-order merge
   for (double e : field_energy) result.field_energy += e;
+  // picpar-lint: allow(float-reduction-order) rank-order merge
   for (double k : kinetic) result.kinetic_energy += k;
   return result;
 }

@@ -111,6 +111,7 @@ struct PicResult {
   /// Mean per-iteration execution time.
   double mean_iter_seconds() const {
     if (iters.empty()) return 0.0;
+    // picpar-lint: allow(float-reduction-order) iteration-order sum
     double s = 0.0;
     for (const auto& it : iters) s += it.exec_seconds;
     return s / static_cast<double>(iters.size());

@@ -632,6 +632,7 @@ PicResult run_pic(const PicParams& params) {
             }
           }
         }
+        // picpar-lint: allow(float-reduction-order) fixed 4-point stencil
         particles::LocalFields lf;
         for (int k = 0; k < 4; ++k) {
           const double w = st.weight[k];
@@ -811,6 +812,7 @@ PicResult run_pic(const PicParams& params) {
     // Final physics diagnostics (local sums; merged by the aggregator).
     out.field_energy = dom->f.energy(dom->lg);
     out.kinetic_energy = mine.kinetic_energy();
+    // picpar-lint: allow(float-reduction-order) fixed local-index sum
     double charge_sum = 0.0;
     for (std::size_t l = 0; l < dom->lg.owned(); ++l)
       charge_sum += dom->f.rho[l];
@@ -940,6 +942,7 @@ PicResult run_pic(const PicParams& params) {
     prev_end = end;
     if (rec.redistributed) {
       ++result.redistributions;
+      // picpar-lint: allow(float-reduction-order) iteration-order sum
       result.redist_seconds_total += rec.redist_seconds;
     }
     if (rec.violation_mask != 0) ++result.violation_iterations;
@@ -958,8 +961,12 @@ PicResult run_pic(const PicParams& params) {
     const auto& o = outputs[static_cast<std::size_t>(r)];
     result.final_particles += o.final_particles;
     final_max = std::max(final_max, o.final_particles);
+    // Rank-order merge of per-rank partials (deterministic by design).
+    // picpar-lint: allow(float-reduction-order) rank-order merge
     result.field_energy += o.field_energy;
+    // picpar-lint: allow(float-reduction-order) rank-order merge
     result.kinetic_energy += o.kinetic_energy;
+    // picpar-lint: allow(float-reduction-order) rank-order merge
     result.total_charge += o.total_charge;
   }
   if (result.final_ranks > 0 && result.final_particles > 0)

@@ -304,6 +304,10 @@ private:
     std::exception_ptr error;
     // ---- transport state (allocated only when a fault model is active) ----
     std::vector<std::uint64_t> next_seq;           ///< per-destination sender seq
+    /// Per-source seqs already delivered (duplicate suppression). Strictly
+    /// membership-only — insert/count, never iterated — so its hash order
+    /// can never leak into delivery order or any export.
+    // picpar-lint: allow(unordered-iteration-escape) membership-only set
     std::vector<std::unordered_set<std::uint64_t>> seen_seq;  ///< per-source
     std::vector<LinkStats> links;                  ///< per-source counters
     // ---- fail-stop crash / membership state (crash faults only) ----

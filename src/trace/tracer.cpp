@@ -5,15 +5,20 @@
 #include <cstring>
 
 #include "util/env.hpp"
+#include "util/wall_clock.hpp"
 
 namespace picpar::trace {
 
 using detail::append_num;
 
+double Tracer::wall_us() const {
+  return static_cast<double>(util::wall_clock() - wall_base_ns_) * 1e-3;
+}
+
 void Tracer::on_run_start(int nranks) {
   nranks_ = nranks;
   bufs_.assign(static_cast<std::size_t>(nranks), RankBuf{});
-  wall_base_ = std::chrono::steady_clock::now();
+  wall_base_ns_ = util::wall_clock();
   data_ = TraceData{};
   timeline_ = RedistTimeline{};
   metrics_.clear();

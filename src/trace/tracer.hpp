@@ -18,7 +18,6 @@
 // at one run, not for comparisons.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -213,11 +212,11 @@ private:
     std::uint64_t events = 0;
   };
 
-  double wall_us() const {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - wall_base_)
-        .count();
-  }
+  /// Wall microseconds since on_run_start, via the project's one sanctioned
+  /// wall-clock source (util::wall_clock; see wall-clock-in-sim in
+  /// DESIGN.md section 12). Used only for the human-facing w0/w1 span
+  /// fields, which every exporter excludes by default.
+  double wall_us() const;
 
   void build_flows();
   void build_timeline();
@@ -226,7 +225,7 @@ private:
   Options opt_;
   int nranks_ = 0;
   std::vector<RankBuf> bufs_;
-  std::chrono::steady_clock::time_point wall_base_{};
+  std::uint64_t wall_base_ns_ = 0;  ///< util::wall_clock() at run start
 
   TraceData data_;
   RedistTimeline timeline_;

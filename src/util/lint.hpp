@@ -1,0 +1,26 @@
+// Annotation markers for `picpar-lint` (tools/picpar_lint).
+//
+// A finding is suppressed when the flagged line — or the line directly
+// above it, or the declaration line of the variable involved — carries an
+// allow marker naming the check:
+//
+//     // picpar-lint: allow(<check-id>[, <check-id>...]) <free-form reason>
+//     PICPAR_LINT_ALLOW(<check-id>);
+//
+// `allow(all)` suppresses every check on that line. The comment spelling is
+// preferred; the macro form exists for sites where a trailing comment would
+// be clipped by clang-format or where the marker should survive tooling
+// that strips comments. Check ids:
+//
+//   unordered-iteration-escape  wall-clock-in-sim  pointer-ordering
+//   tag-discipline              float-reduction-order
+//
+// Every marker must say *why* the site is safe; "the lint complained" is
+// not a reason. See DESIGN.md section 12 for each check's rationale.
+#pragma once
+
+// Expands to nothing: the macro is a lexical marker read by picpar-lint
+// from the raw source text, never by the compiler.
+#define PICPAR_LINT_ALLOW(checks)
+
+namespace picpar::util {}  // markers only; nothing to declare

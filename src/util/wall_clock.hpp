@@ -1,0 +1,26 @@
+// The repository's single wall-clock source.
+//
+// Everything this project computes — physics, clocks, traces, metrics — is
+// a pure function of its inputs; wall time is the one quantity that is not,
+// so it is quarantined behind this choke point. `picpar-lint` (check
+// `wall-clock-in-sim`) statically rejects any other use of
+// std::chrono::{system,steady,high_resolution}_clock, time(), clock(),
+// std::rand, or std::random_device under src/, and additionally restricts
+// callers of wall_clock() itself to src/trace (the tracer's wall spans are
+// human-facing annotations, excluded from every deterministic export).
+//
+// If you think you need wall time elsewhere, you almost certainly want the
+// simulated clock (sim::Comm::clock()) or the deterministic RNG
+// (util::SplitMix64 in util/rng.hpp) instead.
+#pragma once
+
+#include <cstdint>
+
+namespace picpar::util {
+
+/// Monotonic wall time in nanoseconds since an unspecified epoch.
+/// Schedule-dependent by nature: values must never feed simulated state or
+/// any deterministic export, only human-facing diagnostics.
+std::uint64_t wall_clock();
+
+}  // namespace picpar::util

@@ -1,0 +1,36 @@
+// Suppression fixture: every construct here would be flagged, and every
+// one carries an allow marker — the tool must report zero findings and
+// exactly four suppressed sites. Mirrors src/util/lint.hpp's grammar.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#define PICPAR_LINT_ALLOW(checks)
+
+struct Node {
+  int id = 0;
+};
+
+// picpar-lint: allow(pointer-ordering) keys never ordered across runs
+std::map<Node*, int> g_weights;
+
+std::string export_sorted(const std::unordered_map<int, int>& m) {
+  std::string out;
+  // picpar-lint: allow(unordered-iteration-escape) caller re-sorts rows
+  for (const auto& kv : m) out += std::to_string(kv.first) + "\n";
+  return out;
+}
+
+double annotated_sum(const std::vector<double>& w) {
+  double sum = 0.0;  // picpar-lint: allow(float-reduction-order) fixed order
+  for (double v : w) sum += v;
+  return sum;
+}
+
+double macro_marked_sum(const std::vector<double>& w) {
+  PICPAR_LINT_ALLOW(float-reduction-order);
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  return sum;
+}

@@ -1,0 +1,49 @@
+// Negative fixture: floating-point updates in loops that are not
+// order-sensitive reductions, plus a reduction under an
+// OrderInsensitive scope. picpar-lint must stay silent.
+#include <cstddef>
+#include <vector>
+
+namespace picpar {
+namespace sim {
+
+class Comm {};
+
+class OrderInsensitive {
+ public:
+  explicit OrderInsensitive(Comm&) {}
+};
+
+}  // namespace sim
+}  // namespace picpar
+
+// The accumulator is re-declared every iteration: no carried order.
+double last_scaled(const std::vector<double>& w) {
+  double out = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    double local = w[i];
+    local += 1.0;
+    out = local;
+  }
+  return out;
+}
+
+// Indexed element updates scatter into distinct slots, not one scalar.
+void deposit(std::vector<double>& field, const std::vector<double>& w) {
+  for (std::size_t i = 0; i < w.size(); ++i) field[i] += w[i];
+}
+
+// A reduction inside an OrderInsensitive scope is declared order-safe.
+double guarded_sum(picpar::sim::Comm& comm, const std::vector<double>& w) {
+  picpar::sim::OrderInsensitive guard(comm);
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  return sum;
+}
+
+// Integer accumulation is exact and commutative: fine.
+long count_all(const std::vector<int>& v) {
+  long n = 0;
+  for (int x : v) n += x;
+  return n;
+}

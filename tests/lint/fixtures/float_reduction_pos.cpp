@@ -1,0 +1,35 @@
+// Positive fixture: floating-point accumulation whose result depends on
+// summation order, with no OrderInsensitive scope and no annotation.
+#include <cstddef>
+#include <vector>
+
+double total_energy(const std::vector<double>& e) {
+  double sum = 0.0;
+  for (double v : e) sum += v;  // LINT: float-reduction-order
+  return sum;
+}
+
+struct Moments {
+  double mass = 0.0;
+  double weight = 1.0;
+};
+
+Moments gather_moments(const std::vector<double>& w) {
+  Moments m;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    m.mass += w[i];        // LINT: float-reduction-order
+    m.weight *= 1.0 + w[i];  // LINT: float-reduction-order
+  }
+  return m;
+}
+
+// Nested loops: the accumulator lives outside the innermost loop.
+double grid_total(const std::vector<std::vector<double>>& rows) {
+  double total = 0.0;
+  for (const auto& row : rows) {
+    for (double v : row) {
+      total += v;  // LINT: float-reduction-order
+    }
+  }
+  return total;
+}

@@ -1,0 +1,26 @@
+// Negative fixture: pointers stored, compared for equality, or ordered
+// through stable fields — never by address. picpar-lint must stay silent.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+struct Node {
+  int id = 0;
+};
+
+// Pointer VALUES are fine; only pointer KEYS order by address.
+std::map<int, Node*> g_by_id;
+
+// Ordering through a stable field, not the address.
+bool id_before(const Node* a, const Node* b) { return a->id < b->id; }
+
+// Explicit field-based comparator: deterministic sort over pointers.
+void sort_by_id(std::vector<Node*>& v) {
+  std::sort(v.begin(), v.end(), id_before);
+}
+
+// Equality of pointers is identity, not order: fine.
+bool same_node(const Node* a, const Node* b) { return a == b; }
+
+// Sorting values (not pointers) with the default comparator: fine.
+void sort_ids(std::vector<int>& v) { std::sort(v.begin(), v.end()); }

@@ -1,0 +1,26 @@
+// Positive fixture: orderings and hashes derived from run-to-run
+// pointer addresses.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Node {
+  int id = 0;
+};
+
+std::map<Node*, int> g_weights;      // LINT: pointer-ordering
+std::set<const Node*> g_seen;        // LINT: pointer-ordering
+
+bool address_before(const Node* a, const Node* b) {
+  return a < b;  // LINT: pointer-ordering
+}
+
+std::uint64_t address_hash(const Node* n) {
+  return reinterpret_cast<std::uint64_t>(n);  // LINT: pointer-ordering
+}
+
+void sort_by_address(std::vector<Node*>& v) {
+  std::sort(v.begin(), v.end());  // LINT: pointer-ordering
+}

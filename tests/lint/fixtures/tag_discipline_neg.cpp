@@ -1,0 +1,39 @@
+// Negative fixture: legal tag usage — non-negative user tags, the
+// wildcard sentinels, and reserved tags from inside a CollectiveScope.
+// picpar-lint must stay silent.
+#include <vector>
+
+namespace picpar {
+namespace sim {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+class Comm {
+ public:
+  class CollectiveScope {
+   public:
+    explicit CollectiveScope(Comm&) {}
+  };
+  void send(int dst, int tag, const std::vector<int>& data);
+  std::vector<int> recv(int src, int tag);
+};
+
+constexpr int kTagReduce = -300;
+
+void user_traffic(Comm& c, const std::vector<int>& v) {
+  c.send(1, 42, v);             // non-negative user tag
+  (void)c.recv(0, kAnyTag);     // wildcard sentinel is negative by design
+  (void)c.recv(kAnySource, 7);  // wildcard source, positive tag
+}
+
+// A collective implementation holds a CollectiveScope; reserved tags are
+// its channel.
+void reduce_step(Comm& c, const std::vector<int>& v) {
+  Comm::CollectiveScope scope(c);
+  c.send(1, kTagReduce, v);
+  (void)c.recv(0, kTagReduce);
+}
+
+}  // namespace sim
+}  // namespace picpar

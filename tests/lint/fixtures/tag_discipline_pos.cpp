@@ -1,0 +1,38 @@
+// Positive fixture: user traffic on the collectives' reserved negative
+// tag channel. The mock mirrors the shape of picpar::sim::Comm (the
+// check matches the unqualified class name and the parameter named
+// `tag`).
+#include <vector>
+
+namespace picpar {
+namespace sim {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+class Comm {
+ public:
+  class CollectiveScope {
+   public:
+    explicit CollectiveScope(Comm&) {}
+  };
+  void send(int dst, int tag, const std::vector<int>& data);
+  std::vector<int> recv(int src, int tag);
+};
+
+constexpr int kTagReduce = -300;
+
+void leak_literal(Comm& c, const std::vector<int>& v) {
+  c.send(1, -7, v);  // LINT: tag-discipline
+}
+
+void leak_reserved_constant(Comm& c, const std::vector<int>& v) {
+  c.send(1, kTagReduce, v);  // LINT: tag-discipline
+}
+
+std::vector<int> leak_computed(Comm& c, int base) {
+  return c.recv(0, -(base + 1));  // LINT: tag-discipline
+}
+
+}  // namespace sim
+}  // namespace picpar

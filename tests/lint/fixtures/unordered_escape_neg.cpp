@@ -1,0 +1,24 @@
+// Negative fixture: unordered containers used in ways that cannot leak
+// hash iteration order into an export. picpar-lint must stay silent.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+// Iteration is hash-ordered, but the result is an order-insensitive
+// aggregate in a function that reaches no serialization sink.
+int accumulate_values(const std::unordered_map<int, int>& m) {
+  int total = 0;
+  for (const auto& kv : m) total += kv.second;
+  return total;
+}
+
+// Membership-only use inside an exporting function: no iteration at all.
+std::string export_flag(const std::unordered_set<int>& s, int key) {
+  return s.count(key) != 0 ? "y" : "n";
+}
+
+// Point lookups do not observe iteration order either.
+int lookup(const std::unordered_map<int, int>& m, int key) {
+  auto it = m.find(key);
+  return it == m.end() ? 0 : it->second;
+}

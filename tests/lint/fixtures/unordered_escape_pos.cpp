@@ -1,0 +1,32 @@
+// Positive fixture: hash-order iteration that escapes into serialization.
+// `// LINT: <check-id>` marks every line picpar-lint must flag.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+// Sink by name: the function itself exports.
+std::string export_counts(const std::unordered_map<int, int>& m) {
+  std::string out;
+  for (const auto& kv : m)  // LINT: unordered-iteration-escape
+    out += std::to_string(kv.first) + ",";
+  return out;
+}
+
+// Sink by call: the function hands its result to a writer (the extern
+// declaration has no body; the callee's name alone marks the sink).
+void append_csv(const std::string& row);
+
+std::string collect(const std::unordered_set<int>& s) {
+  std::string out;
+  for (int v : s)  // LINT: unordered-iteration-escape
+    out += std::to_string(v);
+  append_csv(out);
+  return out;
+}
+
+// Explicit begin()/end() iteration is the same escape ("print" in the
+// name makes this function a sink).
+int print_first(const std::unordered_map<int, int>& m) {
+  auto it = m.begin();  // LINT: unordered-iteration-escape
+  return it == m.end() ? -1 : it->first;  // LINT: unordered-iteration-escape
+}

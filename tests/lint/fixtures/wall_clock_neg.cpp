@@ -1,0 +1,29 @@
+// Negative fixture: the wall-clock choke point itself, plus legitimate
+// chrono arithmetic that never touches a clock. picpar-lint must stay
+// silent.
+#include <chrono>
+
+namespace picpar {
+namespace util {
+
+// The one sanctioned reader of wall time: a function named wall_clock is
+// exempt from the check by construction.
+unsigned long long wall_clock() {
+  return static_cast<unsigned long long>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace util
+}  // namespace picpar
+
+// Durations are pure arithmetic; only clock reads are nondeterministic.
+long long timeout_ns(int ms) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::milliseconds(ms))
+      .count();
+}
+
+// Seeded PRNGs are fine; only std::random_device / std::rand are ambient.
+unsigned lcg_next(unsigned state) { return state * 1664525u + 1013904223u; }

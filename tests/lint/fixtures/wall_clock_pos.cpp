@@ -1,0 +1,36 @@
+// Positive fixture: wall time and ambient randomness outside the
+// util::wall_clock() choke point.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace picpar {
+namespace util {
+unsigned long long wall_clock();
+}
+}  // namespace picpar
+
+double sample_elapsed() {
+  auto t0 = std::chrono::steady_clock::now();  // LINT: wall-clock-in-sim
+  auto t1 = std::chrono::steady_clock::now();  // LINT: wall-clock-in-sim
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double ambient_jitter() {
+  return static_cast<double>(std::rand());  // LINT: wall-clock-in-sim
+}
+
+long unix_stamp() {
+  return static_cast<long>(::time(nullptr));  // LINT: wall-clock-in-sim
+}
+
+unsigned hardware_seed() {
+  std::random_device dev;  // LINT: wall-clock-in-sim
+  return dev();
+}
+
+// Even the sanctioned choke point may only be consumed from src/trace.
+unsigned long long sim_side_peek() {
+  return picpar::util::wall_clock();  // LINT: wall-clock-in-sim
+}

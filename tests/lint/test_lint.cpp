@@ -1,0 +1,222 @@
+// Drives the picpar-lint binary over the fixtures in
+// tests/lint/fixtures/ and asserts the exact finding set.
+//
+// Expectations live in the fixtures themselves: a `// LINT: <check-id>`
+// marker on a line means the tool must report exactly those checks on
+// that line; a fixture without markers must come back clean. The runner
+// therefore never hardcodes line numbers and survives fixture edits.
+//
+// Compile-time configuration (set by tests/CMakeLists.txt):
+//   PICPAR_LINT_BIN       absolute path to the picpar-lint executable
+//   PICPAR_LINT_FIXTURES  absolute path to tests/lint/fixtures
+//   PICPAR_SOURCE_ROOT    absolute path to the repo checkout
+//   PICPAR_BUILD_DIR      absolute path to the build tree
+//                         (compile_commands.json lives here)
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <unistd.h>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using FindingKey = std::tuple<std::string, int, std::string>;  // file,line,check
+
+struct LintRun {
+  int exit_code = -1;
+  std::string out;  // combined stdout+stderr, verbatim
+  std::set<FindingKey> findings;
+  long reported = -1;    // N from the "N finding(s), M suppressed" summary
+  long suppressed = -1;  // M from the summary
+};
+
+std::string quoted(const std::string& s) {
+  // Paths in this test tree never contain single quotes.
+  return "'" + s + "'";
+}
+
+// Parses "file:line:col: [check] message" into a finding key.
+bool parse_finding(const std::string& line, FindingKey* out) {
+  size_t c1 = line.find(':');
+  if (c1 == std::string::npos || c1 == 0) return false;
+  size_t c2 = line.find(':', c1 + 1);
+  size_t c3 = c2 == std::string::npos ? std::string::npos
+                                      : line.find(':', c2 + 1);
+  if (c3 == std::string::npos) return false;
+  if (line.compare(c3, 3, ": [") != 0) return false;
+  size_t close = line.find(']', c3 + 3);
+  if (close == std::string::npos) return false;
+  int ln = 0;
+  try {
+    ln = std::stoi(line.substr(c1 + 1, c2 - c1 - 1));
+  } catch (...) {
+    return false;
+  }
+  *out = {line.substr(0, c1), ln, line.substr(c3 + 3, close - c3 - 3)};
+  return true;
+}
+
+LintRun run_command(const std::string& cmd) {
+  LintRun r;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (!pipe) {
+    r.out = "popen failed for: " + cmd;
+    return r;
+  }
+  char buf[4096];
+  while (size_t n = fread(buf, 1, sizeof buf, pipe)) r.out.append(buf, n);
+  int status = pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+
+  std::istringstream lines(r.out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    FindingKey key;
+    if (parse_finding(line, &key)) {
+      r.findings.insert(key);
+      continue;
+    }
+    long n = 0, m = 0;
+    if (std::sscanf(line.c_str(), "picpar-lint: %ld finding(s), %ld suppressed",
+                    &n, &m) == 2) {
+      r.reported = n;
+      r.suppressed = m;
+    }
+  }
+  return r;
+}
+
+LintRun run_fixture(const std::string& name, const std::string& extra = "") {
+  const std::string cmd = quoted(PICPAR_LINT_BIN) + " --src-root " +
+                          quoted(PICPAR_LINT_FIXTURES) + " --all-dirs " +
+                          extra + (extra.empty() ? "" : " ") +
+                          quoted(std::string(PICPAR_LINT_FIXTURES) + "/" +
+                                 name) +
+                          " -- -std=c++17";
+  return run_command(cmd);
+}
+
+// Collects the `// LINT: <check-id>...` markers of a fixture.
+std::set<FindingKey> expected_of(const std::string& name) {
+  std::set<FindingKey> expected;
+  std::ifstream in(std::string(PICPAR_LINT_FIXTURES) + "/" + name);
+  EXPECT_TRUE(in.good()) << "cannot read fixture " << name;
+  std::string line;
+  int ln = 0;
+  while (std::getline(in, line)) {
+    ++ln;
+    size_t at = line.find("// LINT:");
+    if (at == std::string::npos) continue;
+    std::istringstream ids(line.substr(at + 8));
+    std::string id;
+    while (ids >> id) expected.insert({name, ln, id});
+  }
+  return expected;
+}
+
+class FixtureTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FixtureTest, FindingsMatchMarkers) {
+  const std::string name = GetParam();
+  const std::set<FindingKey> expected = expected_of(name);
+  const LintRun r = run_fixture(name);
+  ASSERT_NE(r.exit_code, 2) << "fixture failed to parse:\n" << r.out;
+  EXPECT_EQ(r.findings, expected) << r.out;
+  EXPECT_EQ(r.reported, static_cast<long>(expected.size())) << r.out;
+  EXPECT_EQ(r.exit_code, expected.empty() ? 0 : 1) << r.out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lint, FixtureTest,
+    ::testing::Values("unordered_escape_pos.cpp", "unordered_escape_neg.cpp",
+                      "wall_clock_pos.cpp", "wall_clock_neg.cpp",
+                      "pointer_order_pos.cpp", "pointer_order_neg.cpp",
+                      "tag_discipline_pos.cpp", "tag_discipline_neg.cpp",
+                      "float_reduction_pos.cpp", "float_reduction_neg.cpp"),
+    [](const ::testing::TestParamInfo<const char*>& param_info) {
+      std::string name;
+      for (const char* p = param_info.param; *p; ++p)
+        name += std::isalnum(static_cast<unsigned char>(*p)) ? *p : '_';
+      return name;
+    });
+
+TEST(LintSuppression, AllowMarkersSuppressEveryFinding) {
+  const LintRun r = run_fixture("allow_suppression.cpp");
+  ASSERT_NE(r.exit_code, 2) << r.out;
+  EXPECT_TRUE(r.findings.empty()) << r.out;
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_EQ(r.suppressed, 4) << r.out;
+}
+
+TEST(LintDeterminism, RepeatedRunsAreByteIdentical) {
+  const LintRun a = run_fixture("pointer_order_pos.cpp");
+  const LintRun b = run_fixture("pointer_order_pos.cpp");
+  ASSERT_NE(a.exit_code, 2) << a.out;
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+}
+
+TEST(LintJson, ReportMatchesTextOutput) {
+  const std::string json_path =
+      (fs::temp_directory_path() /
+       ("picpar_lint_" + std::to_string(::getpid()) + ".json"))
+          .string();
+  const LintRun r =
+      run_fixture("pointer_order_pos.cpp", "--json " + quoted(json_path));
+  ASSERT_NE(r.exit_code, 2) << r.out;
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good()) << "no JSON report at " << json_path;
+  std::stringstream body;
+  body << in.rdbuf();
+  const std::string json = body.str();
+  fs::remove(json_path);
+
+  EXPECT_NE(json.find("\"findings\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"check\": \"pointer-ordering\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"suppressed\": 0"), std::string::npos) << json;
+  // Every text finding appears in the JSON report and vice versa.
+  EXPECT_EQ(static_cast<long>(r.findings.size()), r.reported);
+  for (const FindingKey& k : r.findings)
+    EXPECT_NE(json.find("\"line\": " + std::to_string(std::get<1>(k))),
+              std::string::npos)
+        << json;
+}
+
+// The shipped tree must be clean: every real finding in src/ has been
+// fixed or carries a reviewed allow annotation. Runs the tool exactly
+// the way CI does, off this build's compile_commands.json.
+TEST(LintSrcTree, ShippedSourcesAreClean) {
+  const std::string src = std::string(PICPAR_SOURCE_ROOT) + "/src";
+  std::vector<std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src))
+    if (entry.is_regular_file() && entry.path().extension() == ".cpp")
+      files.push_back(entry.path().string());
+  ASSERT_FALSE(files.empty());
+  std::sort(files.begin(), files.end());
+
+  std::string cmd = quoted(PICPAR_LINT_BIN) + " --src-root " + quoted(src) +
+                    " -p " + quoted(PICPAR_BUILD_DIR);
+  for (const std::string& f : files) cmd += " " + quoted(f);
+  const LintRun r = run_command(cmd);
+  ASSERT_NE(r.exit_code, 2) << "src/ failed to parse:\n" << r.out;
+  EXPECT_TRUE(r.findings.empty()) << r.out;
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  // The tree carries reviewed allow() annotations; they must register.
+  EXPECT_GT(r.suppressed, 0) << r.out;
+}
+
+}  // namespace

@@ -1,0 +1,925 @@
+// picpar-lint — a Clang LibTooling pass that statically enforces the
+// determinism and simulation-discipline invariants this repository's
+// dynamic checkers (happens-before analyzer, two-run audits, TSan) can only
+// catch when a test happens to execute the offending path.
+//
+// Checks (ids as reported and as accepted by allow markers):
+//
+//   unordered-iteration-escape  Iteration (range-for or begin()/end()) over
+//       std::unordered_{map,set,multimap,multiset} located under
+//       src/trace, src/analysis or src/pic, in a function that can reach an
+//       export/serialization sink through the TU-local call graph. Hash
+//       iteration order is implementation-defined, so letting it feed an
+//       export breaks byte-identical trace/metrics output.
+//   wall-clock-in-sim  Any use of std::chrono::{system,steady,
+//       high_resolution}_clock, ::time(), ::clock(), std::rand/srand or
+//       std::random_device outside util::wall_clock() (the project's one
+//       choke point), plus any call to util::wall_clock() outside
+//       src/trace. Wall time and ambient randomness are the canonical
+//       nondeterminism sources.
+//   pointer-ordering  std::{map,set,multimap,multiset,unordered_map,
+//       unordered_set} keyed on a pointer type, relational comparison
+//       (< <= > >=) of two raw pointers, and reinterpret_cast of a pointer
+//       to an integer (hashing/ordering by address). Addresses vary run to
+//       run, so any order or hash derived from them is nondeterministic.
+//   tag-discipline  A constant negative tag (or a unary-minus tag
+//       expression) passed to a Comm/Machine send/recv/probe-style method
+//       from a function that holds no CollectiveScope. Negative tags are
+//       the collectives' reserved channel; user traffic on them bypasses
+//       the tag invariants the analyzer relies on.
+//   float-reduction-order  A floating-point += / *= in a loop accumulating
+//       into a scalar declared outside the innermost loop, under src/core,
+//       src/mesh or src/pic, in a function without a Comm::OrderInsensitive
+//       scope. FP addition does not commute; every such reduction must
+//       either be annotated order-safe or restructured.
+//
+// Suppression: a finding is dropped when the flagged line, the line above
+// it, or the declaration line (or the line above that) of the variable
+// involved contains
+//     // picpar-lint: allow(<id>[, <id>...])      or
+//     PICPAR_LINT_ALLOW(<id>)
+// with a matching check id (or `all`). See src/util/lint.hpp.
+//
+// Output is deterministic: findings are deduplicated across TUs and sorted
+// by (file, line, column, check). Text goes to stdout; --json <path>
+// additionally writes a machine-readable report. Exit status: 0 clean,
+// 1 unsuppressed findings, 2 tool/compile error.
+//
+// Known approximations (all deliberately conservative and fixture-pinned):
+// uninstantiated-template call sites with unresolved callees are skipped;
+// sink reachability is per-TU; indirect calls through function pointers or
+// std::function are not edges (but a lambda is linked to its enclosing
+// function).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/AST/Stmt.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/ArgumentsAdjusters.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/FileSystem.h"
+#include "llvm/Support/Path.h"
+#include "llvm/Support/raw_ostream.h"
+
+using namespace clang;
+
+namespace {
+
+llvm::cl::OptionCategory Cat("picpar-lint options");
+llvm::cl::opt<std::string> OptSrcRoot(
+    "src-root",
+    llvm::cl::desc("Project source root; findings outside it are ignored "
+                   "and paths are reported relative to it (default: cwd)"),
+    llvm::cl::init(""), llvm::cl::cat(Cat));
+llvm::cl::opt<bool> OptAllDirs(
+    "all-dirs",
+    llvm::cl::desc("Apply directory-scoped checks everywhere (fixtures)"),
+    llvm::cl::init(false), llvm::cl::cat(Cat));
+llvm::cl::opt<std::string> OptJson(
+    "json", llvm::cl::desc("Write a JSON findings report to this path"),
+    llvm::cl::init(""), llvm::cl::cat(Cat));
+
+// ---- shared result sink (one process, possibly many TUs) ----
+
+struct Finding {
+  std::string file;  // relative to src-root
+  unsigned line = 0;
+  unsigned col = 0;
+  std::string check;
+  std::string message;
+};
+
+struct Results {
+  std::vector<Finding> findings;
+  std::set<std::string> dedup;  // file:line:check
+  unsigned long suppressed = 0;
+};
+
+Results g_results;
+
+bool contains(const std::string& hay, const char* needle) {
+  return hay.find(needle) != std::string::npos;
+}
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string lower(std::string s) {
+  for (char& c : s)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  return s;
+}
+
+// ---- per-TU analysis ----
+
+struct FuncInfo {
+  bool sink = false;               // writes/serializes output
+  bool collective_scope = false;   // body declares a CollectiveScope
+  bool order_insensitive = false;  // body declares an OrderInsensitive
+  std::set<const FunctionDecl*> callees;
+};
+
+struct Pending {
+  Finding f;
+  const FunctionDecl* enclosing = nullptr;  // canonical, may be null
+  bool needs_sink_reach = false;            // unordered-iteration-escape
+  SourceLocation loc;                       // flagged site
+  SourceLocation decl_loc;                  // optional second allow site
+};
+
+class LintPass : public RecursiveASTVisitor<LintPass> {
+ public:
+  LintPass(ASTContext& ctx, std::string src_root)
+      : ctx_(ctx), sm_(ctx.getSourceManager()), src_root_(std::move(src_root)) {}
+
+  void run() {
+    TraverseDecl(ctx_.getTranslationUnitDecl());
+    finalize();
+  }
+
+  // RecursiveASTVisitor is given lambda bodies through the enclosing
+  // function's statement tree; our own statement walker handles them with
+  // a fresh frame, so skip the call operator if the visitor surfaces it.
+  bool VisitFunctionDecl(FunctionDecl* fd) {
+    if (!fd->doesThisDeclarationHaveABody() || fd->isImplicit()) return true;
+    if (const auto* md = llvm::dyn_cast<CXXMethodDecl>(fd))
+      if (md->getParent()->isLambda()) return true;
+    if (!inProject(fd->getBeginLoc())) return true;
+    walkFunction(fd->getCanonicalDecl(), fd->getBody());
+    return true;
+  }
+
+  bool VisitVarDecl(VarDecl* vd) {
+    checkDeclType(vd->getType(), vd->getLocation(),
+                  enclosingFunctionOf(vd));
+    return true;
+  }
+
+  bool VisitFieldDecl(FieldDecl* fd) {
+    checkDeclType(fd->getType(), fd->getLocation(), nullptr);
+    return true;
+  }
+
+ private:
+  // ---------- file / path helpers ----------
+
+  /// Relative project path of loc, or "" when out of scope (system header,
+  /// outside src-root, macro-only).
+  std::string relPath(SourceLocation loc) {
+    if (loc.isInvalid()) return "";
+    SourceLocation e = sm_.getExpansionLoc(loc);
+    if (sm_.isInSystemHeader(e)) return "";
+    std::string f = std::string(sm_.getFilename(e));
+    if (f.empty()) return "";
+    llvm::SmallString<256> abs(f);
+    llvm::sys::fs::make_absolute(abs);
+    llvm::sys::path::remove_dots(abs, /*remove_dot_dot=*/true);
+    std::string p(abs.str());
+    if (!starts_with(p, (src_root_ + "/").c_str())) return "";
+    return p.substr(src_root_.size() + 1);
+  }
+
+  bool inProject(SourceLocation loc) { return !relPath(loc).empty(); }
+
+  bool inDirs(const std::string& rel, const char* const* dirs, size_t n) {
+    if (OptAllDirs) return true;
+    for (size_t i = 0; i < n; ++i)
+      if (starts_with(rel, dirs[i])) return true;
+    return false;
+  }
+
+  // ---------- suppression ----------
+
+  const std::vector<std::string>& fileLines(FileID fid) {
+    auto it = line_cache_.find(fid);
+    if (it != line_cache_.end()) return it->second;
+    std::vector<std::string> lines;
+    bool invalid = false;
+    llvm::StringRef buf = sm_.getBufferData(fid, &invalid);
+    if (!invalid) {
+      size_t pos = 0;
+      std::string s(buf.str());
+      while (pos <= s.size()) {
+        size_t nl = s.find('\n', pos);
+        if (nl == std::string::npos) {
+          lines.push_back(s.substr(pos));
+          break;
+        }
+        lines.push_back(s.substr(pos, nl - pos));
+        pos = nl + 1;
+      }
+    }
+    return line_cache_.emplace(fid, std::move(lines)).first->second;
+  }
+
+  static bool lineAllows(const std::string& text, const std::string& check) {
+    for (const char* marker : {"picpar-lint: allow(", "PICPAR_LINT_ALLOW("}) {
+      size_t at = text.find(marker);
+      if (at == std::string::npos) continue;
+      size_t open = text.find('(', at);
+      size_t close = text.find(')', open);
+      if (open == std::string::npos || close == std::string::npos) continue;
+      std::string list = text.substr(open + 1, close - open - 1);
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        std::string id = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        // trim
+        size_t b = id.find_first_not_of(" \t");
+        size_t e = id.find_last_not_of(" \t");
+        if (b != std::string::npos) {
+          id = id.substr(b, e - b + 1);
+          if (id == check || id == "all") return true;
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    }
+    return false;
+  }
+
+  /// Marker on the flagged line or the line directly above it.
+  bool suppressedAt(SourceLocation loc, const std::string& check) {
+    if (loc.isInvalid()) return false;
+    SourceLocation e = sm_.getExpansionLoc(loc);
+    FileID fid = sm_.getFileID(e);
+    unsigned line = sm_.getExpansionLineNumber(e);
+    const auto& lines = fileLines(fid);
+    if (line == 0 || line > lines.size()) return false;
+    if (lineAllows(lines[line - 1], check)) return true;
+    if (line >= 2 && lineAllows(lines[line - 2], check)) return true;
+    return false;
+  }
+
+  // ---------- finding emission ----------
+
+  void report(const char* check, SourceLocation loc, std::string message,
+              const FunctionDecl* enclosing = nullptr,
+              bool needs_sink_reach = false,
+              SourceLocation decl_loc = SourceLocation()) {
+    std::string rel = relPath(loc);
+    if (rel.empty()) return;
+    Pending p;
+    p.f.file = rel;
+    SourceLocation e = sm_.getExpansionLoc(loc);
+    p.f.line = sm_.getExpansionLineNumber(e);
+    p.f.col = sm_.getExpansionColumnNumber(e);
+    p.f.check = check;
+    p.f.message = std::move(message);
+    p.enclosing = enclosing;
+    p.needs_sink_reach = needs_sink_reach;
+    p.loc = loc;
+    p.decl_loc = decl_loc;
+    pending_.push_back(std::move(p));
+  }
+
+  // ---------- type classification ----------
+
+  static const ClassTemplateSpecializationDecl* specOf(QualType t) {
+    t = t.getNonReferenceType().getCanonicalType();
+    if (t->isPointerType()) t = t->getPointeeType().getCanonicalType();
+    const CXXRecordDecl* rd = t->getAsCXXRecordDecl();
+    return llvm::dyn_cast_or_null<ClassTemplateSpecializationDecl>(rd);
+  }
+
+  static bool isUnorderedContainer(QualType t, std::string* name = nullptr) {
+    const auto* spec = specOf(t);
+    if (!spec) return false;
+    std::string qn = spec->getQualifiedNameAsString();
+    if (!starts_with(qn, "std::unordered_")) return false;
+    if (name) *name = qn;
+    return true;
+  }
+
+  static bool isAssocContainer(QualType t, std::string* name) {
+    const auto* spec = specOf(t);
+    if (!spec) return false;
+    std::string qn = spec->getQualifiedNameAsString();
+    static const char* const kAssoc[] = {
+        "std::map",           "std::set",
+        "std::multimap",      "std::multiset",
+        "std::unordered_map", "std::unordered_set",
+        "std::unordered_multimap", "std::unordered_multiset"};
+    for (const char* a : kAssoc) {
+      if (qn == a) {
+        if (spec->getTemplateArgs().size() == 0) return false;
+        const TemplateArgument& arg0 = spec->getTemplateArgs()[0];
+        if (arg0.getKind() != TemplateArgument::Type) return false;
+        QualType key = arg0.getAsType().getCanonicalType();
+        if (key->isPointerType() || key->isMemberPointerType()) {
+          *name = qn;
+          return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+
+  /// Printed-type probe for the wall-clock types (covers time_point<...>
+  /// template arguments and typedef chains without TypeLoc gymnastics).
+  static bool mentionsWallClockType(QualType t) {
+    std::string s = t.getAsString();
+    return contains(s, "steady_clock") || contains(s, "system_clock") ||
+           contains(s, "high_resolution_clock") ||
+           contains(s, "random_device");
+  }
+
+  // ---------- decl-type checks (2 & 3, declaration side) ----------
+
+  void checkDeclType(QualType t, SourceLocation loc,
+                     const FunctionDecl* enclosing) {
+    if (!inProject(loc)) return;
+    if (mentionsWallClockType(t)) {
+      if (!isWallClockChokePoint(enclosing))
+        report("wall-clock-in-sim", loc,
+               "declaration uses wall-clock/random type '" + t.getAsString() +
+                   "'; route wall time through util::wall_clock()",
+               enclosing);
+    }
+    std::string qn;
+    if (isAssocContainer(t, &qn))
+      report("pointer-ordering", loc,
+             qn + " keyed on a pointer type: iteration/lookup order depends "
+                  "on run-to-run addresses",
+             enclosing);
+  }
+
+  static bool isWallClockChokePoint(const FunctionDecl* fd) {
+    return fd && fd->getNameAsString() == "wall_clock";
+  }
+
+  const FunctionDecl* enclosingFunctionOf(const Decl* d) {
+    const DeclContext* dc = d->getDeclContext();
+    while (dc) {
+      if (const auto* fd = llvm::dyn_cast<FunctionDecl>(dc))
+        return fd->getCanonicalDecl();
+      dc = dc->getParent();
+    }
+    return nullptr;
+  }
+
+  // ---------- statement walker (checks 1, 2, 4, 5 + call graph) ----------
+
+  struct Frame {
+    const FunctionDecl* fn = nullptr;
+    std::vector<const Stmt*> loops;
+  };
+
+  void walkFunction(const FunctionDecl* fn, Stmt* body) {
+    if (!body) return;
+    if (walked_.count(fn)) return;
+    walked_.insert(fn);
+    FuncInfo& info = funcs_[fn];
+    std::string ln = lower(fn->getNameAsString());
+    static const char* const kSinkNames[] = {
+        "export", "serialize", "to_json", "to_csv", "json", "csv",
+        "write",  "dump",      "save",    "print",  "report"};
+    for (const char* s : kSinkNames)
+      if (contains(ln, s)) info.sink = true;
+    if (fn->getOverloadedOperator() == OO_LessLess) info.sink = true;
+    Frame frame;
+    frame.fn = fn;
+    walkStmt(body, frame, info);
+  }
+
+  void walkStmt(Stmt* s, Frame& frame, FuncInfo& info) {
+    if (!s) return;
+
+    if (auto* lam = llvm::dyn_cast<LambdaExpr>(s)) {
+      // A lambda body is its own function frame (its loops do not enclose
+      // the outer code and vice versa). Treat "encloses a lambda" as a
+      // call edge so sink reachability survives `auto f = [&]{...}; f();`.
+      const FunctionDecl* op = lam->getCallOperator();
+      if (op) {
+        info.callees.insert(op->getCanonicalDecl());
+        walkFunction(op->getCanonicalDecl(), lam->getBody());
+      }
+      // Do not descend: the body was just walked under the lambda's frame;
+      // captures carry no statements of their own.
+      return;
+    }
+
+    bool is_loop = llvm::isa<ForStmt>(s) || llvm::isa<WhileStmt>(s) ||
+                   llvm::isa<DoStmt>(s) || llvm::isa<CXXForRangeStmt>(s);
+    if (is_loop) frame.loops.push_back(s);
+
+    visitOne(s, frame, info);
+
+    for (Stmt* child : s->children()) walkStmt(child, frame, info);
+
+    if (is_loop) frame.loops.pop_back();
+  }
+
+  void visitOne(Stmt* s, Frame& frame, FuncInfo& info) {
+    if (auto* ds = llvm::dyn_cast<DeclStmt>(s)) {
+      for (Decl* d : ds->decls())
+        if (auto* vd = llvm::dyn_cast<VarDecl>(d)) noteScopeVar(vd, info);
+      return;
+    }
+    if (auto* rf = llvm::dyn_cast<CXXForRangeStmt>(s)) {
+      checkUnorderedIteration(rf, frame);
+      return;
+    }
+    if (auto* call = llvm::dyn_cast<CallExpr>(s)) {
+      handleCall(call, frame, info);
+      return;
+    }
+    if (auto* bin = llvm::dyn_cast<BinaryOperator>(s)) {
+      if (auto* ca = llvm::dyn_cast<CompoundAssignOperator>(s)) {
+        checkFloatReduction(ca, frame);
+        return;
+      }
+      checkPointerRelational(bin, frame);
+      return;
+    }
+    if (auto* rc = llvm::dyn_cast<CXXReinterpretCastExpr>(s)) {
+      QualType from = rc->getSubExpr()->getType().getCanonicalType();
+      QualType to = rc->getType().getCanonicalType();
+      if (from->isPointerType() && to->isIntegerType())
+        report("pointer-ordering", rc->getBeginLoc(),
+               "pointer representation converted to integer: hashing or "
+               "ordering by address is nondeterministic across runs",
+               frame.fn);
+      return;
+    }
+  }
+
+  void noteScopeVar(VarDecl* vd, FuncInfo& info) {
+    QualType t = vd->getType().getNonReferenceType().getCanonicalType();
+    const CXXRecordDecl* rd = t->getAsCXXRecordDecl();
+    if (!rd) return;
+    std::string n = rd->getNameAsString();
+    if (n == "CollectiveScope") info.collective_scope = true;
+    if (n == "OrderInsensitive") info.order_insensitive = true;
+  }
+
+  // ---- check 1: unordered-iteration-escape ----
+
+  static const char* const kUnorderedDirs[3];
+
+  void checkUnorderedIteration(CXXForRangeStmt* rf, Frame& frame) {
+    const Expr* range = rf->getRangeInit();
+    if (!range) return;
+    range = range->IgnoreParenImpCasts();
+    std::string qn;
+    if (!isUnorderedContainer(range->getType(), &qn)) return;
+    std::string rel = relPath(rf->getBeginLoc());
+    if (rel.empty() || !inDirs(rel, kUnorderedDirs, 3)) return;
+    report("unordered-iteration-escape", rf->getBeginLoc(),
+           "range-for over " + qn +
+               ": hash iteration order is implementation-defined and this "
+               "function can reach an export/serialization sink",
+           frame.fn, /*needs_sink_reach=*/true, declLocOf(range));
+  }
+
+  SourceLocation declLocOf(const Expr* e) {
+    e = e->IgnoreParenImpCasts();
+    if (const auto* dre = llvm::dyn_cast<DeclRefExpr>(e))
+      return dre->getDecl()->getLocation();
+    if (const auto* me = llvm::dyn_cast<MemberExpr>(e))
+      return me->getMemberDecl()->getLocation();
+    return SourceLocation();
+  }
+
+  // ---- calls: graph edges, sink detection, checks 1/2/4 ----
+
+  void handleCall(CallExpr* call, Frame& frame, FuncInfo& info) {
+    const FunctionDecl* callee = call->getDirectCallee();
+    if (callee) {
+      info.callees.insert(callee->getCanonicalDecl());
+      checkWallClockCall(call, callee, frame);
+      checkTagDiscipline(call, callee, frame, info);
+      checkUnorderedBeginEnd(call, callee, frame);
+      // Calling something that writes/serializes makes the caller a sink,
+      // even when the callee is a bodyless extern declaration.
+      std::string n = lower(callee->getNameAsString());
+      if (n == "fprintf" || n == "fwrite" || n == "printf" || n == "fputs") {
+        info.sink = true;
+      } else {
+        static const char* const kSinkCallees[] = {
+            "export", "serialize", "to_json", "to_csv", "json", "csv",
+            "write",  "dump",      "save",    "print",  "report"};
+        for (const char* sk : kSinkCallees)
+          if (contains(n, sk)) info.sink = true;
+      }
+    }
+    if (auto* op = llvm::dyn_cast<CXXOperatorCallExpr>(call)) {
+      if (op->getOperator() == OO_LessLess && op->getNumArgs() >= 1) {
+        QualType lhs = op->getArg(0)->getType().getCanonicalType();
+        std::string ts = lhs.getAsString();
+        if (contains(ts, "basic_ostream")) info.sink = true;
+      }
+    }
+    if (callee) checkPointerSort(call, callee, frame);
+  }
+
+  // std::sort(v.begin(), v.end()) over a container of pointers with the
+  // default comparator orders by address — nondeterministic across runs.
+  // A three-argument call (explicit comparator) is left to the relational
+  // check to judge.
+  void checkPointerSort(CallExpr* call, const FunctionDecl* callee,
+                        Frame& frame) {
+    std::string qn = callee->getQualifiedNameAsString();
+    if (qn != "std::sort" && qn != "std::stable_sort") return;
+    if (call->getNumArgs() != 2) return;
+    const auto* mc = llvm::dyn_cast<CXXMemberCallExpr>(
+        call->getArg(0)->IgnoreParenImpCasts());
+    if (!mc) return;
+    const FunctionDecl* fd = mc->getMethodDecl();
+    if (!fd) return;
+    std::string mn = fd->getNameAsString();
+    if (mn != "begin" && mn != "cbegin") return;
+    const Expr* obj = mc->getImplicitObjectArgument();
+    if (!obj) return;
+    const auto* spec = specOf(obj->getType());
+    if (!spec) return;
+    const auto& args = spec->getTemplateArgs();
+    if (args.size() == 0 || args[0].getKind() != TemplateArgument::Type) return;
+    if (!args[0].getAsType().getCanonicalType()->isPointerType()) return;
+    report("pointer-ordering", call->getBeginLoc(),
+           "std::sort over raw pointer values with the default comparator "
+           "orders by address, which varies run to run",
+           frame.fn, /*needs_sink_reach=*/false, declLocOf(obj));
+  }
+
+  void checkUnorderedBeginEnd(CallExpr* call, const FunctionDecl* callee,
+                              Frame& frame) {
+    const auto* mc = llvm::dyn_cast<CXXMemberCallExpr>(call);
+    if (!mc) return;
+    std::string n = callee->getNameAsString();
+    if (n != "begin" && n != "end" && n != "cbegin" && n != "cend") return;
+    const Expr* obj = mc->getImplicitObjectArgument();
+    if (!obj) return;
+    std::string qn;
+    if (!isUnorderedContainer(obj->getType(), &qn)) return;
+    std::string rel = relPath(call->getBeginLoc());
+    if (rel.empty() || !inDirs(rel, kUnorderedDirs, 3)) return;
+    report("unordered-iteration-escape", call->getBeginLoc(),
+           qn + "::" + n +
+               "(): hash iteration order is implementation-defined and this "
+               "function can reach an export/serialization sink",
+           frame.fn, /*needs_sink_reach=*/true, declLocOf(obj));
+  }
+
+  // ---- check 2: wall-clock-in-sim (call side) ----
+
+  void checkWallClockCall(CallExpr* call, const FunctionDecl* callee,
+                          Frame& frame) {
+    std::string qn = callee->getQualifiedNameAsString();
+    bool bad = false;
+    if (contains(qn, "chrono") &&
+        (contains(qn, "steady_clock::now") ||
+         contains(qn, "system_clock::now") ||
+         contains(qn, "high_resolution_clock::now")))
+      bad = true;
+    if (!llvm::isa<CXXMethodDecl>(callee)) {
+      std::string n = callee->getNameAsString();
+      if (n == "time" || n == "clock" || n == "rand" || n == "srand" ||
+          n == "gettimeofday" || n == "timespec_get" || n == "clock_gettime")
+        bad = true;
+    }
+    if (bad && !isWallClockChokePoint(frame.fn)) {
+      report("wall-clock-in-sim", call->getBeginLoc(),
+             "call to '" + qn +
+                 "': wall time / ambient randomness outside the "
+                 "util::wall_clock() choke point",
+             frame.fn);
+      return;
+    }
+    // The choke point itself may only be consumed by the tracer.
+    if (qn == "picpar::util::wall_clock" ||
+        (callee->getNameAsString() == "wall_clock" &&
+         !llvm::isa<CXXMethodDecl>(callee))) {
+      std::string rel = relPath(call->getBeginLoc());
+      if (!rel.empty() && !starts_with(rel, "trace/"))
+        report("wall-clock-in-sim", call->getBeginLoc(),
+               "util::wall_clock() may only be called from src/trace (wall "
+               "spans are the sole sanctioned consumer)",
+               frame.fn);
+    }
+  }
+
+  // ---- check 4: tag-discipline ----
+
+  void checkTagDiscipline(CallExpr* call, const FunctionDecl* callee,
+                          Frame& frame, FuncInfo& info) {
+    const auto* method = llvm::dyn_cast<CXXMethodDecl>(callee);
+    if (!method) return;
+    std::string cls = method->getParent()->getNameAsString();
+    if (cls != "Comm" && cls != "Machine") return;
+    // Find the parameter literally named "tag".
+    int tag_idx = -1;
+    for (unsigned i = 0; i < method->getNumParams(); ++i) {
+      if (method->getParamDecl(i)->getNameAsString() == "tag") {
+        tag_idx = static_cast<int>(i);
+        break;
+      }
+    }
+    if (tag_idx < 0) return;
+    unsigned arg_idx = static_cast<unsigned>(tag_idx);
+    const auto* mc = llvm::dyn_cast<CXXMemberCallExpr>(call);
+    if (!mc || arg_idx >= call->getNumArgs()) return;
+    const Expr* arg = call->getArg(arg_idx);
+    if (llvm::isa<CXXDefaultArgExpr>(arg)) return;  // kAnyTag default
+    const Expr* stripped = arg->IgnoreParenImpCasts();
+    // The wildcard sentinels are negative by design and always legal.
+    if (const auto* dre = llvm::dyn_cast<DeclRefExpr>(stripped)) {
+      std::string n = dre->getDecl()->getNameAsString();
+      if (n == "kAnyTag" || n == "kAnySource") return;
+    }
+    bool negative = false;
+    Expr::EvalResult res;
+    if (!arg->isValueDependent() && !arg->isTypeDependent() &&
+        arg->EvaluateAsInt(res, ctx_)) {
+      negative = res.Val.getInt().isNegative();
+    } else if (const auto* uo = llvm::dyn_cast<UnaryOperator>(stripped)) {
+      negative = uo->getOpcode() == UO_Minus;  // e.g. -(base + k)
+    }
+    if (!negative) return;
+    (void)info;  // CollectiveScope presence is re-checked in finalize()
+    report("tag-discipline", call->getBeginLoc(),
+           "negative tag passed to " + cls + "::" + method->getNameAsString() +
+               " outside a CollectiveScope: reserved tags belong to the "
+               "collectives' channel",
+           frame.fn);
+  }
+
+  // ---- check 3: pointer relational comparison ----
+
+  void checkPointerRelational(BinaryOperator* bin, Frame& frame) {
+    BinaryOperatorKind op = bin->getOpcode();
+    if (op != BO_LT && op != BO_GT && op != BO_LE && op != BO_GE) return;
+    QualType lt = bin->getLHS()->IgnoreParenImpCasts()->getType()
+                      .getCanonicalType();
+    QualType rt = bin->getRHS()->IgnoreParenImpCasts()->getType()
+                      .getCanonicalType();
+    if (!lt->isPointerType() || !rt->isPointerType()) return;
+    report("pointer-ordering", bin->getOperatorLoc(),
+           "relational comparison of raw pointers: address order varies "
+           "run to run",
+           frame.fn);
+  }
+
+  // ---- check 5: float-reduction-order ----
+
+  static const char* const kReductionDirs[3];
+
+  void checkFloatReduction(CompoundAssignOperator* ca, Frame& frame) {
+    BinaryOperatorKind op = ca->getOpcode();
+    if (op != BO_AddAssign && op != BO_MulAssign) return;
+    if (!ca->getLHS()->getType()->isRealFloatingType()) return;
+    if (frame.loops.empty()) return;
+    std::string rel = relPath(ca->getBeginLoc());
+    if (rel.empty() || !inDirs(rel, kReductionDirs, 3)) return;
+
+    // Accumulator: a scalar (possibly member chain) with no subscript or
+    // dereference, rooted at a variable declared outside the innermost
+    // enclosing loop.
+    const Expr* lhs = ca->getLHS()->IgnoreParenImpCasts();
+    const VarDecl* base = nullptr;
+    while (true) {
+      if (const auto* me = llvm::dyn_cast<MemberExpr>(lhs)) {
+        lhs = me->getBase()->IgnoreParenImpCasts();
+        if (llvm::isa<CXXThisExpr>(lhs)) return;  // member of *this: skip
+        continue;
+      }
+      if (const auto* dre = llvm::dyn_cast<DeclRefExpr>(lhs)) {
+        base = llvm::dyn_cast<VarDecl>(dre->getDecl());
+        break;
+      }
+      return;  // subscript, deref, call result, ... — element update
+    }
+    if (!base) return;
+
+    const Stmt* loop = frame.loops.back();
+    SourceLocation dl = sm_.getExpansionLoc(base->getLocation());
+    SourceLocation lb = sm_.getExpansionLoc(loop->getBeginLoc());
+    SourceLocation le = sm_.getExpansionLoc(loop->getEndLoc());
+    bool decl_in_loop = !sm_.isBeforeInTranslationUnit(dl, lb) &&
+                        !sm_.isBeforeInTranslationUnit(le, dl);
+    if (decl_in_loop) return;
+
+    if (funcs_[frame.fn].order_insensitive) return;
+    report("float-reduction-order", ca->getBeginLoc(),
+           "floating-point accumulation into '" + base->getNameAsString() +
+               "' in a loop: FP addition does not commute; annotate the "
+               "reduction order-safe or wrap it in Comm::OrderInsensitive",
+           frame.fn, /*needs_sink_reach=*/false, base->getLocation());
+  }
+
+  // ---------- finalization: reachability + suppression ----------
+
+  void finalize() {
+    // OrderInsensitive scopes are discovered while walking; a reduction
+    // flagged before the scope's DeclStmt was seen must be re-checked.
+    // (walkStmt visits statements in source order within a function, but a
+    // guard declared in an outer block after a nested loop is legal C++.)
+    // Fixed point over the call graph for sink reachability.
+    std::set<const FunctionDecl*> reaches;
+    for (const auto& kv : funcs_)
+      if (kv.second.sink) reaches.insert(kv.first);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& kv : funcs_) {
+        if (reaches.count(kv.first)) continue;
+        for (const FunctionDecl* c : kv.second.callees) {
+          if (reaches.count(c)) {
+            reaches.insert(kv.first);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+
+    for (const Pending& p : pending_) {
+      if (p.needs_sink_reach) {
+        // No enclosing function: conservatively keep the finding.
+        if (p.enclosing && !reaches.count(p.enclosing)) continue;
+      }
+      // Scope guards (CollectiveScope / OrderInsensitive) may be declared
+      // after the flagged statement was walked; filter on the function's
+      // final state rather than mid-walk state.
+      if (p.enclosing) {
+        auto it = funcs_.find(p.enclosing);
+        if (it != funcs_.end()) {
+          if (p.f.check == "float-reduction-order" &&
+              it->second.order_insensitive)
+            continue;
+          if (p.f.check == "tag-discipline" && it->second.collective_scope)
+            continue;
+        }
+      }
+      if (suppressedAt(p.loc, p.f.check) ||
+          (p.decl_loc.isValid() && suppressedAt(p.decl_loc, p.f.check))) {
+        // Count each suppressed site once per TU pass; the same header
+        // line suppressed in many TUs still reads as one decision.
+        std::string key =
+            p.f.file + ":" + std::to_string(p.f.line) + ":" + p.f.check;
+        if (g_results.dedup.insert("suppressed:" + key).second)
+          ++g_results.suppressed;
+        continue;
+      }
+      std::string key =
+          p.f.file + ":" + std::to_string(p.f.line) + ":" + p.f.check;
+      if (!g_results.dedup.insert(key).second) continue;
+      g_results.findings.push_back(p.f);
+    }
+  }
+
+  ASTContext& ctx_;
+  SourceManager& sm_;
+  std::string src_root_;
+  std::map<const FunctionDecl*, FuncInfo> funcs_;
+  std::set<const FunctionDecl*> walked_;
+  std::vector<Pending> pending_;
+  std::map<FileID, std::vector<std::string>> line_cache_;
+};
+
+const char* const LintPass::kUnorderedDirs[3] = {"trace/", "analysis/",
+                                                 "pic/"};
+const char* const LintPass::kReductionDirs[3] = {"core/", "mesh/", "pic/"};
+
+// ---- frontend plumbing ----
+
+std::string g_src_root_abs;
+
+class LintConsumer : public ASTConsumer {
+ public:
+  void HandleTranslationUnit(ASTContext& ctx) override {
+    LintPass pass(ctx, g_src_root_abs);
+    pass.run();
+  }
+};
+
+class LintAction : public ASTFrontendAction {
+ public:
+  std::unique_ptr<ASTConsumer> CreateASTConsumer(CompilerInstance&,
+                                                 llvm::StringRef) override {
+    return std::make_unique<LintConsumer>();
+  }
+};
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto expected =
+      tooling::CommonOptionsParser::create(argc, argv, Cat, llvm::cl::OneOrMore);
+  if (!expected) {
+    llvm::errs() << llvm::toString(expected.takeError()) << "\n";
+    return 2;
+  }
+  tooling::CommonOptionsParser& options = *expected;
+
+  {
+    llvm::SmallString<256> root;
+    if (OptSrcRoot.empty()) {
+      llvm::sys::fs::current_path(root);
+    } else {
+      root = OptSrcRoot;
+      llvm::sys::fs::make_absolute(root);
+    }
+    llvm::sys::path::remove_dots(root, /*remove_dot_dot=*/true);
+    g_src_root_abs = std::string(root.str());
+  }
+
+  tooling::ClangTool tool(options.getCompilations(),
+                          options.getSourcePathList());
+  // Findings are ours; the compiler's own warnings only add noise.
+  tool.appendArgumentsAdjuster(tooling::getInsertArgumentAdjuster("-w"));
+#ifdef PICPAR_CLANG_RESOURCE_DIR
+  // An out-of-tree tool binary cannot derive the builtin-header directory
+  // from its own path the way the clang driver does; point it at the
+  // resource dir baked in at build time (harmless if it has moved away).
+  if (llvm::sys::fs::is_directory(PICPAR_CLANG_RESOURCE_DIR))
+    tool.appendArgumentsAdjuster(tooling::getInsertArgumentAdjuster(
+        "-resource-dir=" PICPAR_CLANG_RESOURCE_DIR));
+#endif
+
+  int build_status = tool.run(
+      tooling::newFrontendActionFactory<LintAction>().get());
+  if (build_status != 0) {
+    llvm::errs() << "picpar-lint: compilation errors; findings may be "
+                    "incomplete\n";
+    return 2;
+  }
+
+  std::sort(g_results.findings.begin(), g_results.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.check < b.check;
+            });
+
+  for (const Finding& f : g_results.findings)
+    llvm::outs() << f.file << ":" << f.line << ":" << f.col << ": [" << f.check
+                 << "] " << f.message << "\n";
+  llvm::outs() << "picpar-lint: " << g_results.findings.size()
+               << " finding(s), " << g_results.suppressed << " suppressed\n";
+
+  if (!OptJson.empty()) {
+    std::error_code ec;
+    llvm::raw_fd_ostream os(OptJson, ec, llvm::sys::fs::OF_Text);
+    if (ec) {
+      llvm::errs() << "picpar-lint: cannot write " << OptJson << ": "
+                   << ec.message() << "\n";
+      return 2;
+    }
+    os << "{\n  \"findings\": [";
+    for (size_t i = 0; i < g_results.findings.size(); ++i) {
+      const Finding& f = g_results.findings[i];
+      os << (i ? "," : "") << "\n    {\"file\": \"" << jsonEscape(f.file)
+         << "\", \"line\": " << f.line << ", \"col\": " << f.col
+         << ", \"check\": \"" << jsonEscape(f.check) << "\", \"message\": \""
+         << jsonEscape(f.message) << "\"}";
+    }
+    os << (g_results.findings.empty() ? "" : "\n  ") << "],\n";
+    os << "  \"suppressed\": " << g_results.suppressed << "\n}\n";
+  }
+
+  return g_results.findings.empty() ? 0 : 1;
+}
