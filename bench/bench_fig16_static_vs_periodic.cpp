@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   Cli cli("bench_fig16_static_vs_periodic",
           "Figure 16: static vs periodic redistribution, 32 nodes");
   auto ranks = cli.flag<int>("ranks", 32, "simulated processors");
+  const auto sf = bench::sweep_flags(cli);
   const auto scale = bench::parse_scale(cli, argc, argv);
   // This is the heaviest sweep (21 full simulations); the reduced scale
   // cuts deeper than the default 1/5 so the whole suite stays fast.
@@ -36,6 +37,16 @@ int main(int argc, char** argv) {
                "redistributions", "overhead (s)"});
   table.set_title("Fig 16: static vs periodic redistribution");
 
+  // Expand the (pair x policy) grid into sweep jobs, remembering the group
+  // boundaries so the progress dots keep their one-line-per-pair shape.
+  struct Row {
+    std::string mesh;
+    std::uint64_t n;
+    std::string policy;
+  };
+  std::vector<Row> rows;
+  std::vector<sweep::Job> jobs;
+  std::vector<std::size_t> group_sizes;
   for (const auto& pr : pairs) {
     const auto n = scale.particles(pr.n);
     std::vector<std::string> policies{"static"};
@@ -46,15 +57,29 @@ int main(int argc, char** argv) {
       last_kk = kk;
       policies.push_back("periodic:" + std::to_string(kk));
     }
+    group_sizes.push_back(policies.size());
     for (const auto& policy : policies) {
       auto params = bench::paper_params("irregular", pr.nx, pr.ny, n, *ranks);
       params.iterations = iters;
       params.policy = policy;
-      const auto r = pic::run_pic(params);
+      const std::string mesh_label =
+          std::to_string(pr.nx) + "x" + std::to_string(pr.ny);
+      rows.push_back({mesh_label, n, policy});
+      jobs.push_back({mesh_label + "/p" + std::to_string(n) + "/" + policy,
+                      params});
+    }
+  }
+
+  const auto report = bench::run_sweep_jobs(jobs, sf);
+
+  std::size_t idx = 0;
+  for (const std::size_t gsz : group_sizes) {
+    for (std::size_t g = 0; g < gsz; ++g, ++idx) {
+      const auto& r = report.outcomes[idx].result;
       table.row()
-          .add(std::to_string(pr.nx) + "x" + std::to_string(pr.ny))
-          .add(static_cast<std::size_t>(n))
-          .add(policy)
+          .add(rows[idx].mesh)
+          .add(static_cast<std::size_t>(rows[idx].n))
+          .add(rows[idx].policy)
           .add(r.total_seconds, 2)
           .add(static_cast<long long>(r.redistributions))
           .add(r.overhead_seconds(), 2);

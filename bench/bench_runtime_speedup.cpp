@@ -28,6 +28,17 @@ double wall_seconds(const std::function<void()>& fn) {
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
+/// One timed run through the sweep driver. Deliberately uncached and
+/// single-job: a cache hit would time a file read, and co-scheduling
+/// distorts wall clocks. Note seq and par configs share one fingerprint
+/// (exec mode is excluded from the content address — the determinism
+/// contract), which is exactly why they must NOT go in one sweep: dedup
+/// would collapse the pair this bench exists to compare.
+pic::PicResult sweep_run(const pic::PicParams& params) {
+  sweep::SweepOptions opt;  // jobs=1, no cache
+  return sweep::run_sweep({{"timed", params}}, opt).outcomes.at(0).result;
+}
+
 bool identical(const pic::PicResult& a, const pic::PicResult& b) {
   if (a.total_seconds != b.total_seconds) return false;
   if (a.compute_seconds != b.compute_seconds) return false;
@@ -78,10 +89,10 @@ int main(int argc, char** argv) {
     for (int rep = 0; rep < std::max(1, *repeats); ++rep) {
       auto p = params;
       p.exec.parallel = false;
-      seq_s += wall_seconds([&] { seq = pic::run_pic(p); });
+      seq_s += wall_seconds([&] { seq = sweep_run(p); });
       p.exec.parallel = true;
       p.exec.workers = *workers;
-      par_s += wall_seconds([&] { par = pic::run_pic(p); });
+      par_s += wall_seconds([&] { par = sweep_run(p); });
     }
     const int reps = std::max(1, *repeats);
     seq_s /= reps;

@@ -1,9 +1,10 @@
 #include "common.hpp"
 
-#include <atomic>
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
-#include <thread>
+
+#include "sweep/pool.hpp"
 
 namespace picpar::bench {
 
@@ -43,29 +44,36 @@ void print_header(const std::string& experiment, const std::string& note) {
 }
 
 void run_jobs(int jobs, std::vector<std::function<std::string()>> tasks) {
-  if (jobs <= 0) {
-    jobs = static_cast<int>(std::thread::hardware_concurrency());
-    if (jobs <= 0) jobs = 1;
-  }
-  jobs = std::min<int>(jobs, static_cast<int>(tasks.size()));
   std::vector<std::string> out(tasks.size());
-  if (jobs <= 1) {
-    for (std::size_t i = 0; i < tasks.size(); ++i) out[i] = tasks[i]();
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(jobs));
-    for (int w = 0; w < jobs; ++w)
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= tasks.size()) return;
-          out[i] = tasks[i]();
-        }
-      });
-    for (auto& t : pool) t.join();
-  }
+  sweep::run_indexed(jobs, tasks.size(),
+                     [&](std::size_t i) { out[i] = tasks[i](); });
   for (const auto& s : out) std::cout << s;
+}
+
+SweepFlags sweep_flags(picpar::Cli& cli) {
+  const char* env = std::getenv("PICPAR_SWEEP_CACHE");
+  SweepFlags f;
+  f.jobs = cli.flag<int>("jobs", 1,
+                         "sweep worker threads for cache misses (0 = cores)");
+  f.cache = cli.flag<std::string>(
+      "cache", env ? env : "",
+      "result cache directory (default $PICPAR_SWEEP_CACHE; \"\" = off)");
+  return f;
+}
+
+sweep::SweepReport run_sweep_jobs(const std::vector<sweep::Job>& jobs,
+                                  const SweepFlags& flags) {
+  sweep::SweepOptions opt;
+  opt.jobs = *flags.jobs;
+  opt.cache_dir = *flags.cache;
+  auto report = sweep::run_sweep(jobs, opt);
+  if (!opt.cache_dir.empty()) {
+    const auto& s = report.stats;
+    std::cout << "# sweep: " << s.jobs << " jobs, " << s.unique
+              << " unique, " << s.hits << " cache hits, " << s.simulated
+              << " simulated\n";
+  }
+  return report;
 }
 
 std::string fmt_s(double seconds) {

@@ -8,11 +8,13 @@
 
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "pic/config.hpp"
 #include "pic/result.hpp"
+#include "sweep/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -52,8 +54,27 @@ void print_header(const std::string& experiment, const std::string& note);
 /// outputs are printed to stdout in submission order once all tasks have
 /// finished, so concurrent runs produce byte-identical reports to serial
 /// ones. Do not use around wall-clock measurements — co-scheduled
-/// configurations contend for cores and distort timings.
+/// configurations contend for cores and distort timings. (A thin wrapper
+/// over sweep::run_indexed.)
 void run_jobs(int jobs, std::vector<std::function<std::string()>> tasks);
+
+/// Standard sweep flags for benches that route their simulations through
+/// the cached sweep driver (src/sweep): --jobs (worker threads for cache
+/// misses) and --cache (result cache directory; defaults to the
+/// PICPAR_SWEEP_CACHE environment variable, "" = uncached). Register on
+/// `cli` before parse_scale.
+struct SweepFlags {
+  std::shared_ptr<int> jobs;
+  std::shared_ptr<std::string> cache;
+};
+SweepFlags sweep_flags(picpar::Cli& cli);
+
+/// Run labeled configurations through sweep::run_sweep with the parsed
+/// flags. When a cache directory is active, prints the one-line cache
+/// summary (prefixed "# ") — with no cache the bench's output is
+/// byte-identical to running every configuration inline.
+sweep::SweepReport run_sweep_jobs(const std::vector<sweep::Job>& jobs,
+                                  const SweepFlags& flags);
 
 /// Format seconds with 2-decimal fixed precision (paper table style).
 std::string fmt_s(double seconds);

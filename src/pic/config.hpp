@@ -155,6 +155,24 @@ struct PicParams {
   /// Sampling performs an extra allreduce, so it adds (real) virtual time;
   /// leave it off for timing experiments.
   int sample_energy_every = 0;
+
+  /// Canonical serialization of every semantically meaningful field: one
+  /// "key=value" line per field in a fixed order, doubles in std::to_chars
+  /// shortest round-trip form, prefixed by a format-version salt. Two configurations
+  /// produce the same bytes iff run_pic would produce the same PicResult
+  /// content, so the text is the identity the sweep result cache keys on.
+  /// Environment overrides that change run semantics (PICPAR_CRASH_*,
+  /// PICPAR_ANALYZE, PICPAR_TRACE*) are folded in; `exec` and the
+  /// PICPAR_PARALLEL/PICPAR_WORKERS variables are deliberately excluded —
+  /// the parallel engine is bit-identical to the sequential scheduler, so
+  /// execution mode never changes the result. Trace output *paths* are
+  /// likewise excluded (they name sinks, not semantics); whether tracing is
+  /// on is included. See fingerprint.cpp and DESIGN.md §13.
+  std::string canonical() const;
+
+  /// FNV-1a 64-bit hash of canonical(), as 16 lowercase hex digits — the
+  /// content address of this configuration's result.
+  std::string fingerprint() const;
 };
 
 }  // namespace picpar::pic

@@ -1,0 +1,59 @@
+#include "sweep/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace picpar::sweep {
+
+void run_indexed(int workers, std::size_t n,
+                 const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
+  }
+  workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(workers), n));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+
+  // First-thrown-by-index wins, so failure reporting does not depend on
+  // scheduling; later tasks are skipped once anything has thrown.
+  std::mutex mu;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = n;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w)
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n || failed.load()) return;
+        try {
+          task(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(mu);
+          if (!first_error || i < first_error_index) {
+            first_error = std::current_exception();
+            first_error_index = i;
+          }
+          failed.store(true);
+        }
+      }
+    });
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace picpar::sweep

@@ -1,0 +1,24 @@
+// Bounded worker pool for host-level job fan-out.
+//
+// This is *host* parallelism over independent simulations (sim-level
+// sharding), not the simulated machine's parallelism: each task typically
+// calls pic::run_pic, whose determinism contract makes results independent
+// of which worker runs it and when. Callers therefore get deterministic
+// output by indexing results, never by completion order. Shared by the
+// sweep driver (src/sweep/sweep.cpp) and the benches' run_jobs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace picpar::sweep {
+
+/// Run task(0) .. task(n-1) on up to `workers` threads (<= 0 = host
+/// hardware concurrency; clamped to n). Tasks must be independent; any
+/// ordering requirement belongs in the caller's result handling, indexed by
+/// task id. If tasks throw, every task still gets started or skipped as a
+/// unit, all workers drain, and the lowest-indexed exception is rethrown.
+void run_indexed(int workers, std::size_t n,
+                 const std::function<void(std::size_t)>& task);
+
+}  // namespace picpar::sweep

@@ -1,0 +1,93 @@
+// Concurrent sweep driver with content-addressed result caching.
+//
+// run_sweep() takes an ordered list of jobs (label + PicParams), collapses
+// duplicates by PicParams::fingerprint(), serves what it can from an
+// on-disk ResultCache, schedules the remaining simulations across host
+// cores with run_indexed, persists fresh results back to the cache, and
+// returns one Outcome per submitted job in submission order. Because
+// run_pic is deterministic, the merged output is byte-identical whatever
+// the worker count, and a warm-cache rerun performs zero simulations.
+//
+// The merge layer renders a sweep as one comparison table (ascii / CSV /
+// JSON) over virtual-time metrics only, so cold and warm runs of the same
+// grid produce byte-identical files; cache-hit provenance is a separate
+// CSV (provenance_csv) precisely so it never perturbs the comparison
+// artifacts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pic/config.hpp"
+#include "pic/result.hpp"
+
+namespace picpar::sweep {
+
+/// One sweep job: a row label for the merged outputs plus its full config.
+struct Job {
+  std::string label;
+  pic::PicParams params;
+};
+
+/// Where an outcome's result came from.
+enum class Source {
+  kSimulated,  ///< cache miss (or no cache): run_pic executed
+  kCache,      ///< served from a sealed cache entry
+  kDedup,      ///< same fingerprint as an earlier job in this sweep
+};
+
+const char* source_name(Source s);
+
+struct Outcome {
+  std::string label;
+  std::string fingerprint;
+  Source source = Source::kSimulated;
+  /// A cache entry existed but failed its seal or parse; the result below
+  /// was recomputed and the entry rewritten.
+  bool corrupt_replaced = false;
+  pic::PicParams params;
+  pic::PicResult result;
+};
+
+struct SweepOptions {
+  /// Worker threads for cache-miss simulations (1 = serial, 0 = host
+  /// hardware concurrency). Never affects output bytes.
+  int jobs = 1;
+  /// Cache directory ("" = uncached: every unique config simulates).
+  std::string cache_dir;
+  /// Evict oldest entries past this count after the sweep (0 = unlimited).
+  std::size_t max_entries = 0;
+};
+
+struct SweepStats {
+  std::size_t jobs = 0;       ///< submitted
+  std::size_t unique = 0;     ///< distinct fingerprints
+  std::size_t hits = 0;       ///< unique configs served from cache
+  std::size_t simulated = 0;  ///< unique configs that ran run_pic
+  std::size_t corrupt = 0;    ///< cache entries rejected and recomputed
+  std::size_t evicted = 0;    ///< entries trimmed by max_entries
+};
+
+struct SweepReport {
+  std::vector<Outcome> outcomes;  ///< one per job, submission order
+  SweepStats stats;
+};
+
+/// Run the sweep. Exceptions from run_pic propagate (lowest job index
+/// first); cache I/O failures never throw — they degrade to simulation.
+SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt);
+
+/// Deterministic comparison artifacts over the sweep's virtual-time
+/// metrics (one row per job, submission order). No provenance, no wall
+/// clock: cold and warm runs of one grid emit identical bytes.
+std::string comparison_csv(const SweepReport& report);
+std::string comparison_json(const SweepReport& report);
+std::string comparison_table(const SweepReport& report);
+
+/// Per-job cache provenance (label, fingerprint, source, corrupt_replaced)
+/// — the part of a sweep that legitimately differs between cold and warm
+/// runs, kept out of the comparison artifacts above.
+std::string provenance_csv(const SweepReport& report);
+
+}  // namespace picpar::sweep

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace picpar::trace {
@@ -50,6 +51,14 @@ struct MetricsSnapshot {
   /// fill only `value`, histogram rows carry count/sum/min/max, and each
   /// non-empty bucket adds a "bucket,<name>/le_2^k,<count>" row.
   std::string to_csv() const;
+
+  /// Load counterparts to the exporters above, so cached sweep results
+  /// rehydrate without re-simulation (DESIGN.md §13). Strict: the input
+  /// must be in the exporters' own deterministic format; anything else
+  /// throws std::runtime_error. The round trip is byte-exact:
+  /// from_json(s.to_json()).to_json() == s.to_json(), likewise for CSV.
+  static MetricsSnapshot from_json(std::string_view text);
+  static MetricsSnapshot from_csv(std::string_view text);
 };
 
 class MetricsRegistry {

@@ -1,0 +1,148 @@
+// Load counterparts to the deterministic metrics/timeline exporters:
+// from_json/from_csv must invert to_json/to_csv byte-exactly (so cached
+// sweep results rehydrate without re-simulation) and reject anything that
+// is not exporter output.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
+
+namespace picpar::trace {
+namespace {
+
+MetricsSnapshot sample_snapshot() {
+  MetricsRegistry reg;
+  reg.add("msgs_sent", 42);
+  reg.add("redistributions", 3);
+  reg.set("final_imbalance", 1.25);
+  reg.set("mean_iter_seconds", 0.0123456789012345);
+  reg.observe("msg_bytes", 1);
+  reg.observe("msg_bytes", 100);
+  reg.observe("msg_bytes", 65536);
+  reg.observe("ghost_entries", 7);
+  return reg.snapshot();
+}
+
+TEST(MetricsIo, JsonRoundTripIsByteExact) {
+  const auto snap = sample_snapshot();
+  const std::string json = snap.to_json();
+  const auto loaded = MetricsSnapshot::from_json(json);
+  EXPECT_EQ(loaded.to_json(), json);
+  EXPECT_EQ(loaded.counters.size(), 2u);
+  EXPECT_EQ(loaded.gauges.size(), 2u);
+  EXPECT_EQ(loaded.histograms.size(), 2u);
+  EXPECT_EQ(loaded.counters[0].second, 42u);
+  EXPECT_EQ(loaded.gauges[0].second, 1.25);
+}
+
+TEST(MetricsIo, CsvRoundTripIsByteExact) {
+  const auto snap = sample_snapshot();
+  const std::string csv = snap.to_csv();
+  const auto loaded = MetricsSnapshot::from_csv(csv);
+  EXPECT_EQ(loaded.to_csv(), csv);
+  // CSV and JSON loaders agree on the content.
+  EXPECT_EQ(loaded.to_json(), snap.to_json());
+}
+
+TEST(MetricsIo, EmptySnapshotRoundTrips) {
+  const MetricsSnapshot empty;
+  EXPECT_EQ(MetricsSnapshot::from_json(empty.to_json()).to_json(),
+            empty.to_json());
+  EXPECT_EQ(MetricsSnapshot::from_csv(empty.to_csv()).to_csv(),
+            empty.to_csv());
+}
+
+TEST(MetricsIo, HistogramExtremesRoundTrip) {
+  MetricsRegistry reg;
+  reg.observe("extremes", 0);
+  reg.observe("extremes", std::uint64_t{1} << 63);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(MetricsSnapshot::from_json(snap.to_json()).to_json(),
+            snap.to_json());
+  EXPECT_EQ(MetricsSnapshot::from_csv(snap.to_csv()).to_csv(),
+            snap.to_csv());
+}
+
+TEST(MetricsIo, MalformedJsonThrows) {
+  EXPECT_THROW(MetricsSnapshot::from_json(""), std::runtime_error);
+  EXPECT_THROW(MetricsSnapshot::from_json("{}"), std::runtime_error);
+  EXPECT_THROW(MetricsSnapshot::from_json("not json at all"),
+               std::runtime_error);
+  const std::string json = sample_snapshot().to_json();
+  // Truncation anywhere must be detected, never silently accepted.
+  EXPECT_THROW(MetricsSnapshot::from_json(
+                   std::string_view(json).substr(0, json.size() / 2)),
+               std::runtime_error);
+}
+
+TEST(MetricsIo, MalformedCsvThrows) {
+  EXPECT_THROW(MetricsSnapshot::from_csv(""), std::runtime_error);
+  EXPECT_THROW(MetricsSnapshot::from_csv("type,name,value\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      MetricsSnapshot::from_csv("type,name,value,sum,min,max\nbogus,x,1,,,\n"),
+      std::runtime_error);
+  const std::string csv = sample_snapshot().to_csv();
+  EXPECT_THROW(MetricsSnapshot::from_csv(
+                   std::string_view(csv).substr(0, csv.size() - 3)),
+               std::runtime_error);
+}
+
+RedistTimeline sample_timeline() {
+  RedistTimeline t;
+  t.nranks = 3;
+  IterSample a;
+  a.iter = 0;
+  a.vtime = 0.125;
+  a.loop_seconds = 0.5;
+  a.particles = {100, 120, 80};
+  IterSample b;
+  b.iter = 1;
+  b.vtime = 0.6789012345;
+  b.loop_seconds = 0.51;
+  b.redistributed = true;
+  b.redist_seconds = 0.07;
+  b.moved = 45;
+  b.violation = true;
+  b.recovered = true;
+  b.particles = {101, 99, 100};
+  t.iters = {a, b};
+  return t;
+}
+
+TEST(TimelineIo, CsvRoundTripIsByteExact) {
+  const auto t = sample_timeline();
+  const std::string csv = t.to_csv();
+  const auto loaded = RedistTimeline::from_csv(csv);
+  EXPECT_EQ(loaded.to_csv(), csv);
+  ASSERT_EQ(loaded.nranks, 3);
+  ASSERT_EQ(loaded.iters.size(), 2u);
+  EXPECT_EQ(loaded.iters[1].moved, 45u);
+  EXPECT_TRUE(loaded.iters[1].redistributed);
+  EXPECT_EQ(loaded.iters[0].particles,
+            (std::vector<std::uint64_t>{100, 120, 80}));
+}
+
+TEST(TimelineIo, EmptyTimelineRoundTrips) {
+  RedistTimeline t;
+  t.nranks = 2;
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(RedistTimeline::from_csv(csv).to_csv(), csv);
+}
+
+TEST(TimelineIo, MalformedCsvThrows) {
+  EXPECT_THROW(RedistTimeline::from_csv(""), std::runtime_error);
+  EXPECT_THROW(RedistTimeline::from_csv("iter,vtime\n"), std::runtime_error);
+  const std::string csv = sample_timeline().to_csv();
+  EXPECT_THROW(RedistTimeline::from_csv(
+                   std::string_view(csv).substr(0, csv.size() - 2)),
+               std::runtime_error);
+  // A row with the wrong rank-column count is a structural error.
+  EXPECT_THROW(RedistTimeline::from_csv(csv + "2,1,1,0,0,0,0,0,1,5,5\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace picpar::trace
