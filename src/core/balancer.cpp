@@ -1,0 +1,146 @@
+#include "core/balancer.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace picpar::core {
+
+namespace {
+
+constexpr std::uint64_t kMaxKey = std::numeric_limits<std::uint64_t>::max();
+
+/// Shared weighted-SFC splitter: build the global per-cell particle
+/// histogram (in curve order — the key's cell component *is* the curve
+/// index), then walk it once, cutting after the cell where the cumulative
+/// weight alpha * cells_so_far + particles_so_far crosses each rank's equal
+/// share. Every rank gathers the same sparse profile and performs the same
+/// walk, so the bounds agree without a separate broadcast. Accumulation is
+/// commutative uint64 addition, so the result is independent of the order
+/// rank blocks arrive in.
+std::vector<std::uint64_t> weighted_bounds(sim::Comm& comm,
+                                           const particles::ParticleArray& p,
+                                           const sfc::IndexCache& cells,
+                                           double alpha, SortWork& work) {
+  const std::uint64_t stride = p.key_stride();
+  const auto nranks = static_cast<std::uint64_t>(comm.size());
+  // The histogram spans the curve's index *space*; gap indices (curves pad
+  // non-square grids) hold no mesh cell, so only real cells — marked from
+  // the cell table — carry the alpha weight.
+  const std::uint64_t nspace = cells.max_index() + 1;
+  std::vector<std::uint8_t> is_cell(nspace, 0);
+  for (std::uint64_t c = 0; c < cells.size(); ++c) is_cell[cells[c]] = 1;
+
+  // Local dense count, compressed to sparse (cell, count) pairs for the
+  // gather: a rank's particles are compact on the curve, so most cells are
+  // empty from its point of view.
+  std::vector<std::uint64_t> local(nspace, 0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const std::uint64_t cell = p.key[i] / stride;
+    if (cell >= nspace)
+      throw std::runtime_error("weighted_bounds: key outside the grid");
+    ++local[cell];
+  }
+  std::vector<std::uint64_t> sparse;
+  for (std::uint64_t c = 0; c < nspace; ++c)
+    if (local[c] != 0) {
+      sparse.push_back(c);
+      sparse.push_back(local[c]);
+    }
+  work.comparisons += p.size() + nspace;
+
+  const auto all = comm.allgatherv(sparse);
+
+  std::vector<std::uint64_t> hist(nspace, 0);
+  std::uint64_t total_count = 0;
+  for (std::size_t i = 0; i + 1 < all.size(); i += 2) {
+    hist[all[i]] += all[i + 1];
+    total_count += all[i + 1];
+  }
+
+  // Equal-share targets in exact integer arithmetic: weight each cell at
+  // W = K + count, K = round(alpha) scaled so fractional alphas resolve to
+  // a fixed-point per-cell weight. Using 1024ths keeps the walk integral
+  // (and therefore trivially deterministic) while supporting alpha < 1.
+  const auto kScale = std::uint64_t{1024};
+  const auto cell_w =
+      static_cast<std::uint64_t>(alpha * static_cast<double>(kScale) + 0.5);
+  const std::uint64_t total_w = cells.size() * cell_w + total_count * kScale;
+
+  std::vector<std::uint64_t> bounds(nranks, kMaxKey);
+  std::uint64_t cum = 0;
+  std::uint64_t r = 0;
+  for (std::uint64_t c = 0; c < nspace && r + 1 < nranks; ++c) {
+    cum += (is_cell[c] ? cell_w : 0) + hist[c] * kScale;
+    // Rank r's share ends at the first cell whose cumulative weight reaches
+    // (r+1)/nranks of the total. 128-bit products avoid overflow for any
+    // realistic population (total_w < 2^53, nranks < 2^16).
+    while (r + 1 < nranks &&
+           static_cast<unsigned __int128>(cum) * nranks >=
+               static_cast<unsigned __int128>(total_w) * (r + 1)) {
+      bounds[r] = c * stride + (stride - 1);
+      ++r;
+    }
+  }
+  work.comparisons += nspace + nranks;
+  return bounds;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> BalancerPolicy::compute_bounds(
+    sim::Comm&, const particles::ParticleArray&, const sfc::IndexCache&,
+    SortWork&) const {
+  throw std::logic_error("compute_bounds called on a Lagrangian balancer");
+}
+
+std::vector<std::uint64_t> EulerianBalancer::compute_bounds(
+    sim::Comm& comm, const particles::ParticleArray& p,
+    const sfc::IndexCache& cells, SortWork& work) const {
+  return weighted_bounds(comm, p, cells, 0.0, work);
+}
+
+SfcWeightedBalancer::SfcWeightedBalancer(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0))
+    throw std::invalid_argument("sfcweight: alpha must be > 0");
+}
+
+std::string SfcWeightedBalancer::name() const {
+  if (alpha_ == 1.0) return "sfcweight";
+  // Trim trailing zeros so "sfcweight:2.500000" round-trips as
+  // "sfcweight:2.5" through the fingerprint.
+  std::string a = std::to_string(alpha_);
+  while (a.size() > 1 && a.back() == '0') a.pop_back();
+  if (!a.empty() && a.back() == '.') a.pop_back();
+  return "sfcweight:" + a;
+}
+
+std::vector<std::uint64_t> SfcWeightedBalancer::compute_bounds(
+    sim::Comm& comm, const particles::ParticleArray& p,
+    const sfc::IndexCache& cells, SortWork& work) const {
+  return weighted_bounds(comm, p, cells, alpha_, work);
+}
+
+std::unique_ptr<BalancerPolicy> make_balancer(const std::string& spec) {
+  if (spec.empty() || spec == "lagrange" || spec == "lagrangian")
+    return std::make_unique<LagrangianBalancer>();
+  if (spec == "eulerian") return std::make_unique<EulerianBalancer>();
+  if (spec == "sfcweight") return std::make_unique<SfcWeightedBalancer>(1.0);
+  if (spec.rfind("sfcweight:", 0) == 0) {
+    const std::string arg = spec.substr(10);
+    try {
+      std::size_t used = 0;
+      const double alpha = std::stod(arg, &used);
+      if (used != arg.size()) throw std::invalid_argument(arg);
+      return std::make_unique<SfcWeightedBalancer>(alpha);
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("make_balancer: bad alpha '" + arg + "'");
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("make_balancer: bad alpha '" + arg + "'");
+    }
+  }
+  throw std::invalid_argument("make_balancer: unknown balancer '" + spec +
+                              "'");
+}
+
+}  // namespace picpar::core

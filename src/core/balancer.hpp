@@ -1,0 +1,102 @@
+// Pluggable balancer policies: how the per-rank key ranges (the partition
+// bounds) are computed when particles are (re)distributed.
+//
+// The paper's scheme is Lagrangian: bounds follow the particles (sample
+// sort + order-maintaining balance equalizes counts exactly, and the mesh
+// decomposition follows the same curve). The related work contributes two
+// Eulerian-flavored alternatives that compute *cell-aligned* bounds from a
+// global per-cell weight profile instead:
+//
+//   EulerianBalancer     particle-weighted Eulerian partitioning (Sauget &
+//                        Latu): cut the curve-ordered cell sequence so each
+//                        rank carries an equal share of the *particle
+//                        count*. Bounds land on cell edges, so a rank's
+//                        particles exactly tile a run of whole cells —
+//                        field data and particles align, at the price of
+//                        count imbalance up to one cell's population.
+//
+//   SfcWeightedBalancer  weighted-element SFC splitting (Ortwein et al.):
+//                        every cell costs alpha (mesh/field work) plus its
+//                        particle count (particle work); the curve is cut
+//                        into equal-weight runs. alpha = 0 degenerates to
+//                        the Eulerian variant; larger alpha biases toward
+//                        equal cell counts.
+//
+// Weighted bounds are computed collectively from an allgathered sparse
+// per-cell histogram; every rank walks the same global profile, so all
+// ranks derive identical bounds with no further agreement round. This is a
+// different axis than the redistribution *decision* policy (core/policy.hpp
+// — when to redistribute); the two compose freely, and the sweep grid's
+// policy axis accepts "decision+balancer" (e.g. "sar+eulerian").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sort_util.hpp"
+#include "particles/particle_array.hpp"
+#include "sfc/index_cache.hpp"
+#include "sim/comm.hpp"
+
+namespace picpar::core {
+
+class BalancerPolicy {
+public:
+  virtual ~BalancerPolicy() = default;
+
+  /// Canonical spec string ("lagrange", "eulerian", "sfcweight:2").
+  virtual std::string name() const = 0;
+
+  /// True for the paper's scheme: the partitioner keeps its sample-sort +
+  /// order-maintaining-balance pipeline and never calls compute_bounds().
+  virtual bool lagrangian() const { return false; }
+
+  /// Collective: compute the inclusive upper key bound of every rank's
+  /// range (comm.size() values, non-decreasing, last = max key). Keys use
+  /// the species-in-key encoding; bounds returned by weighted balancers are
+  /// cell-aligned (bound = cell_curve_index * stride + stride - 1).
+  /// `cells` is the cell -> curve-index table: it both sizes the weight
+  /// histogram (curve indices need not be dense — Hilbert pads non-square
+  /// grids, see IndexCache::max_index) and marks which indices are real
+  /// cells, so gap indices never carry mesh weight. Work goes into `work`.
+  virtual std::vector<std::uint64_t> compute_bounds(
+      sim::Comm& comm, const particles::ParticleArray& p,
+      const sfc::IndexCache& cells, SortWork& work) const;
+};
+
+class LagrangianBalancer final : public BalancerPolicy {
+public:
+  std::string name() const override { return "lagrange"; }
+  bool lagrangian() const override { return true; }
+};
+
+class EulerianBalancer final : public BalancerPolicy {
+public:
+  std::string name() const override { return "eulerian"; }
+  std::vector<std::uint64_t> compute_bounds(sim::Comm& comm,
+                                            const particles::ParticleArray& p,
+                                            const sfc::IndexCache& cells,
+                                            SortWork& work) const override;
+};
+
+class SfcWeightedBalancer final : public BalancerPolicy {
+public:
+  explicit SfcWeightedBalancer(double alpha);
+  std::string name() const override;
+  std::vector<std::uint64_t> compute_bounds(sim::Comm& comm,
+                                            const particles::ParticleArray& p,
+                                            const sfc::IndexCache& cells,
+                                            SortWork& work) const override;
+
+  double alpha() const { return alpha_; }
+
+private:
+  double alpha_;
+};
+
+/// Factory: "lagrange" (the paper's scheme, default), "eulerian",
+/// "sfcweight" (alpha = 1) or "sfcweight:A" (per-cell weight A > 0).
+std::unique_ptr<BalancerPolicy> make_balancer(const std::string& spec);
+
+}  // namespace picpar::core

@@ -4,14 +4,28 @@ namespace picpar::core {
 
 void assign_keys(const sfc::Curve& curve, const mesh::GridDesc& grid,
                  particles::ParticleArray& p) {
-  for (std::size_t i = 0; i < p.size(); ++i)
-    p.key[i] = key_of(curve, grid, p.x[i], p.y[i]);
+  const std::uint64_t stride = p.key_stride();
+  if (stride == 1) {
+    for (std::size_t i = 0; i < p.size(); ++i)
+      p.key[i] = key_of(curve, grid, p.x[i], p.y[i]);
+  } else {
+    for (std::size_t i = 0; i < p.size(); ++i)
+      p.key[i] =
+          key_of(curve, grid, p.x[i], p.y[i]) * stride + p.key[i] % stride;
+  }
 }
 
 void assign_keys(const sfc::IndexCache& cache, const mesh::GridDesc& grid,
                  particles::ParticleArray& p) {
-  for (std::size_t i = 0; i < p.size(); ++i)
-    p.key[i] = key_of(cache, grid, p.x[i], p.y[i]);
+  const std::uint64_t stride = p.key_stride();
+  if (stride == 1) {
+    for (std::size_t i = 0; i < p.size(); ++i)
+      p.key[i] = key_of(cache, grid, p.x[i], p.y[i]);
+  } else {
+    for (std::size_t i = 0; i < p.size(); ++i)
+      p.key[i] =
+          key_of(cache, grid, p.x[i], p.y[i]) * stride + p.key[i] % stride;
+  }
 }
 
 bool is_sorted_by_key(const particles::ParticleArray& p) {

@@ -15,7 +15,11 @@
 namespace picpar::core {
 
 /// Recompute the sort key of every particle from its current position.
-/// Costs one cell lookup + one curve evaluation per particle.
+/// Costs one cell lookup + one curve evaluation per particle. Multi-species
+/// arrays use the species-in-key encoding (key = cell_index * S + species,
+/// see particles/particle_array.hpp): the species id is read from the old
+/// key and preserved, so keys must carry valid species bits on entry (a
+/// freshly generated loadout seeds key = species id).
 void assign_keys(const sfc::Curve& curve, const mesh::GridDesc& grid,
                  particles::ParticleArray& p);
 
@@ -37,6 +41,16 @@ inline std::uint64_t key_of(const sfc::Curve& curve,
 inline std::uint64_t key_of(const sfc::IndexCache& cache,
                             const mesh::GridDesc& grid, double x, double y) {
   return cache[grid.cell_of(x, y)];
+}
+
+/// Species-in-key encode: curve index of the enclosing cell scaled by the
+/// array's key stride, plus the species id in the low bits. With stride 1
+/// (single species) this is exactly key_of.
+inline std::uint64_t encode_key(const sfc::IndexCache& cache,
+                                const mesh::GridDesc& grid, double x,
+                                double y, std::uint64_t stride,
+                                std::uint64_t species) {
+  return cache[grid.cell_of(x, y)] * stride + species;
 }
 
 /// True if the key sequence is non-decreasing.

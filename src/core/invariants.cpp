@@ -51,6 +51,9 @@ InvariantReport InvariantChecker::check(
     const std::vector<std::uint64_t>* rank_upper_bounds, double local_energy) {
   InvariantReport rep;
   const std::size_t n = p.size();
+  // Species-in-key encoding: the cell component is key / stride (stride 1
+  // for single-species arrays, where this degenerates to the plain key).
+  const std::uint64_t stride = p.key_stride();
 
   // ---- local scans ----
   std::size_t bad_finite = 0, bad_domain = 0, bad_key = 0;
@@ -68,7 +71,7 @@ InvariantReport InvariantChecker::check(
       continue;
     }
     if (cfg_.verify_keys &&
-        p.key[i] != key_of(*curve_, grid_, p.x[i], p.y[i]))
+        p.key[i] / stride != key_of(*curve_, grid_, p.x[i], p.y[i]))
       ++bad_key;
   }
   comm.charge_ops(static_cast<std::uint64_t>(

@@ -21,6 +21,7 @@ ParticlePartitioner::ParticlePartitioner(const sfc::Curve& curve,
     : curve_(&curve),
       grid_(grid),
       cfg_(cfg),
+      balancer_(make_balancer(cfg.balancer)),
       key_cache_(curve, grid.nx, grid.ny) {
   if (cfg.buckets_per_rank < 1 || cfg.samples_per_rank < 1)
     throw std::invalid_argument("PartitionerConfig: counts must be >= 1");
@@ -40,17 +41,21 @@ void ParticlePartitioner::charge_work(sim::Comm& comm,
   comm.charge(ops * comm.cost().delta);
 }
 
-int ParticlePartitioner::dest_rank(std::uint64_t key, SortWork& w) const {
+int ParticlePartitioner::owner_of(std::uint64_t key) const {
   // First rank whose inclusive upper bound admits the key; the last rank
   // absorbs anything above all bounds.
   const auto it =
       std::lower_bound(global_bounds_.begin(), global_bounds_.end(), key);
+  if (it == global_bounds_.end()) return static_cast<int>(global_bounds_.size()) - 1;
+  return static_cast<int>(it - global_bounds_.begin());
+}
+
+int ParticlePartitioner::dest_rank(std::uint64_t key, SortWork& w) const {
   w.comparisons += 1 + static_cast<std::uint64_t>(
                            global_bounds_.empty()
                                ? 0
                                : 64 - __builtin_clzll(global_bounds_.size()));
-  if (it == global_bounds_.end()) return static_cast<int>(global_bounds_.size()) - 1;
-  return static_cast<int>(it - global_bounds_.begin());
+  return owner_of(key);
 }
 
 void ParticlePartitioner::refresh_state(sim::Comm& comm,
@@ -70,6 +75,10 @@ void ParticlePartitioner::refresh_state(sim::Comm& comm,
     prev = global_bounds_[i];
   }
 
+  refresh_local_buckets(p);
+}
+
+void ParticlePartitioner::refresh_local_buckets(const ParticleArray& p) {
   // Interior bucket boundaries of the local array: bucket b holds local
   // positions [b*span, (b+1)*span); boundary key b (b = 1..L-1) is the key
   // at position b*span.
@@ -95,6 +104,30 @@ RedistReport ParticlePartitioner::distribute(sim::Comm& comm,
 
   // 1. Local sort by key.
   rep.work += sort_by_key(p);
+
+  // Weighted balancers replace steps 2-3 (sampling + splitter derivation)
+  // with the collective cell-weight walk, and skip step 6: cell-aligned
+  // bounds are the point of the policy, and the order-maintaining balance
+  // would shift them back onto arbitrary particle boundaries. The computed
+  // bounds are kept (refresh_state would overwrite them with data-derived
+  // ones); only the local bucket table is refreshed.
+  if (!balancer_->lagrangian()) {
+    global_bounds_ = balancer_->compute_bounds(comm, p, key_cache_, rep.work);
+    std::vector<std::vector<ParticleRec>> send(
+        static_cast<std::size_t>(nranks));
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const int d = dest_rank(p.key[i], rep.work);
+      send[static_cast<std::size_t>(d)].push_back(p.rec(i));
+      ++rep.work.moves;
+      if (d != comm.rank()) ++rep.sent_particles;
+    }
+    auto recv = comm.all_to_many(std::move(send));
+    rep.work += merge_runs(recv, p);
+    charge_work(comm, rep.work);
+    refresh_local_buckets(p);
+    rep.seconds = comm.clock() - t_begin;
+    return rep;
+  }
 
   // 2. Regular sampling of local keys.
   const int s = cfg_.samples_per_rank;
@@ -169,11 +202,19 @@ RedistReport ParticlePartitioner::redistribute(sim::Comm& comm,
   const int nranks = comm.size();
   const int L = cfg_.buckets_per_rank;
 
-  // Fig 12 line 1: refresh the global processor bounds from the previous
-  // sorted state (they are already cached; the allgather keeps the
-  // communication pattern of the paper's algorithm).
-  const auto counts = comm.allgather<std::uint64_t>(p.size());
-  (void)counts;
+  const bool weighted = !balancer_->lagrangian();
+  if (weighted) {
+    // Weighted policies recompute the cell-aligned bounds from the current
+    // particle profile before classifying: the profile drifted since the
+    // last redistribution, and the bounds are a pure function of it.
+    global_bounds_ = balancer_->compute_bounds(comm, p, key_cache_, rep.work);
+  } else {
+    // Fig 12 line 1: refresh the global processor bounds from the previous
+    // sorted state (they are already cached; the allgather keeps the
+    // communication pattern of the paper's algorithm).
+    const auto counts = comm.allgather<std::uint64_t>(p.size());
+    (void)counts;
+  }
 
   const std::uint64_t my_lower =
       comm.rank() == 0
@@ -287,6 +328,15 @@ RedistReport ParticlePartitioner::redistribute(sim::Comm& comm,
   } else {
     for (auto& b : bucket_scratch_) rep.work += sort_records(b);
     rep.work += merge_bucket_runs(bucket_scratch_, recv_scratch_, p);
+  }
+
+  if (weighted) {
+    // Cell-aligned bounds are authoritative: no exact balance pass, and the
+    // computed bounds survive instead of refresh_state's data-derived ones.
+    charge_work(comm, rep.work);
+    refresh_local_buckets(p);
+    rep.seconds = comm.clock() - t_begin;
+    return rep;
   }
 
   // Order-maintaining load balance, then refresh bucket state.

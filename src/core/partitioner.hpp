@@ -21,6 +21,9 @@
 #include <cstdint>
 #include <vector>
 
+#include <memory>
+
+#include "core/balancer.hpp"
 #include "core/sort_util.hpp"
 #include "mesh/grid.hpp"
 #include "particles/particle_array.hpp"
@@ -37,6 +40,12 @@ struct PartitionerConfig {
   /// translating sort work into virtual compute time.
   double ops_per_comparison = 1.0;
   double ops_per_move = 2.0;
+  /// Balancer policy spec (core/balancer.hpp): "lagrange" (the paper's
+  /// sample sort + order-maintaining balance), "eulerian" (particle-
+  /// weighted cell-aligned cuts) or "sfcweight[:A]" (weighted-element SFC
+  /// splitting). Weighted balancers replace the splitter derivation and
+  /// skip the exact balance step; bounds stay cell-aligned.
+  std::string balancer = "lagrange";
 };
 
 struct RedistReport {
@@ -71,6 +80,14 @@ public:
     return global_bounds_;
   }
 
+  /// Rank owning `key` under the current bounds: rank r owns keys in
+  /// (bounds[r-1], bounds[r]], rank 0 also owns key 0. Requires state from
+  /// a prior (re)distribution. Used by the injector to decide, from the
+  /// globally agreed batch, which emitted particles are locally kept.
+  int owner_of(std::uint64_t key) const;
+
+  const BalancerPolicy& balancer() const { return *balancer_; }
+
   bool has_state() const { return have_state_; }
 
   /// Resident bytes held by the redistribution scratch (send buckets,
@@ -82,12 +99,18 @@ public:
 private:
   void charge_work(sim::Comm& comm, const SortWork& w) const;
   void refresh_state(sim::Comm& comm, const particles::ParticleArray& p);
+  /// Recompute the local bucket boundaries only (weighted balancers keep
+  /// their computed cell-aligned global bounds instead of the data-derived
+  /// bounds refresh_state would install).
+  void refresh_local_buckets(const particles::ParticleArray& p);
   /// Destination rank for a key under the current global bounds.
   int dest_rank(std::uint64_t key, SortWork& w) const;
 
   const sfc::Curve* curve_;
   mesh::GridDesc grid_;
   PartitionerConfig cfg_;
+  /// Bounds policy (shared so the partitioner stays copyable).
+  std::shared_ptr<const BalancerPolicy> balancer_;
   /// Memoized cell -> curve-index table backing assign_keys (DESIGN.md §10).
   sfc::IndexCache key_cache_;
 

@@ -11,8 +11,11 @@ namespace picpar::particles {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x70696370617274ULL;  // "picpart"
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 3;
+constexpr std::uint32_t kVersionSingleSpecies = 2;
 constexpr std::uint32_t kVersionNoCrc = 1;
+/// Species ids are stored as one byte per record, so the table is capped.
+constexpr std::uint32_t kMaxSpecies = 256;
 
 struct Header {
   std::uint64_t magic = kMagic;
@@ -23,6 +26,15 @@ struct Header {
   double mass = 0.0;
 };
 static_assert(sizeof(Header) == 40);
+
+/// v3 per-species constants, after the header: u32 nspecies, then one of
+/// these per species. The header's charge/mass mirror species 0 so a v3
+/// file degrades readably for tools that only understand the fixed header.
+struct SpeciesRec {
+  double charge = 0.0;
+  double mass = 0.0;
+};
+static_assert(sizeof(SpeciesRec) == 16);
 
 // CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
 const std::array<std::uint32_t, 256>& crc32_table() {
@@ -61,22 +73,40 @@ void save_particles(const std::string& path, const ParticleArray& p) {
   h.count = p.size();
   h.charge = p.charge();
   h.mass = p.mass();
-  f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+
+  const auto nspecies = static_cast<std::uint32_t>(p.nspecies());
+  if (nspecies > kMaxSpecies)
+    throw std::runtime_error("save_particles: too many species");
+  std::vector<SpeciesRec> species;
+  species.reserve(nspecies);
+  for (const auto& s : p.species()) species.push_back({s.charge, s.mass});
 
   std::vector<ParticleRec> recs;
   recs.reserve(p.size());
   for (std::size_t i = 0; i < p.size(); ++i) recs.push_back(p.rec(i));
-  if (!recs.empty())
-    f.write(reinterpret_cast<const char*>(recs.data()),
-            static_cast<std::streamsize>(recs.size() * sizeof(ParticleRec)));
 
-  // v2 trailer: CRC-32 over header + records, so a bit flip anywhere in the
-  // file (not just a short read) is detected at load time.
-  std::uint32_t crc = crc32_update(kCrcInit, &h, sizeof(h));
-  if (!recs.empty())
-    crc = crc32_update(crc, recs.data(), recs.size() * sizeof(ParticleRec));
-  crc = crc32_finish(crc);
-  f.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  // Species column: redundant with key % nspecies by construction, stored
+  // explicitly so the loader can cross-check the key encoding (a corrupted
+  // key that survives the CRC window cannot silently swap species).
+  std::vector<std::uint8_t> column(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    column[i] = static_cast<std::uint8_t>(p.species_of(i));
+
+  std::uint32_t crc = kCrcInit;
+  const auto put = [&](const void* data, std::size_t n) {
+    if (n == 0) return;
+    f.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(n));
+    crc = crc32_update(crc, data, n);
+  };
+  put(&h, sizeof(h));
+  put(&nspecies, sizeof(nspecies));
+  put(species.data(), species.size() * sizeof(SpeciesRec));
+  put(recs.data(), recs.size() * sizeof(ParticleRec));
+  put(column.data(), column.size());
+
+  const std::uint32_t trailer = crc32_finish(crc);
+  f.write(reinterpret_cast<const char*>(&trailer), sizeof(trailer));
   if (!f) throw std::runtime_error("save_particles: write failed for " + path);
 }
 
@@ -88,43 +118,89 @@ ParticleArray load_particles(const std::string& path) {
   f.read(reinterpret_cast<char*>(&h), sizeof(h));
   if (!f || h.magic != kMagic)
     throw std::runtime_error("load_particles: bad magic in " + path);
-  if (h.version != kVersion && h.version != kVersionNoCrc)
+  if (h.version != kVersion && h.version != kVersionSingleSpecies &&
+      h.version != kVersionNoCrc)
     throw std::runtime_error("load_particles: unsupported version " +
                              std::to_string(h.version));
 
-  // Validate the claimed record count against the actual file size before
-  // allocating anything: a corrupt count field must be rejected here, not
-  // turned into a multi-gigabyte allocation the read can never fill.
   f.seekg(0, std::ios::end);
   const auto file_size = static_cast<std::uint64_t>(f.tellg());
   f.seekg(static_cast<std::streamoff>(sizeof(Header)));
-  const std::uint64_t payload = file_size - sizeof(Header);
-  if (h.count > payload / sizeof(ParticleRec))
+
+  std::uint32_t crc = kCrcInit;
+  crc = crc32_update(crc, &h, sizeof(h));
+  const auto get = [&](void* data, std::size_t n, const char* what) {
+    if (n == 0) return;
+    f.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (!f)
+      throw std::runtime_error(std::string("load_particles: truncated ") +
+                               what + " in " + path);
+    crc = crc32_update(crc, data, n);
+  };
+
+  std::uint32_t nspecies = 1;
+  std::vector<Species> species;
+  std::uint64_t payload = file_size - sizeof(Header);
+  if (h.version >= kVersion) {
+    get(&nspecies, sizeof(nspecies), "species count");
+    if (nspecies == 0 || nspecies > kMaxSpecies)
+      throw std::runtime_error("load_particles: bad species count " +
+                               std::to_string(nspecies) + " in " + path);
+    // Validate the species table against the remaining bytes before
+    // allocating anything driven by file contents.
+    payload -= sizeof(nspecies);
+    if (std::uint64_t{nspecies} * sizeof(SpeciesRec) > payload)
+      throw std::runtime_error("load_particles: species table exceeds file "
+                               "size in " + path);
+    std::vector<SpeciesRec> raw(nspecies);
+    get(raw.data(), raw.size() * sizeof(SpeciesRec), "species table");
+    payload -= std::uint64_t{nspecies} * sizeof(SpeciesRec);
+    species.reserve(nspecies);
+    for (const auto& s : raw) species.push_back({s.charge, s.mass});
+  } else {
+    species.push_back({h.charge, h.mass});
+  }
+
+  // Validate the claimed record count against the actual file size before
+  // allocating anything: a corrupt count field must be rejected here, not
+  // turned into a multi-gigabyte allocation the read can never fill. v3
+  // records cost an extra species-column byte each.
+  const std::uint64_t per_rec =
+      sizeof(ParticleRec) + (h.version >= kVersion ? 1 : 0);
+  if (h.count > payload / per_rec)
     throw std::runtime_error("load_particles: record count " +
                              std::to_string(h.count) +
                              " exceeds file size in " + path);
 
-  ParticleArray p(h.charge, h.mass);
-  p.reserve(h.count);
   std::vector<ParticleRec> recs(h.count);
-  if (h.count > 0) {
-    f.read(reinterpret_cast<char*>(recs.data()),
-           static_cast<std::streamsize>(h.count * sizeof(ParticleRec)));
-    if (!f) throw std::runtime_error("load_particles: truncated " + path);
-  }
+  get(recs.data(), recs.size() * sizeof(ParticleRec), "records");
+
+  std::vector<std::uint8_t> column;
   if (h.version >= kVersion) {
+    column.resize(h.count);
+    get(column.data(), column.size(), "species column");
+  }
+
+  if (h.version >= kVersionSingleSpecies) {
     std::uint32_t stored = 0;
     f.read(reinterpret_cast<char*>(&stored), sizeof(stored));
     if (!f)
       throw std::runtime_error("load_particles: missing checksum in " + path);
-    std::uint32_t crc = crc32_update(kCrcInit, &h, sizeof(h));
-    if (h.count > 0)
-      crc = crc32_update(crc, recs.data(), recs.size() * sizeof(ParticleRec));
     if (crc32_finish(crc) != stored)
       throw std::runtime_error("load_particles: checksum mismatch in " + path);
   }
-  for (const auto& r : recs) p.push_back(r);
+
+  ParticleArray p(std::move(species));
+  p.reserve(h.count);
+  const std::uint64_t stride = p.key_stride();
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    if (h.version >= kVersion && column[i] != recs[i].key % stride)
+      throw std::runtime_error(
+          "load_particles: species column disagrees with key encoding in " +
+          path);
+    p.push_back(recs[i]);
+  }
   return p;
 }
 
-}  // namespace particles
+}  // namespace picpar::particles

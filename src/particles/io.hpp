@@ -2,10 +2,14 @@
 //
 // Long PIC campaigns on the CM-5 era machines (and today) run in windows;
 // checkpoint/restart of the particle population is the minimal persistence
-// a production code needs. Format (v2): little-endian, fixed 40-byte header
-// (magic, version, count, charge, mass), count ParticleRec records, then a
-// CRC-32 (IEEE) trailer over header + records so silent corruption is
-// detected at load time. v1 files (no trailer) still load.
+// a production code needs. Format (v3): little-endian, fixed 40-byte header
+// (magic, version, count, species-0 charge/mass), a species table
+// (u32 nspecies + per-species charge/mass), count ParticleRec records, a
+// one-byte-per-record species column (cross-checked against the key's
+// species-in-key encoding at load), then a CRC-32 (IEEE) trailer over
+// everything before it so silent corruption is detected at load time.
+// v2 files (single species, no species block/column) and v1 files (v2
+// without the trailer) still load.
 #pragma once
 
 #include <string>

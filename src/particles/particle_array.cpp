@@ -24,8 +24,15 @@ double ParticleArray::gamma(std::size_t i) const {
 }
 
 double ParticleArray::kinetic_energy() const {
+  // picpar-lint: allow(float-reduction-order) local-index-order sum
   double e = 0.0;
-  for (std::size_t i = 0; i < size(); ++i) e += mass_ * (gamma(i) - 1.0);
+  if (species_.size() == 1) {
+    const double m = species_[0].mass;
+    for (std::size_t i = 0; i < size(); ++i) e += m * (gamma(i) - 1.0);
+  } else {
+    for (std::size_t i = 0; i < size(); ++i)
+      e += mass_of(i) * (gamma(i) - 1.0);
+  }
   return e;
 }
 

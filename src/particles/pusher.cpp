@@ -44,6 +44,16 @@ void advance_position(const mesh::GridDesc& g, ParticleArray& p,
   p.y[i] = g.wrap_y(p.y[i] + dt * p.uy[i] / gamma);
 }
 
+bool advance_position_absorb_x(const mesh::GridDesc& g, ParticleArray& p,
+                               std::size_t i, double dt) {
+  const double gamma = p.gamma(i);
+  const double nx = p.x[i] + dt * p.ux[i] / gamma;
+  if (nx < 0.0 || nx >= g.lx) return false;
+  p.x[i] = nx;
+  p.y[i] = g.wrap_y(p.y[i] + dt * p.uy[i] / gamma);
+  return true;
+}
+
 void leapfrog_kick(double q, double m, double dt, double ex, double ey,
                    double& ux, double& uy) {
   const double qmdt = q * dt / m;

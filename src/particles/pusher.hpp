@@ -26,6 +26,13 @@ void boris_kick(double q, double m, double dt, const LocalFields& f,
 void advance_position(const mesh::GridDesc& g, ParticleArray& p,
                       std::size_t i, double dt);
 
+/// Advance position with an absorbing boundary in x and periodic wrapping
+/// in y (open-ended beam scenarios: particles stream in at one edge and
+/// leave at the other). Returns false when the particle left the domain in
+/// x — the caller removes (absorbs) it; its position is left unchanged.
+bool advance_position_absorb_x(const mesh::GridDesc& g, ParticleArray& p,
+                               std::size_t i, double dt);
+
 /// Non-relativistic leapfrog kick (E only) for electrostatic runs.
 void leapfrog_kick(double q, double m, double dt, double ex, double ey,
                    double& ux, double& uy);

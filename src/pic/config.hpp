@@ -122,6 +122,13 @@ struct PicParams {
   particles::Distribution dist = particles::Distribution::kUniform;
   particles::InitParams init{};  ///< init.total must be set
 
+  /// Scenario name from the scenario library (src/scenario) — selects the
+  /// loadout, species table, field seed, driver, boundary and injector as a
+  /// bundle. Empty (the default) keeps the legacy path: `dist` chooses the
+  /// loadout and every hook stays disabled, byte-identical to builds
+  /// without the scenario subsystem. When set, `dist` is ignored.
+  std::string scenario;
+
   sfc::CurveKind curve = sfc::CurveKind::kHilbert;
   GridDecomp grid_decomp = GridDecomp::kCurve;
   FieldSolveKind solver = FieldSolveKind::kMaxwell;

@@ -30,7 +30,9 @@ namespace {
 
 /// Bump when the meaning of existing fields changes (or a physics change
 /// invalidates cached results) without the serialized keys changing.
-constexpr int kCanonicalVersion = 1;
+/// v2: scenario subsystem (scenario name and partitioner.balancer joined
+/// the serialization; runs they affect must not hit v1 cache entries).
+constexpr int kCanonicalVersion = 2;
 
 void kv(std::string& out, const char* key, const std::string& v) {
   out += key;
@@ -92,6 +94,7 @@ std::string PicParams::canonical() const {
   kv(out, "grid.ly", grid.ly);
   kv(out, "nranks", nranks);
   kv(out, "dist", particles::distribution_name(dist));
+  kv(out, "scenario", scenario);
   kv(out, "init.total", init.total);
   kv(out, "init.vth", init.vth);
   kv(out, "init.drift_ux", init.drift_ux);
@@ -112,6 +115,7 @@ std::string PicParams::canonical() const {
   kv(out, "partitioner.samples_per_rank", partitioner.samples_per_rank);
   kv(out, "partitioner.ops_per_comparison", partitioner.ops_per_comparison);
   kv(out, "partitioner.ops_per_move", partitioner.ops_per_move);
+  kv(out, "partitioner.balancer", partitioner.balancer);
 
   // ---- cost model ----
   kv(out, "costs.scatter_per_vertex", costs.scatter_per_vertex);

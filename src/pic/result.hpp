@@ -67,6 +67,12 @@ struct PicResult {
   std::uint64_t initial_particles = 0;
   std::uint64_t final_particles = 0;  ///< summed over surviving ranks at end
 
+  // Boundary bookkeeping (populated by scenarios with an injector and/or
+  // an absorbing boundary; zero on the legacy periodic path). Conservation
+  // under injection: initial + emitted - absorbed == final (faults off).
+  std::uint64_t emitted_particles = 0;   ///< injected over the whole run
+  std::uint64_t absorbed_particles = 0;  ///< lost through open boundaries
+
   // Fail-stop crash recovery (populated when crash faults are enabled;
   // see sim::FaultConfig crash_schedule / crash_prob and PICPAR_CRASH_*).
   int crash_count = 0;        ///< ranks lost to fail-stop crashes

@@ -168,6 +168,8 @@ std::string serialize_result(const PicResult& r) {
   put(out, "violation_iterations", r.violation_iterations);
   put(out, "initial_particles", r.initial_particles);
   put(out, "final_particles", r.final_particles);
+  put(out, "emitted_particles", r.emitted_particles);
+  put(out, "absorbed_particles", r.absorbed_particles);
   put(out, "crash_count", r.crash_count);
   put(out, "crash_recoveries", r.crash_recoveries);
   put(out, "final_ranks", r.final_ranks);
@@ -324,6 +326,8 @@ PicResult parse_result(std::string_view text) {
   r.violation_iterations = num<int>(in.value("violation_iterations"));
   r.initial_particles = num<std::uint64_t>(in.value("initial_particles"));
   r.final_particles = num<std::uint64_t>(in.value("final_particles"));
+  r.emitted_particles = num<std::uint64_t>(in.value("emitted_particles"));
+  r.absorbed_particles = num<std::uint64_t>(in.value("absorbed_particles"));
   r.crash_count = num<int>(in.value("crash_count"));
   r.crash_recoveries = num<int>(in.value("crash_recoveries"));
   r.final_ranks = num<int>(in.value("final_ranks"));

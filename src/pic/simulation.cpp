@@ -21,6 +21,7 @@
 #include "particles/interpolate.hpp"
 #include "particles/pusher.hpp"
 #include "runtime/parallel_engine.hpp"
+#include "scenario/scenario.hpp"
 #include "sfc/index_cache.hpp"
 #include "sim/comm.hpp"
 #include "trace/chrome_trace.hpp"
@@ -114,6 +115,8 @@ struct LocalIter {
   std::uint32_t violation_mask = 0;
   bool recovered = false;
   bool crash_recovered = false;
+  std::uint64_t injected = 0;  ///< injector particles kept by this rank
+  std::uint64_t absorbed = 0;  ///< lost through an open boundary
 };
 
 struct RankOutput {
@@ -220,6 +223,7 @@ void inject_memory_fault(sim::FaultModel& fm, int rank, ParticleArray& p) {
 /// re-wrapped, with values too large to wrap meaningfully reset to origin.
 void scrub_particles(const sfc::IndexCache& keys, const mesh::GridDesc& grid,
                      ParticleArray& p) {
+  const std::uint64_t stride = p.key_stride();
   for (std::size_t i = 0; i < p.size(); ++i) {
     if (!std::isfinite(p.ux[i])) p.ux[i] = 0.0;
     if (!std::isfinite(p.uy[i])) p.uy[i] = 0.0;
@@ -229,7 +233,12 @@ void scrub_particles(const sfc::IndexCache& keys, const mesh::GridDesc& grid,
     if (!std::isfinite(y) || std::abs(y) > 64.0 * grid.ly) y = 0.0;
     p.x[i] = grid.wrap_x(x);
     p.y[i] = grid.wrap_y(y);
-    p.key[i] = core::key_of(keys, grid, p.x[i], p.y[i]);
+    // Preserve the species-in-key low bits; a corrupted key may carry a
+    // bogus species, which the modulo wraps back into range.
+    p.key[i] = stride == 1
+                   ? core::key_of(keys, grid, p.x[i], p.y[i])
+                   : core::encode_key(keys, grid, p.x[i], p.y[i], stride,
+                                      p.key[i] % stride);
   }
 }
 
@@ -248,9 +257,22 @@ PicResult run_pic(const PicParams& params) {
   // scrub paths (DESIGN.md §10).
   const sfc::IndexCache key_cache(*curve, grid.nx, grid.ny);
 
+  // Scenario resolution: empty name keeps the legacy path (dist-selected
+  // loadout, every hook disabled — byte-identical to builds without the
+  // scenario subsystem). Unknown names throw before any work happens.
+  const scenario::Scenario* sc =
+      params.scenario.empty() ? nullptr
+                              : &scenario::get_scenario(params.scenario);
+  const bool inject_on = sc != nullptr && sc->injector.enabled;
+  const bool absorb_x =
+      sc != nullptr && sc->boundary == scenario::Boundary::kAbsorbX;
+  const bool driver_on = sc != nullptr && sc->driver.enabled;
+  const bool seed_on = sc != nullptr && sc->field_seed.enabled;
+
   // The global particle population; every rank slices it identically.
   const ParticleArray global =
-      particles::generate(params.dist, grid, params.init);
+      sc != nullptr ? sc->loadout(grid, params.init)
+                    : particles::generate(params.dist, grid, params.init);
   const double dt =
       params.dt > 0.0 ? params.dt : mesh::MaxwellSolver::max_dt(grid);
 
@@ -289,8 +311,8 @@ PicResult run_pic(const PicParams& params) {
 
     std::optional<Domain> dom;
     std::unique_ptr<core::RedistributionPolicy> policy;
-    ParticleArray mine(global.charge(), global.mass());
-    ParticleArray ckpt(global.charge(), global.mass());
+    ParticleArray mine(global.species());
+    ParticleArray ckpt(global.species());
     bool ckpt_valid = false;
     int ckpt_seq = -1;  ///< last committed sequence this rank knows about
     int recoveries = 0;
@@ -357,6 +379,7 @@ PicResult run_pic(const PicParams& params) {
       const int rank = c.rank();
       const int p = c.size();
       dom.emplace(params, grid, *curve, dt, p, rank);
+      if (seed_on) scenario::apply_field_seed(sc->field_seed, grid, dom->lg, dom->f);
       policy = core::make_policy(params.policy);
       out.iters.clear();
 
@@ -418,6 +441,7 @@ PicResult run_pic(const PicParams& params) {
       ckpt_seq = rseq;
 
       dom.emplace(params, grid, *curve, dt, p, rank);
+      if (seed_on) scenario::apply_field_seed(sc->field_seed, grid, dom->lg, dom->f);
       policy = core::make_policy(params.policy);
       ckpt_valid = false;
       energy_owner_world = view.survivors.empty() ? world : view.survivors[0];
@@ -515,6 +539,7 @@ PicResult run_pic(const PicParams& params) {
       const int rank = c.rank();
       const double q = mine.charge();
       const double m = mine.mass();
+      const bool multi = mine.nspecies() > 1;
       LocalGrid& lg = dom->lg;
       FieldState& f = dom->f;
       GhostExchange& ghosts = dom->ghosts;
@@ -523,6 +548,34 @@ PicResult run_pic(const PicParams& params) {
       rec.crash_recovered = just_recovered;
       just_recovered = false;
       const double t_iter_start = c.clock();
+
+      // ---- Boundary injection ----
+      // Every rank derives the identical batch from (seed, iteration) — no
+      // communication — and keeps the particles whose key lands in its
+      // partition range. Appending unsorted is fine: the array legitimately
+      // unsorts between redistributions as the push updates keys in place.
+      if (inject_on) {
+        const auto batch =
+            scenario::injector_batch(*sc, grid, params.init, iter);
+        const std::uint64_t stride = mine.key_stride();
+        for (const auto& src : batch) {
+          auto r = src;
+          r.key = stride == 1
+                      ? core::key_of(key_cache, grid, r.x, r.y)
+                      : core::encode_key(key_cache, grid, r.x, r.y, stride,
+                                         r.key);
+          if (dom->partitioner.owner_of(r.key) == rank) {
+            mine.push_back(r);
+            ++rec.injected;
+          }
+        }
+        c.charge_ops(batch.size());
+        // The emitted count is globally known (= batch size), so the
+        // conservation reference grows without a collective.
+        if (vp.check_every > 0)
+          checker.set_reference_count(checker.reference_count() +
+                                      batch.size());
+      }
 
       // ---- Scatter phase ----
       c.set_phase(Phase::kScatter);
@@ -556,7 +609,9 @@ PicResult run_pic(const PicParams& params) {
           }
         }
         const double gamma = mine.gamma(i);
-        const double qv = q * inv_cell;
+        // Single-species arithmetic is exactly the legacy expression (the
+        // hoisted q), so stride-1 runs stay bit-identical.
+        const double qv = (multi ? mine.charge_of(i) : q) * inv_cell;
         const double jx = qv * mine.ux[i] / gamma;
         const double jy = qv * mine.uy[i] / gamma;
         const double jz = qv * mine.uz[i] / gamma;
@@ -654,18 +709,68 @@ PicResult run_pic(const PicParams& params) {
             lf.bz += w * s[5];
           }
         }
-        particles::boris_kick(q, m, dt, lf, mine.ux[i], mine.uy[i],
+        // Scenario driver: analytic E contribution, a pure function of
+        // (virtual time, position). Branch-gated so legacy runs never touch
+        // the interpolated values (even += 0.0 could flip a -0.0).
+        if (driver_on) {
+          const auto dv = scenario::driver_field(
+              sc->driver, grid, static_cast<double>(iter) * dt, mine.x[i],
+              mine.y[i]);
+          lf.ex += dv.ex;
+          lf.ey += dv.ey;
+        }
+        const double qi = multi ? mine.charge_of(i) : q;
+        const double mi = multi ? mine.mass_of(i) : m;
+        particles::boris_kick(qi, mi, dt, lf, mine.ux[i], mine.uy[i],
                               mine.uz[i]);
       }
       c.charge(static_cast<double>(4 * n) * pc.gather_per_vertex * delta);
 
       // ---- Push phase ----
       c.set_phase(Phase::kPush);
-      for (std::size_t i = 0; i < n; ++i) {
-        particles::advance_position(grid, mine, i, dt);
-        mine.key[i] = core::key_of(key_cache, grid, mine.x[i], mine.y[i]);
+      {
+        const std::uint64_t stride = mine.key_stride();
+        if (!absorb_x && stride == 1) {
+          // Legacy loop, kept verbatim for bit-identity.
+          for (std::size_t i = 0; i < n; ++i) {
+            particles::advance_position(grid, mine, i, dt);
+            mine.key[i] = core::key_of(key_cache, grid, mine.x[i], mine.y[i]);
+          }
+        } else {
+          // Species-aware push with optional open x boundary. Absorbed
+          // particles are compacted out with a write index, preserving the
+          // relative order of the survivors (swap_remove would scramble the
+          // curve order the incremental sort relies on).
+          std::size_t w = 0;
+          for (std::size_t i = 0; i < n; ++i) {
+            if (absorb_x) {
+              if (!particles::advance_position_absorb_x(grid, mine, i, dt)) {
+                ++rec.absorbed;
+                continue;
+              }
+            } else {
+              particles::advance_position(grid, mine, i, dt);
+            }
+            const std::uint64_t key =
+                stride == 1
+                    ? core::key_of(key_cache, grid, mine.x[i], mine.y[i])
+                    : core::encode_key(key_cache, grid, mine.x[i], mine.y[i],
+                                       stride, mine.key[i] % stride);
+            if (w != i) mine.set(w, mine.rec(i));
+            mine.key[w] = key;
+            ++w;
+          }
+          if (w != n) mine.truncate(w);
+        }
       }
       c.charge(static_cast<double>(n) * pc.push_per_particle * delta);
+      // Absorption shrinks the conservation reference; the lost count is
+      // agreed collectively (scenario runs only — the legacy path never
+      // executes this).
+      if (absorb_x && vp.check_every > 0) {
+        const auto lost = c.allreduce_sum<std::uint64_t>(rec.absorbed);
+        checker.set_reference_count(checker.reference_count() - lost);
+      }
 
       // Host-memory corruption the transport checksums cannot see: flip a
       // bit in local particle state. Detection is the checker's job. Fault
@@ -728,6 +833,11 @@ PicResult run_pic(const PicParams& params) {
               vp2.checkpoint_ops_per_particle));
           dom->partitioner.assign_keys(c, mine);
           dom->partitioner.distribute(c, mine);
+          // Rollback rewinds injections/absorptions since the checkpoint;
+          // re-anchor the conservation reference to the restored state.
+          if (inject_on || absorb_x)
+            checker.set_reference_count(c.allreduce_sum<std::uint64_t>(
+                static_cast<std::uint64_t>(mine.size())));
           c.set_phase(Phase::kOther);
           const double cost = c.allreduce_max(c.clock() - tr);
           policy->notify_redistribution(iter, cost);
@@ -934,6 +1044,11 @@ PicResult run_pic(const PicParams& params) {
       rec.violation_mask |= li.violation_mask;
       rec.recovered = rec.recovered || li.recovered;
       rec.crash_recovered = rec.crash_recovered || li.crash_recovered;
+      // Each injected particle is kept by exactly one rank (owner_of is a
+      // function of the key), so summing per-rank counts gives the global
+      // emitted/absorbed totals.
+      result.emitted_particles += li.injected;
+      result.absorbed_particles += li.absorbed;
     }
     if (ref && static_cast<std::size_t>(i) < ref->iters.size())
       rec.loop_seconds =

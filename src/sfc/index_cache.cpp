@@ -11,7 +11,11 @@ IndexCache::IndexCache(const Curve& curve, std::uint32_t nx,
   keys_.resize(static_cast<std::size_t>(nx) * ny);
   std::size_t id = 0;
   for (std::uint32_t y = 0; y < ny; ++y)
-    for (std::uint32_t x = 0; x < nx; ++x) keys_[id++] = curve.index(x, y);
+    for (std::uint32_t x = 0; x < nx; ++x) {
+      keys_[id] = curve.index(x, y);
+      if (keys_[id] > max_index_) max_index_ = keys_[id];
+      ++id;
+    }
 }
 
 }  // namespace picpar::sfc

@@ -28,8 +28,15 @@ public:
 
   std::size_t size() const { return keys_.size(); }
 
+  /// Largest index the curve produces on this grid. Curve indices need not
+  /// be dense (Hilbert pads to a power-of-two square), so the index *space*
+  /// [0, max_index()] can exceed the cell count — anything sized by curve
+  /// index (e.g. per-cell weight histograms) must use this, not size().
+  std::uint64_t max_index() const { return max_index_; }
+
 private:
   std::vector<std::uint64_t> keys_;
+  std::uint64_t max_index_ = 0;
 };
 
 }  // namespace picpar::sfc

@@ -4,8 +4,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/balancer.hpp"
 #include "core/policy.hpp"
 #include "particles/init.hpp"
+#include "scenario/scenario.hpp"
 #include "sfc/curve.hpp"
 
 namespace picpar::sweep {
@@ -121,6 +123,45 @@ pic::PicParams paper_base(std::uint32_t nx, std::uint32_t ny) {
   return p;
 }
 
+/// Scenario axis. Legacy distribution names (uniform, two_stream, gaussian,
+/// irregular, ring) keep the pre-scenario path — `dist` set, `scenario`
+/// empty — so grid points written before the scenario library expand to the
+/// exact same PicParams (and cache identity) as before. "irregular_beam" is
+/// the library's name for the same gaussian blob and maps onto it. The
+/// remaining library scenarios (weibel, beam_into_plasma, moving_hotspot)
+/// select the scenario path; `dist` is ignored for them.
+void apply_scenario(pic::PicParams& p, const std::string& name) {
+  if (name == "irregular_beam") {
+    p.dist = particles::Distribution::kGaussian;
+    return;
+  }
+  try {
+    p.dist = particles::parse_distribution(name);
+    return;
+  } catch (const std::invalid_argument&) {
+    // Not a distribution name; fall through to the scenario registry.
+  }
+  if (scenario::find_scenario(name) == nullptr)
+    throw std::invalid_argument("unknown scenario: " + name);
+  p.scenario = name;
+}
+
+/// Policy axis: "decision" or "decision+balancer" (e.g. "sar+eulerian").
+/// The decision half picks *when* redistribution fires (core::make_policy);
+/// the optional balancer half picks *where* the rank bounds land
+/// (core::make_balancer), defaulting to the paper's Lagrangian scheme.
+void apply_policy(pic::PicParams& p, const std::string& spec) {
+  const auto plus = spec.find('+');
+  const std::string decision = spec.substr(0, plus);
+  core::make_policy(decision);  // validate the spec early
+  p.policy = decision;
+  if (plus != std::string::npos) {
+    const std::string balancer = spec.substr(plus + 1);
+    core::make_balancer(balancer);  // validate the spec early
+    p.partitioner.balancer = balancer;
+  }
+}
+
 }  // namespace
 
 std::vector<GridJob> expand_grid(const SweepGrid& grid) {
@@ -144,16 +185,15 @@ std::vector<GridJob> expand_grid(const SweepGrid& grid) {
                   GridJob j;
                   j.params = paper_base(nx, ny);
                   try {
-                    j.params.dist = particles::parse_distribution(scenario);
+                    apply_scenario(j.params, scenario);
                     j.params.curve = sfc::parse_curve_kind(curve);
-                    core::make_policy(policy);  // validate the spec early
+                    apply_policy(j.params, policy);
                   } catch (const std::exception& e) {
                     grid_fail(e.what());
                   }
                   j.params.nranks = ranks;
                   j.params.init.total = particles;
                   j.params.init.seed = seed;
-                  j.params.policy = policy;
                   j.params.iterations = iterations;
                   j.label = scenario + "/" + mesh_spec + "/p" +
                             std::to_string(particles) + "/r" +

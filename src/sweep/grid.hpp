@@ -8,8 +8,8 @@
 //   # Fig 16-style comparison
 //   mesh       = 64x32, 128x64
 //   particles  = 20000
-//   scenario   = uniform, irregular
-//   policy     = static, periodic:10, sar
+//   scenario   = uniform, irregular_beam, weibel
+//   policy     = static, periodic:10, sar+eulerian
 //   curve      = hilbert
 //   ranks      = 16, 32
 //   seed       = 1
@@ -31,12 +31,16 @@ namespace picpar::sweep {
 
 /// One parsed grid: every axis non-empty (defaults applied at parse time).
 struct SweepGrid {
-  std::vector<std::string> scenario{"uniform"};  ///< particle distributions
-  std::vector<std::string> mesh{"128x64"};       ///< "NXxNY" grid sizes
+  /// Distribution names (uniform, irregular, ...) or scenario-library
+  /// names (weibel, beam_into_plasma, moving_hotspot); see src/scenario.
+  std::vector<std::string> scenario{"uniform"};
+  std::vector<std::string> mesh{"128x64"};    ///< "NXxNY" grid sizes
   std::vector<std::uint64_t> particles{20000};
   std::vector<int> ranks{32};
-  std::vector<std::string> curve{"hilbert"};     ///< space-filling curves
-  std::vector<std::string> policy{"sar"};        ///< redistribution specs
+  std::vector<std::string> curve{"hilbert"};  ///< space-filling curves
+  /// Redistribution specs: "decision" or "decision+balancer"
+  /// (e.g. "sar", "periodic:10+sfcweight:2"); see core/balancer.hpp.
+  std::vector<std::string> policy{"sar"};
   std::vector<std::uint64_t> seed{1};
   std::vector<int> iterations{60};
 };

@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "particles/init.hpp"
 #include "pic/simulation.hpp"
 #include "sfc/curve.hpp"
 #include "sweep/cache.hpp"
@@ -131,9 +132,19 @@ std::string str_dbl(double v) {
 const Column kColumns[] = {
     {"label", [](const Outcome& o) { return o.label; }},
     {"fingerprint", [](const Outcome& o) { return o.fingerprint; }},
-    {"policy", [](const Outcome& o) { return o.params.policy; }},
+    {"policy",
+     [](const Outcome& o) {
+       // Grid-spec syntax: decision half plus the balancer half when it is
+       // not the default Lagrangian scheme ("sar+eulerian").
+       const auto& bal = o.params.partitioner.balancer;
+       if (bal.empty() || bal == "lagrange") return o.params.policy;
+       return o.params.policy + "+" + bal;
+     }},
     {"scenario",
      [](const Outcome& o) {
+       // Scenario-library runs carry their name; legacy runs are named by
+       // the distribution the dist field selects.
+       if (!o.params.scenario.empty()) return o.params.scenario;
        return std::string(particles::distribution_name(o.params.dist));
      }},
     {"curve",

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <vector>
@@ -179,6 +180,144 @@ TEST_F(ParticleIo, OversizedCountFieldThrows) {
   f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
   f.close();
   EXPECT_THROW(load_particles(path_), std::runtime_error);
+}
+
+// Local CRC-32 (IEEE) mirror of the writer's, for hand-crafting files.
+std::uint32_t crc32_ieee(const char* data, std::size_t n) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc ^= static_cast<unsigned char>(data[i]);
+    for (int k = 0; k < 8; ++k)
+      crc = (crc & 1u) ? 0xEDB88320u ^ (crc >> 1) : crc >> 1;
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+TEST_F(ParticleIo, RoundTripsMultiSpeciesPopulation) {
+  // v3: species table + per-record species column (encoded in the key's
+  // low bits) must survive the round trip exactly.
+  ParticleArray p(std::vector<Species>{{-1.0, 1.0}, {2.0, 1836.0}});
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    ParticleRec r;
+    r.x = 0.5 * static_cast<double>(i);
+    r.y = 0.25 * static_cast<double>(i);
+    r.ux = 0.01;
+    r.key = i * 2 + (i % 2);  // cell i, species i % 2
+    p.push_back(r);
+  }
+  save_particles(path_, p);
+  const auto loaded = load_particles(path_);
+  ASSERT_EQ(loaded.size(), p.size());
+  ASSERT_EQ(loaded.nspecies(), 2u);
+  EXPECT_EQ(loaded.species()[0].charge, -1.0);
+  EXPECT_EQ(loaded.species()[1].charge, 2.0);
+  EXPECT_EQ(loaded.species()[1].mass, 1836.0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(loaded.key[i], p.key[i]);
+    EXPECT_EQ(loaded.species_of(i), i % 2);
+    EXPECT_EQ(loaded.charge_of(i), i % 2 ? 2.0 : -1.0);
+  }
+}
+
+TEST_F(ParticleIo, LoadsVersion2SingleSpeciesFiles) {
+  // Hand-write a v2 file (single species, CRC, no species block/column):
+  // pre-multi-species checkpoints must keep loading.
+  struct V2Header {
+    std::uint64_t magic = 0x70696370617274ULL;
+    std::uint32_t version = 2;
+    std::uint32_t reserved = 0;
+    std::uint64_t count = 2;
+    double charge = -1.5;
+    double mass = 2.0;
+  } h;
+  ParticleRec recs[2];
+  recs[0] = {1.0, 2.0, 0.1, 0.2, 0.3, 42};
+  recs[1] = {3.0, 4.0, 0.4, 0.5, 0.6, 99};
+  std::vector<char> bytes(sizeof(h) + sizeof(recs));
+  std::memcpy(bytes.data(), &h, sizeof(h));
+  std::memcpy(bytes.data() + sizeof(h), recs, sizeof(recs));
+  const std::uint32_t crc = crc32_ieee(bytes.data(), bytes.size());
+  std::ofstream f(path_, std::ios::binary);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  f.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  f.close();
+
+  const auto loaded = load_particles(path_);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.nspecies(), 1u);
+  EXPECT_EQ(loaded.charge(), -1.5);
+  EXPECT_EQ(loaded.mass(), 2.0);
+  EXPECT_EQ(loaded.key[0], 42u);
+  EXPECT_EQ(loaded.key[1], 99u);
+}
+
+TEST_F(ParticleIo, SpeciesColumnKeyMismatchThrows) {
+  // Flip one species-column byte and repair the CRC: the only guard left is
+  // the loader's cross-check of column vs key % nspecies, which must fire.
+  ParticleArray p(std::vector<Species>{{-1.0, 1.0}, {1.0, 4.0}});
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ParticleRec r;
+    r.key = i * 2;  // all species 0
+    p.push_back(r);
+  }
+  save_particles(path_, p);
+
+  std::vector<char> bytes(fs::file_size(path_));
+  std::ifstream in(path_, std::ios::binary);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  in.close();
+  // Layout: header (40) + nspecies (4) + species table (2*16) + records
+  // (8*48) + column (8) + crc (4).
+  const std::size_t column_off = 40 + 4 + 2 * 16 + 8 * 48;
+  bytes[column_off + 3] = 1;  // claim species 1; key still encodes 0
+  const std::uint32_t crc = crc32_ieee(bytes.data(), bytes.size() - 4);
+  std::memcpy(bytes.data() + bytes.size() - 4, &crc, 4);
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  EXPECT_THROW(load_particles(path_), std::runtime_error);
+}
+
+TEST_F(ParticleIo, BadSpeciesCountThrows) {
+  ParticleArray p(std::vector<Species>{{-1.0, 1.0}, {1.0, 4.0}});
+  p.push_back(ParticleRec{});
+  save_particles(path_, p);
+  // Corrupt the v3 species count (right after the 40-byte header): zero and
+  // absurd values must be rejected before any count-driven allocation.
+  for (const std::uint32_t bad : {0u, 300u, 0xFFFFFFFFu}) {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(40);
+    f.write(reinterpret_cast<const char*>(&bad), sizeof(bad));
+    f.close();
+    EXPECT_THROW(load_particles(path_), std::runtime_error) << bad;
+  }
+}
+
+TEST_F(ParticleIo, TornMultiSpeciesWritesNeverPartiallyLoad) {
+  // The v1/v2/v3 format detector must stay fail-stop on every prefix of a
+  // multi-species file too (the species table adds new torn positions).
+  ParticleArray p(std::vector<Species>{{-1.0, 1.0}, {1.0, 4.0}});
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    ParticleRec r;
+    r.key = i * 2 + (i % 2);
+    p.push_back(r);
+  }
+  save_particles(path_, p);
+  const auto full = fs::file_size(path_);
+  std::vector<char> bytes(full);
+  std::ifstream in(path_, std::ios::binary);
+  in.read(bytes.data(), static_cast<std::streamsize>(full));
+  in.close();
+  const auto torn = path_ + ".torn";
+  for (std::uintmax_t cut = 0; cut < full; ++cut) {
+    std::ofstream out(torn, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_THROW(load_particles(torn), std::runtime_error)
+        << "prefix of " << cut << "/" << full << " bytes loaded";
+  }
+  fs::remove(torn);
 }
 
 TEST_F(ParticleIo, OverwritesExistingFile) {

@@ -76,6 +76,7 @@ TEST_F(Fingerprint, EverySemanticFieldChangesTheFingerprint) {
           {"nranks", [](PicParams& p) { p.nranks = 16; }},
           {"dist",
            [](PicParams& p) { p.dist = particles::Distribution::kGaussian; }},
+          {"scenario", [](PicParams& p) { p.scenario = "weibel"; }},
           {"init.total", [](PicParams& p) { p.init.total = 2001; }},
           {"init.vth", [](PicParams& p) { p.init.vth += 0.01; }},
           {"init.drift_ux", [](PicParams& p) { p.init.drift_ux = 0.2; }},
@@ -103,6 +104,8 @@ TEST_F(Fingerprint, EverySemanticFieldChangesTheFingerprint) {
            [](PicParams& p) { p.partitioner.ops_per_comparison += 1.0; }},
           {"partitioner.ops_per_move",
            [](PicParams& p) { p.partitioner.ops_per_move += 1.0; }},
+          {"partitioner.balancer",
+           [](PicParams& p) { p.partitioner.balancer = "eulerian"; }},
           {"costs.scatter_per_vertex",
            [](PicParams& p) { p.costs.scatter_per_vertex += 1.0; }},
           {"costs.field_per_node",
@@ -266,7 +269,7 @@ TEST_F(Fingerprint, GoldenValueIsProcessIndependent) {
   // If the change is intentional, bump kCanonicalVersion in fingerprint.cpp
   // and re-pin.
   const auto p = base_params();
-  EXPECT_EQ(p.fingerprint(), "f23ae58c66b86831");
+  EXPECT_EQ(p.fingerprint(), "609f0dfa02739efa");
 }
 
 }  // namespace

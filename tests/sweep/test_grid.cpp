@@ -80,6 +80,56 @@ TEST(SweepGridExpand, CrossProductInDeclaredOrder) {
   EXPECT_EQ(p.init.drift_ux, 0.12);
 }
 
+TEST(SweepGridExpand, ScenarioAxisAcceptsTheScenarioLibrary) {
+  SweepGrid g;
+  g.scenario = {"uniform",          "irregular_beam", "two_stream",
+                "weibel",           "beam_into_plasma", "moving_hotspot"};
+  g.mesh = {"32x16"};
+  g.particles = {1000};
+  g.ranks = {4};
+  g.iterations = {5};
+  const auto jobs = expand_grid(g);
+  ASSERT_EQ(jobs.size(), 6u);
+  // Migrated names keep the legacy dist path (pre-scenario grid points
+  // expand to identical PicParams); library scenarios select the scenario
+  // path and leave dist alone.
+  EXPECT_EQ(jobs[0].params.scenario, "");
+  EXPECT_EQ(jobs[0].params.dist, particles::Distribution::kUniform);
+  EXPECT_EQ(jobs[1].params.scenario, "");
+  EXPECT_EQ(jobs[1].params.dist, particles::Distribution::kGaussian);
+  EXPECT_EQ(jobs[2].params.scenario, "");
+  EXPECT_EQ(jobs[2].params.dist, particles::Distribution::kTwoStream);
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_EQ(jobs[i].params.scenario, g.scenario[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(jobs[i].params.dist, particles::Distribution::kUniform);
+  }
+  // Labels keep the axis value, so scenario grid points stay distinct.
+  EXPECT_EQ(jobs[3].label, "weibel/32x16/p1000/r4/hilbert/sar/s1/i5");
+}
+
+TEST(SweepGridExpand, PolicyAxisComposesDecisionAndBalancer) {
+  SweepGrid g;
+  g.policy = {"sar", "periodic:10+eulerian", "static+sfcweight:2.5"};
+  g.mesh = {"32x16"};
+  g.particles = {1000};
+  g.ranks = {4};
+  g.iterations = {5};
+  const auto jobs = expand_grid(g);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].params.policy, "sar");
+  EXPECT_EQ(jobs[0].params.partitioner.balancer, "lagrange");
+  EXPECT_EQ(jobs[1].params.policy, "periodic:10");
+  EXPECT_EQ(jobs[1].params.partitioner.balancer, "eulerian");
+  EXPECT_EQ(jobs[2].params.policy, "static");
+  EXPECT_EQ(jobs[2].params.partitioner.balancer, "sfcweight:2.5");
+  // The composed spec survives into the label verbatim.
+  EXPECT_EQ(jobs[1].label,
+            "uniform/32x16/p1000/r4/hilbert/periodic:10+eulerian/s1/i5");
+  // Decision and balancer halves split the cache key.
+  EXPECT_NE(jobs[0].params.fingerprint(), jobs[1].params.fingerprint());
+  EXPECT_NE(jobs[1].params.fingerprint(), jobs[2].params.fingerprint());
+}
+
 TEST(SweepGridExpand, ExpansionIsDeterministic) {
   SweepGrid g;
   g.curve = {"hilbert", "morton", "snake"};
@@ -97,7 +147,8 @@ TEST(SweepGridExpand, RejectsBadValues) {
   for (const char* text :
        {"mesh = 64\n", "mesh = x64\n", "mesh = 64x\n", "scenario = plasma9\n",
         "curve = zigzag\n", "policy = whenever\n", "ranks = 0\n",
-        "particles = 0\n", "iterations = 0\n"}) {
+        "particles = 0\n", "iterations = 0\n", "policy = sar+zoltan\n",
+        "policy = whenever+eulerian\n", "policy = sar+sfcweight:x\n"}) {
     EXPECT_THROW(expand_grid(parse_grid(text)), std::runtime_error)
         << "accepted: " << text;
   }
