@@ -26,6 +26,7 @@
 #include "core/sort_util.hpp"
 #include "sfc/hilbert.hpp"
 #include "sfc/index_cache.hpp"
+#include "sim/machine.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
 
@@ -225,6 +226,47 @@ bool check_index() {
   return report("index", ref, opt);
 }
 
+// --------------------------------------------------------------- memory --
+
+/// Max per-rank transport bytes after a few rounds of nearest-neighbor
+/// exchange on a ring of p ranks. Point-to-point only — no collectives, so
+/// nothing in the workload legitimately touches O(p) peers.
+std::size_t ring_peak_bytes(int p) {
+  std::vector<std::size_t> peak(static_cast<std::size_t>(p), 0);
+  sim::Machine machine(p, sim::CostModel::zero());
+  machine.run([&](sim::Comm& c) {
+    const int r = c.rank();
+    const int n = c.size();
+    const int right = (r + 1) % n;
+    const int left = (r + n - 1) % n;
+    for (int it = 0; it < 4; ++it) {
+      std::vector<double> buf(8, static_cast<double>(r));
+      c.send(right, 7, buf);
+      (void)c.recv<double>(left, 7);
+    }
+    peak[static_cast<std::size_t>(r)] = c.memory_bytes();
+  });
+  std::size_t mx = 0;
+  for (const std::size_t b : peak) mx = std::max(mx, b);
+  return mx;
+}
+
+/// Not a timing check: asserts the per-rank transport footprint is a
+/// function of touched peers, not world size. A dense per-rank table (the
+/// pre-sparsification layout) makes the ratio track p (4x here); the
+/// sparse maps keep it flat. 2x headroom tolerates allocator rounding.
+bool check_memory() {
+  const std::size_t b64 = ring_peak_bytes(64);
+  const std::size_t b256 = ring_peak_bytes(256);
+  const bool ok = b256 <= 2 * b64;
+  std::printf("memory   p=64: %6zu B/rank  p=256: %6zu B/rank  "
+              "ratio=%5.2fx (limit 2x)  %s\n",
+              b64, b256,
+              static_cast<double>(b256) / static_cast<double>(b64),
+              ok ? "PASS" : "FAIL");
+  return ok;
+}
+
 }  // namespace
 
 int main() {
@@ -235,6 +277,7 @@ int main() {
   ok &= check_merge();
   ok &= check_scatter();
   ok &= check_index();
+  ok &= check_memory();
   if (!ok) {
     std::printf("# PERF GUARD FAILED\n");
     return 1;

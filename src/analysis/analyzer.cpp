@@ -386,4 +386,33 @@ std::string Analyzer::report() const {
   return os.str();
 }
 
+std::size_t Analyzer::rank_memory_bytes(int rank) const {
+  const auto idx = static_cast<std::size_t>(rank);
+  if (idx >= rank_.size()) return 0;
+  const RankBuffer& rb = rank_[idx];
+  // Capacities, not sizes — this is what the rank's budget pays for.
+  std::size_t bytes =
+      clocks_[idx].components().capacity() * sizeof(std::uint64_t);
+  bytes += rb.online.capacity() * sizeof(Finding);
+  for (const Finding& f : rb.online)
+    bytes += f.clocks.capacity() + f.detail.capacity();
+  bytes += rb.recvs.capacity() * sizeof(PendingRecv);
+  for (const PendingRecv& r : rb.recvs)
+    bytes += r.matched_vc.capacity() * sizeof(std::uint64_t) +
+             r.completion.components().capacity() * sizeof(std::uint64_t);
+  bytes += rb.consumed.capacity() * sizeof(Consumed);
+  for (const Consumed& c : rb.consumed)
+    bytes += c.vclock.capacity() * sizeof(std::uint64_t);
+  return bytes;
+}
+
+std::size_t Analyzer::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (int r = 0; r < nranks_; ++r) bytes += rank_memory_bytes(r);
+  bytes += findings_.capacity() * sizeof(Finding);
+  for (const Finding& f : findings_)
+    bytes += f.clocks.capacity() + f.detail.capacity();
+  return bytes;
+}
+
 }  // namespace picpar::analysis

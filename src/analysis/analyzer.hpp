@@ -128,6 +128,14 @@ public:
   /// Multi-line human-readable report of counts and stored findings.
   std::string report() const;
 
+  /// Resident bytes of one rank's analyzer state: its vector clock (O(p)
+  /// by design — the happens-before partial order needs one component per
+  /// rank; the analyzer is opt-in diagnostics, not part of the production
+  /// footprint), remembered receives, consume log, and online findings.
+  std::size_t rank_memory_bytes(int rank) const;
+  /// Sum of rank_memory_bytes over all ranks plus the merged findings.
+  std::size_t memory_bytes() const;
+
 private:
   /// A remembered wildcard receive awaiting the deferred (run-end) checks.
   struct PendingRecv {

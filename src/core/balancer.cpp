@@ -67,6 +67,18 @@ std::vector<std::uint64_t> weighted_bounds(sim::Comm& comm,
       static_cast<std::uint64_t>(alpha * static_cast<double>(kScale) + 0.5);
   const std::uint64_t total_w = cells.size() * cell_w + total_count * kScale;
 
+  // Empty-rank audit (large p): the walk below visits cells in ascending
+  // curve order and only ever appends cuts at the current cell, so bounds
+  // are non-decreasing by construction — never unsorted. When p exceeds the
+  // number of weight-bearing cells (or weight is concentrated in few
+  // cells), the inner while fires more than once at one cell and emits
+  // *duplicate* bounds: consecutive ranks share an upper bound. That is the
+  // intended encoding of an empty rank — owner_of/dest_rank resolve a key
+  // with lower_bound, which picks the first rank holding the bound, so the
+  // later duplicates own empty half-open key ranges and simply receive no
+  // particles. The final rank always keeps kMaxKey (cum reaches total_w at
+  // the last cell, so every interior cut fires before the loop ends).
+  // tests/core/test_balancer.cpp pins this behavior.
   std::vector<std::uint64_t> bounds(nranks, kMaxKey);
   std::uint64_t cum = 0;
   std::uint64_t r = 0;

@@ -51,7 +51,7 @@ void GhostExchange::begin_iteration() {
   gids_.clear();
   deposit_.clear();
   field_.clear();
-  for (auto& v : rank_slots_) v.clear();
+  for (auto& e : rank_slots_) e.value.clear();
   requests_.clear();
 }
 
@@ -105,23 +105,25 @@ std::uint32_t GhostExchange::deposit_slot_index(std::uint64_t gid) {
 
 void GhostExchange::flush_scatter(sim::Comm& comm, mesh::FieldState& f) {
   const auto& part = lg_->partition();
-  const int nranks = comm.size();
 
-  // Group slots by owner rank; rank_slots_ is a member so per-rank capacity
-  // persists across iterations and doubles as the routing table that
-  // fetch_fields replays.
-  rank_slots_.resize(static_cast<std::size_t>(nranks));
-  for (auto& v : rank_slots_) v.clear();
+  // Group slots by owner rank; rank_slots_ is a member so per-owner
+  // capacity persists across iterations and doubles as the routing table
+  // that fetch_fields replays. Sparse: only owners this rank's ghosts
+  // touch get an entry, so the table is O(neighbors) at any world size.
+  for (auto& e : rank_slots_) e.value.clear();
   for (std::uint32_t s = 0; s < gids_.size(); ++s)
-    rank_slots_[static_cast<std::size_t>(part.owner(gids_[s]))].push_back(s);
+    rank_slots_.ref(part.owner(gids_[s])).push_back(s);
 
-  std::vector<std::vector<DepositRec>> send(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    const auto& slots = rank_slots_[static_cast<std::size_t>(r)];
+  // Build one coalesced record buffer per touched owner, in ascending rank
+  // order (the same message order the dense table produced).
+  std::vector<std::pair<int, std::vector<DepositRec>>> send;
+  std::size_t staged = 0;
+  for (const auto& e : rank_slots_) {
+    const auto& slots = e.value;
     if (slots.empty()) continue;
-    if (r == comm.rank())
+    if (e.rank == comm.rank())
       throw std::logic_error("GhostExchange: deposit to owned node");
-    auto& buf = send[static_cast<std::size_t>(r)];
+    std::vector<DepositRec> buf;
     buf.reserve(slots.size());
     for (const auto s : slots) {
       DepositRec rec;
@@ -130,14 +132,18 @@ void GhostExchange::flush_scatter(sim::Comm& comm, mesh::FieldState& f) {
         rec.v[k] = deposit_[static_cast<std::size_t>(s) * kDeposit + k];
       buf.push_back(rec);
     }
+    staged += buf.capacity() * sizeof(DepositRec);
+    send.emplace_back(e.rank, std::move(buf));
   }
+  staged += send.capacity() * sizeof(send[0]);
+  peak_msg_bytes_ = std::max(peak_msg_bytes_, staged);
 
   auto recv = comm.all_to_many(std::move(send));
 
   // Owner side: add contributions into the source arrays and remember the
-  // request lists for the gather reply.
-  for (int src = 0; src < nranks; ++src) {
-    const auto& buf = recv[static_cast<std::size_t>(src)];
+  // request lists for the gather reply. Pairs arrive in ascending source
+  // order, matching the dense loop this replaced.
+  for (const auto& [src, buf] : recv) {
     if (buf.empty()) continue;
     OwnerRequest req;
     req.src = src;
@@ -169,16 +175,17 @@ void GhostExchange::fetch_fields(sim::Comm& comm, const mesh::FieldState& f) {
       buf.push_back(f.by[l]);
       buf.push_back(f.bz[l]);
     }
+    peak_msg_bytes_ = std::max(peak_msg_bytes_, buf.capacity() * sizeof(double));
     comm.send(req.src, kGatherTag, buf);
   }
 
-  // Ghost side: receive per destination rank (ascending, matching the send
-  // order of flush_scatter), store into field_ by slot.
+  // Ghost side: receive per touched owner rank (ascending, matching the
+  // send order of flush_scatter), store into field_ by slot.
   field_.assign(gids_.size() * kField, 0.0);
-  for (std::size_t r = 0; r < rank_slots_.size(); ++r) {
-    const auto& slots = rank_slots_[r];
+  for (const auto& e : rank_slots_) {
+    const auto& slots = e.value;
     if (slots.empty()) continue;
-    auto buf = comm.recv<double>(static_cast<int>(r), kGatherTag);
+    auto buf = comm.recv<double>(e.rank, kGatherTag);
     if (buf.size() != slots.size() * kField)
       throw std::runtime_error("GhostExchange: bad gather reply length");
     for (std::size_t i = 0; i < slots.size(); ++i)
@@ -200,12 +207,16 @@ std::size_t GhostExchange::memory_bytes() const {
                       field_.capacity() * sizeof(double) +
                       hash_.capacity() * sizeof(HashEntry) +
                       direct_.capacity() * sizeof(std::uint32_t);
-  bytes += rank_slots_.capacity() * sizeof(std::vector<std::uint32_t>);
-  for (const auto& slots : rank_slots_)
-    bytes += slots.capacity() * sizeof(std::uint32_t);
+  bytes += rank_slots_.memory_bytes();
+  for (const auto& e : rank_slots_)
+    bytes += e.value.capacity() * sizeof(std::uint32_t);
   bytes += requests_.capacity() * sizeof(OwnerRequest);
   for (const auto& req : requests_)
     bytes += req.locals.capacity() * sizeof(std::uint32_t);
+  // Transient message staging at its high-water mark: the earlier
+  // accounting summed only the persistent tables and undercounted every
+  // flush by the size of the send tables it had just built.
+  bytes += peak_msg_bytes_;
   return bytes;
 }
 

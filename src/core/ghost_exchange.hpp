@@ -27,6 +27,7 @@
 #include "mesh/fields.hpp"
 #include "mesh/local_grid.hpp"
 #include "sim/comm.hpp"
+#include "util/sparse_rank.hpp"
 
 namespace picpar::core {
 
@@ -96,9 +97,13 @@ public:
   const double* field_slot(std::uint64_t gid) const;
 
   /// Resident bytes held by the ghost tables: slot storage, the lookup
-  /// structure (hash or direct), and the persistent routing scratch.
-  /// Capacities, not sizes — this is what the rank's memory budget pays
-  /// for, since scratch capacity persists across iterations.
+  /// structure (hash or direct), the persistent routing scratch, and the
+  /// high-water mark of the per-call message staging (send tables built in
+  /// flush_scatter, reply buffers in fetch_fields — transient, but a real
+  /// part of the rank's peak footprint that an earlier version of this
+  /// accounting missed). Capacities, not sizes — this is what the rank's
+  /// memory budget pays for, since scratch capacity persists across
+  /// iterations.
   std::size_t memory_bytes() const;
 
 private:
@@ -129,15 +134,19 @@ private:
   // kDirect lookup.
   std::vector<std::uint32_t> direct_;
 
-  // Scatter-flush routing, reused by fetch_fields. Indexed by rank; inner
-  // capacity persists across iterations so steady-state flushes do not
-  // reallocate.
-  std::vector<std::vector<std::uint32_t>> rank_slots_;
+  // Scatter-flush routing, reused by fetch_fields. Sparse in the owner
+  // ranks this rank's ghosts actually touch (its curve neighbors), not the
+  // world size; per-owner capacity persists across iterations so
+  // steady-state flushes do not reallocate.
+  util::SparseRankMap<std::vector<std::uint32_t>> rank_slots_;
   struct OwnerRequest {
     int src = 0;
     std::vector<std::uint32_t> locals;  // my owned local node indices
   };
   std::vector<OwnerRequest> requests_;  // who asked me for what
+  /// High-water bytes of the transient per-call message staging (scatter
+  /// send tables + gather reply buffers); folded into memory_bytes().
+  std::size_t peak_msg_bytes_ = 0;
 };
 
 }  // namespace picpar::core

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "core/indexing.hpp"
 #include "core/load_balance.hpp"
+#include "util/sparse_rank.hpp"
 
 namespace picpar::core {
 
@@ -113,16 +115,22 @@ RedistReport ParticlePartitioner::distribute(sim::Comm& comm,
   // ones); only the local bucket table is refreshed.
   if (!balancer_->lagrangian()) {
     global_bounds_ = balancer_->compute_bounds(comm, p, key_cache_, rep.work);
-    std::vector<std::vector<ParticleRec>> send(
-        static_cast<std::size_t>(nranks));
+    // The local array is key-sorted and the bounds are non-decreasing, so
+    // destinations appear in ascending order: the send table is a list of
+    // (dest, run) pairs — O(touched destinations), not O(p).
+    std::vector<std::pair<int, std::vector<ParticleRec>>> send;
     for (std::size_t i = 0; i < p.size(); ++i) {
       const int d = dest_rank(p.key[i], rep.work);
-      send[static_cast<std::size_t>(d)].push_back(p.rec(i));
+      if (send.empty() || send.back().first != d) send.emplace_back(d, std::vector<ParticleRec>{});
+      send.back().second.push_back(p.rec(i));
       ++rep.work.moves;
       if (d != comm.rank()) ++rep.sent_particles;
     }
     auto recv = comm.all_to_many(std::move(send));
-    rep.work += merge_runs(recv, p);
+    std::vector<std::vector<ParticleRec>> runs;
+    runs.reserve(recv.size());
+    for (auto& [src, buf] : recv) runs.push_back(std::move(buf));
+    rep.work += merge_runs(runs, p);
     charge_work(comm, rep.work);
     refresh_local_buckets(p);
     rep.seconds = comm.clock() - t_begin;
@@ -168,18 +176,25 @@ RedistReport ParticlePartitioner::distribute(sim::Comm& comm,
   global_bounds_[static_cast<std::size_t>(nranks - 1)] = kMaxKey;
 
   // 4. Route particles; the local array is sorted, so each destination
-  // receives a contiguous sorted run.
-  std::vector<std::vector<ParticleRec>> send(static_cast<std::size_t>(nranks));
+  // receives a contiguous sorted run and destinations appear in ascending
+  // order — the send table is sparse in touched destinations.
+  std::vector<std::pair<int, std::vector<ParticleRec>>> send;
   for (std::size_t i = 0; i < p.size(); ++i) {
     const int d = dest_rank(p.key[i], rep.work);
-    send[static_cast<std::size_t>(d)].push_back(p.rec(i));
+    if (send.empty() || send.back().first != d)
+      send.emplace_back(d, std::vector<ParticleRec>{});
+    send.back().second.push_back(p.rec(i));
     ++rep.work.moves;
     if (d != comm.rank()) ++rep.sent_particles;
   }
   auto recv = comm.all_to_many(std::move(send));
 
-  // 5. Merge the per-source sorted runs.
-  rep.work += merge_runs(recv, p);
+  // 5. Merge the per-source sorted runs (ascending source order; empty
+  // sources simply have no run, which leaves the merge unchanged).
+  std::vector<std::vector<ParticleRec>> runs;
+  runs.reserve(recv.size());
+  for (auto& [src, buf] : recv) runs.push_back(std::move(buf));
+  rep.work += merge_runs(runs, p);
 
   // 6. Exact balance, preserving order.
   const auto bal = order_maintaining_balance(comm, p);
@@ -252,7 +267,11 @@ RedistReport ParticlePartitioner::redistribute(sim::Comm& comm,
   // member so steady-state iterations reuse its capacity.
   bucket_scratch_.resize(static_cast<std::size_t>(L));
   for (auto& b : bucket_scratch_) b.clear();
-  std::vector<std::vector<ParticleRec>> send(static_cast<std::size_t>(nranks));
+  // Off-processor particles grouped by destination. The drifted array is
+  // not key-sorted, so destinations arrive in arbitrary order: accumulate
+  // into a sparse per-destination map (O(log k) per particle, k = touched
+  // destinations — the handful of curve neighbors, not the world size).
+  util::SparseRankMap<std::vector<ParticleRec>> send;
 
   auto bucket_of = [&](std::uint64_t key, SortWork& w) -> int {
     const auto it =
@@ -292,7 +311,7 @@ RedistReport ParticlePartitioner::redistribute(sim::Comm& comm,
       } else {
         // Category 3: off-processor.
         const int d = dest_rank(key, rep.work);
-        send[static_cast<std::size_t>(d)].push_back(p.rec(i));
+        send.ref(d).push_back(p.rec(i));
         ++rep.work.moves;
         ++rep.sent_particles;
       }
@@ -303,15 +322,19 @@ RedistReport ParticlePartitioner::redistribute(sim::Comm& comm,
   // Always executed (possibly with empty sends) so every rank runs the
   // same collective sequence regardless of its local settled/perturbed
   // state.
-  auto recv = comm.all_to_many(std::move(send));
+  std::vector<std::pair<int, std::vector<ParticleRec>>> send_pairs;
+  send_pairs.reserve(send.size());
+  for (auto& e : send) send_pairs.emplace_back(e.rank, std::move(e.value));
+  auto recv = comm.all_to_many(std::move(send_pairs));
 
   // Lines 21-24: sort the received list and each bucket, then merge.
   // Buckets cover disjoint ascending key ranges, so sorted buckets
   // concatenate into one sorted run for free; merge_bucket_runs does the
   // final 2-way merge straight out of the buckets (no intermediate
-  // concatenated copy, no heap — see DESIGN.md §10).
+  // concatenated copy, no heap — see DESIGN.md §10). Received pairs
+  // concatenate in ascending source order, matching the dense loop.
   recv_scratch_.clear();
-  for (auto& r : recv)
+  for (auto& [src, r] : recv)
     recv_scratch_.insert(recv_scratch_.end(), r.begin(), r.end());
   rep.work += sort_records(recv_scratch_);
 

@@ -26,6 +26,7 @@
 #include "sim/comm.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/tracer.hpp"
+#include "util/env.hpp"
 
 namespace picpar::pic {
 
@@ -133,6 +134,14 @@ struct RankOutput {
   std::uint64_t crash_lost = 0;
   std::uint64_t crash_restored = 0;
   std::vector<EnergySample> energy;  // filled by group rank 0 only
+  // Per-rank memory budget (peaks over the run), for the PICPAR_MEM_REPORT
+  // CSV. Host-side only: deliberately NOT part of PicResult, so the cached
+  // sweep serialization format is untouched.
+  std::size_t mem_machine_bytes = 0;  ///< sparse transport tables
+  std::size_t mem_exchange_bytes = 0;  ///< ghost tables + staged messages
+  std::size_t mem_sort_bytes = 0;      ///< partitioner sort scratch
+  std::size_t mem_peak_bytes = 0;      ///< legacy ghost+sort peak
+  std::size_t transport_peers = 0;     ///< distinct peers with transport state
 };
 
 /// Everything a rank's subdomain view depends on the group size: grid
@@ -320,6 +329,13 @@ PicResult run_pic(const PicParams& params) {
     double pending_crash_vtime = std::numeric_limits<double>::infinity();
     bool just_recovered = false;
     std::size_t mem_peak = 0;
+    // Per-subsystem peaks behind the mem.* budget breakdown: transport
+    // tables inside the machine, ghost-exchange tables, sort scratch. All
+    // three are deterministic functions of the rank's history, so the marks
+    // (and the per-rank CSV they feed) are mode-independent.
+    std::size_t mem_machine = 0;
+    std::size_t mem_exchange = 0;
+    std::size_t mem_sort = 0;
 
     // Take a checkpoint of `mine` as of completed iteration `iter_done`
     // (-1 = post-init baseline). The in-memory copy serves single-rank
@@ -873,6 +889,9 @@ PicResult run_pic(const PicParams& params) {
       // tables and the sort/redistribution scratch on this rank.
       mem_peak = std::max(
           mem_peak, ghosts.memory_bytes() + dom->partitioner.scratch_bytes());
+      mem_machine = std::max(mem_machine, c.memory_bytes());
+      mem_exchange = std::max(mem_exchange, ghosts.memory_bytes());
+      mem_sort = std::max(mem_sort, dom->partitioner.scratch_bytes());
 
       if (params.sample_energy_every > 0 &&
           (iter + 1) % params.sample_energy_every == 0) {
@@ -929,6 +948,18 @@ PicResult run_pic(const PicParams& params) {
     out.total_charge = charge_sum * grid.dx() * grid.dy();
     if (mem_peak > 0)
       comm.mark(trace::kMarkMemPeak, -1, static_cast<double>(mem_peak));
+    if (mem_machine > 0)
+      comm.mark(trace::kMarkMemMachine, -1, static_cast<double>(mem_machine));
+    if (mem_exchange > 0)
+      comm.mark(trace::kMarkMemExchange, -1,
+                static_cast<double>(mem_exchange));
+    if (mem_sort > 0)
+      comm.mark(trace::kMarkMemSort, -1, static_cast<double>(mem_sort));
+    out.mem_machine_bytes = mem_machine;
+    out.mem_exchange_bytes = mem_exchange;
+    out.mem_sort_bytes = mem_sort;
+    out.mem_peak_bytes = mem_peak;
+    out.transport_peers = comm.transport_peers();
   };
 
   sim::Machine machine(params.nranks, params.machine, faults);
@@ -1108,6 +1139,13 @@ PicResult run_pic(const PicParams& params) {
                                 0.0);
     for (const auto& s : tracer.data().spans)
       result.phase_wall_us[static_cast<std::size_t>(s.phase)] += s.w1 - s.w0;
+    // The analyzer's own footprint (vector clocks are O(p) per rank by
+    // design — opt-in diagnostics) joins the mem.* breakdown only when both
+    // observers ran; folded here, before the snapshot, because the tracer
+    // cannot see the analyzer.
+    if (analyze_on)
+      tracer.metrics().set("mem.analyzer_bytes",
+                           static_cast<double>(analyzer.memory_bytes()));
     const trace::MetricsSnapshot snap = tracer.metrics().snapshot();
     result.metrics_json = snap.to_json();
     result.metrics_csv = snap.to_csv();
@@ -1129,6 +1167,28 @@ PicResult run_pic(const PicParams& params) {
           throw std::runtime_error("trace: cannot open " + tp.metrics_path);
         f << result.metrics_json;
       }
+    }
+  }
+
+  // ---- Per-rank memory-budget report (opt-in via PICPAR_MEM_REPORT) ----
+  // One CSV row per world rank: the peak per-subsystem bytes gathered at
+  // the end of the program lambda. Every value is a size-based function of
+  // the rank's deterministic history, so two runs of the same program —
+  // sequential or parallel — write byte-identical files; the large-p CI
+  // job relies on that with a straight cmp. Crashed ranks never reach the
+  // end of the lambda and report zeros, flagged by alive=0.
+  if (const char* mr = env_path("PICPAR_MEM_REPORT")) {
+    std::ofstream f(mr, std::ios::binary | std::ios::trunc);
+    if (!f)
+      throw std::runtime_error("mem report: cannot open " + std::string(mr));
+    f << "rank,alive,machine_bytes,exchange_bytes,sort_bytes,peak_bytes,"
+         "transport_peers\n";
+    for (int r = 0; r < params.nranks; ++r) {
+      const auto& o = outputs[static_cast<std::size_t>(r)];
+      f << r << ',' << static_cast<int>(alive[static_cast<std::size_t>(r)])
+        << ',' << o.mem_machine_bytes << ',' << o.mem_exchange_bytes << ','
+        << o.mem_sort_bytes << ',' << o.mem_peak_bytes << ','
+        << o.transport_peers << '\n';
     }
   }
   return result;

@@ -17,6 +17,7 @@
 #include <numeric>
 #include <span>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/machine.hpp"
@@ -85,6 +86,19 @@ public:
   }
 
   const CommStats& stats() const { return machine_->ranks_[rank_].stats; }
+
+  /// Bytes of per-peer transport state (sequence counters, dedup sets, link
+  /// counters, crash acks) the machine holds for this rank. Sparse in the
+  /// peers actually touched and deterministic across execution modes, so
+  /// programs may fold it into exported metrics.
+  std::size_t memory_bytes() const {
+    return machine_->rank_transport_bytes(rank_);
+  }
+  /// Distinct peers with transport state on this rank (what the sparse
+  /// tables are bounded by, independent of world size).
+  std::size_t transport_peers() const {
+    return machine_->rank_transport_peers(rank_);
+  }
 
   /// RAII annotation for user code: wildcard receives inside the scope are
   /// declared order-insensitive — the caller keys results by source (or
@@ -248,6 +262,20 @@ public:
   /// through the broadcast root under the point-to-point model).
   template <typename T>
   std::vector<std::vector<T>> all_to_many(std::vector<std::vector<T>> send);
+
+  /// Sparse All-to-many: the same exchange expressed as (destination,
+  /// buffer) pairs, so a rank that talks to k neighbors allocates O(k)
+  /// instead of one buffer per world rank. Destinations may arrive in any
+  /// order (sorted internally; duplicates are an error); empty buffers are
+  /// legal and travel nowhere. Returns (source, buffer) pairs in ascending
+  /// source order, one per non-empty delivery (the self pair included when
+  /// non-empty). Wire-identical to the dense overload — same counts
+  /// allreduce, same ascending-destination message sequence — which
+  /// delegates here; the only O(p) allocation left is the count vector
+  /// inside the collective itself.
+  template <typename T>
+  std::vector<std::pair<int, std::vector<T>>> all_to_many(
+      std::vector<std::pair<int, std::vector<T>>> send);
 
 private:
   /// RAII guard marking execution inside a collective. While a rank's
@@ -416,37 +444,78 @@ std::vector<std::vector<T>> Comm::all_to_many(
   const int p = size();
   if (static_cast<int>(send_bufs.size()) != p)
     throw std::invalid_argument("all_to_many: need one buffer per rank");
+  // Delegate to the sparse exchange: non-empty buffers become (dest,
+  // buffer) pairs in ascending destination order, which is exactly the
+  // dense send order, so the wire traffic is unchanged.
+  std::vector<std::pair<int, std::vector<T>>> pairs;
+  for (int d = 0; d < p; ++d)
+    if (!send_bufs[static_cast<std::size_t>(d)].empty())
+      pairs.emplace_back(d, std::move(send_bufs[static_cast<std::size_t>(d)]));
+  auto recv_pairs = all_to_many(std::move(pairs));
+  std::vector<std::vector<T>> recv_bufs(static_cast<std::size_t>(p));
+  for (auto& [src, buf] : recv_pairs)
+    recv_bufs[static_cast<std::size_t>(src)] = std::move(buf);
+  return recv_bufs;
+}
+
+template <typename T>
+std::vector<std::pair<int, std::vector<T>>> Comm::all_to_many(
+    std::vector<std::pair<int, std::vector<T>>> send_pairs) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  std::sort(send_pairs.begin(), send_pairs.end(),
+            [](const std::pair<int, std::vector<T>>& a,
+               const std::pair<int, std::vector<T>>& b) {
+              return a.first < b.first;
+            });
+  for (std::size_t i = 0; i < send_pairs.size(); ++i) {
+    const int d = send_pairs[i].first;
+    if (d < 0 || d >= p)
+      throw std::invalid_argument("all_to_many: destination " +
+                                  std::to_string(d) +
+                                  " outside the current group");
+    if (i > 0 && send_pairs[i - 1].first == d)
+      throw std::invalid_argument("all_to_many: duplicate destination " +
+                                  std::to_string(d));
+  }
   CollectiveScope scope(*this);
 
   // Agree on receive counts: element d of the allreduced vector is the
-  // number of coalesced messages headed for rank d.
+  // number of coalesced messages headed for rank d. This count vector is
+  // the one deliberately dense O(p) table of the exchange — it lives only
+  // for the duration of the collective.
   const int r = rank();
   std::vector<std::uint32_t> incoming(static_cast<std::size_t>(p), 0);
-  for (int d = 0; d < p; ++d)
-    if (d != r && !send_bufs[static_cast<std::size_t>(d)].empty())
-      incoming[static_cast<std::size_t>(d)] = 1;
+  for (const auto& [d, buf] : send_pairs)
+    if (d != r && !buf.empty()) incoming[static_cast<std::size_t>(d)] = 1;
   incoming = allreduce(std::move(incoming),
                        [](std::uint32_t a, std::uint32_t b) { return a + b; });
   const std::uint32_t expected = incoming[static_cast<std::size_t>(r)];
 
-  std::vector<std::vector<T>> recv_bufs(static_cast<std::size_t>(p));
+  std::vector<std::pair<int, std::vector<T>>> recv_pairs;
+  recv_pairs.reserve(static_cast<std::size_t>(expected) + 1);
   // Local "self-message" costs nothing.
-  recv_bufs[static_cast<std::size_t>(r)] =
-      std::move(send_bufs[static_cast<std::size_t>(r)]);
+  for (auto& [d, buf] : send_pairs)
+    if (d == r && !buf.empty()) recv_pairs.emplace_back(r, std::move(buf));
 
-  // Post all sends (buffered), then receive the promised message count;
-  // each source sends at most one message, identified by its origin.
-  for (int d = 0; d < p; ++d) {
-    if (d == r) continue;
-    if (!send_bufs[static_cast<std::size_t>(d)].empty())
-      send(d, kTagAllToMany, send_bufs[static_cast<std::size_t>(d)]);
+  // Post all sends (buffered, ascending destination), then receive the
+  // promised message count; each source sends at most one message,
+  // identified by its origin.
+  for (auto& [d, buf] : send_pairs) {
+    if (d == r || buf.empty()) continue;
+    send(d, kTagAllToMany, buf);
   }
   for (std::uint32_t k = 0; k < expected; ++k) {
     int src = kAnySource;
     auto data = recv<T>(kAnySource, kTagAllToMany, &src);
-    recv_bufs[static_cast<std::size_t>(src)] = std::move(data);
+    recv_pairs.emplace_back(src, std::move(data));
   }
-  return recv_bufs;
+  std::sort(recv_pairs.begin(), recv_pairs.end(),
+            [](const std::pair<int, std::vector<T>>& a,
+               const std::pair<int, std::vector<T>>& b) {
+              return a.first < b.first;
+            });
+  return recv_pairs;
 }
 
 }  // namespace picpar::sim

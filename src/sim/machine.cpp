@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <limits>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -51,13 +52,20 @@ FaultCounters RunResult::faults_total() const {
 
 struct Machine::Sync {
   std::mutex mutex;
+  /// Main-thread wakeup (run completion / deadlock detection).
   std::condition_variable cv;
+  /// One condition variable per rank so a handoff wakes exactly the target
+  /// rank instead of broadcasting to all p parked threads — at p=1024+ a
+  /// notify_all per handoff is a thundering herd of p-1 futile wakeups.
+  std::unique_ptr<std::condition_variable[]> rank_cvs;
   std::vector<std::thread> threads;
 };
 
 Machine::Machine(int nranks, CostModel cost)
     : nranks_(nranks), cost_(cost), sync_(std::make_unique<Sync>()) {
   if (nranks <= 0) throw std::invalid_argument("Machine: nranks must be > 0");
+  sync_->rank_cvs = std::make_unique<std::condition_variable[]>(
+      static_cast<std::size_t>(nranks));
 }
 
 Machine::Machine(int nranks, CostModel cost, const FaultConfig& faults)
@@ -91,24 +99,25 @@ Machine::Candidate Machine::find_candidate(int rank, int src, int tag) {
   const bool dedup =
       faults_.message_faults() && faults_.config().duplicate_prob > 0.0;
   for (;;) {
-    if (scratch_head_.size() != static_cast<std::size_t>(nranks_))
-      scratch_head_.resize(static_cast<std::size_t>(nranks_));
-    std::fill(scratch_head_.begin(), scratch_head_.end(), -1);
+    // Flow heads of the sources actually present in the mailbox, sorted by
+    // source rank — O(distinct senders) instead of an O(p) dense sweep.
+    scratch_heads_.clear();
     for (int pos = 0; pos < static_cast<int>(rs.mailbox.size()); ++pos) {
       const Message& m = rs.mailbox[static_cast<std::size_t>(pos)];
       if (!match(m, src, tag)) continue;
-      int& head = scratch_head_[static_cast<std::size_t>(m.src)];
-      if (head < 0) {
-        head = pos;
+      const auto it = std::lower_bound(
+          scratch_heads_.begin(), scratch_heads_.end(), m.src,
+          [](const std::pair<int, int>& e, int s) { return e.first < s; });
+      if (it == scratch_heads_.end() || it->first != m.src) {
+        scratch_heads_.insert(it, {m.src, pos});
         continue;
       }
-      const Message& h = rs.mailbox[static_cast<std::size_t>(head)];
-      if (m.seq < h.seq || (m.seq == h.seq && !m.dup && h.dup)) head = pos;
+      const Message& h = rs.mailbox[static_cast<std::size_t>(it->second)];
+      if (m.seq < h.seq || (m.seq == h.seq && !m.dup && h.dup))
+        it->second = pos;
     }
     Candidate best;
-    for (int s = 0; s < nranks_; ++s) {
-      const int head = scratch_head_[static_cast<std::size_t>(s)];
-      if (head < 0) continue;
+    for (const auto& [s, head] : scratch_heads_) {
       const Message& h = rs.mailbox[static_cast<std::size_t>(head)];
       // Sources ascend, so on an arrival tie the lower source rank wins.
       if (best.pos >= 0 && h.arrival >= best.arrival) continue;
@@ -119,9 +128,7 @@ Machine::Candidate Machine::find_candidate(int rank, int src, int tag) {
       best.dup = h.dup;
     }
     if (best.pos < 0 || !dedup) return best;
-    if (rs.seen_seq.empty())
-      rs.seen_seq.resize(static_cast<std::size_t>(nranks_));
-    auto& seen = rs.seen_seq[static_cast<std::size_t>(best.src)];
+    auto& seen = rs.seen_seq.ref(best.src);
     if (seen.find(best.seq) == seen.end()) return best;
     // Duplicate redelivery of an already-consumed message: the transport
     // silently drops it and matching restarts.
@@ -288,6 +295,7 @@ void Machine::yield_from(int rank) {
       }
       current_ = -1;
       sync_->cv.notify_all();
+      for (int i = 0; i < nranks_; ++i) sync_->rank_cvs[i].notify_all();
       // Park forever; run() will detect deadlock and unwind via exception
       // propagated from the main thread. We still need to terminate this
       // thread: treat deadlock as fatal for the rank.
@@ -299,9 +307,11 @@ void Machine::yield_from(int rank) {
     return;
   }
   current_ = next;
-  sync_->cv.notify_all();
+  // Targeted handoff: wake only the rank that now owns execution.
+  sync_->rank_cvs[next].notify_one();
   if (ranks_[rank].done) return;  // finished ranks exit without re-waiting
-  sync_->cv.wait(lk, [&] { return current_ == rank || deadlocked_; });
+  sync_->rank_cvs[rank].wait(
+      lk, [&] { return current_ == rank || deadlocked_; });
   if (deadlocked_ && current_ != rank)
     throw DeadlockError("rank " + std::to_string(rank) +
                         " unwound due to deadlock");
@@ -344,9 +354,7 @@ int Machine::build_send(int src, int dst, int tag,
   // The link sequence number orders a link's traffic for deterministic
   // matching, so it is assigned on every send, faults or not. Assigned
   // before the observer fires so observers can key on (src, dst, seq).
-  if (s.next_seq.empty())
-    s.next_seq.assign(static_cast<std::size_t>(nranks_), 0);
-  m.seq = s.next_seq[static_cast<std::size_t>(dst)]++;
+  m.seq = s.next_seq.ref(dst)++;
 
   if (observer_) {
     SendEvent ev;
@@ -425,9 +433,7 @@ void Machine::do_send(int src, int dst, int tag,
 }
 
 LinkStats& Machine::link_stats(RankState& rs, int src) {
-  if (rs.links.empty())
-    rs.links.assign(static_cast<std::size_t>(nranks_), LinkStats{});
-  return rs.links[static_cast<std::size_t>(src)];
+  return rs.links.ref(src);
 }
 
 /// Receiver-side recovery of a delivery the fault model corrupted on the
@@ -485,11 +491,8 @@ Message Machine::commit_recv(int rank, const Candidate& c, int src, int tag,
                              bool fp_payload) {
   auto& rs = ranks_[static_cast<std::size_t>(rank)];
   const bool mf = faults_.message_faults();
-  if (mf && faults_.config().duplicate_prob > 0.0) {
-    if (rs.seen_seq.empty())
-      rs.seen_seq.resize(static_cast<std::size_t>(nranks_));
-    rs.seen_seq[static_cast<std::size_t>(c.src)].insert(c.seq);
-  }
+  if (mf && faults_.config().duplicate_prob > 0.0)
+    rs.seen_seq.ref(c.src).insert(c.seq);
   auto it = rs.mailbox.begin() + c.pos;
   Message m = std::move(*it);
   rs.mailbox.erase(it);
@@ -605,9 +608,7 @@ int Machine::pick_failure_victim() const {
     if (rs.done || !rs.waiting) continue;
     for (const auto& peer : ranks_) {
       if (!peer.crashed) continue;
-      if (rs.acked_peer.empty() ||
-          !rs.acked_peer[static_cast<std::size_t>(peer.id)])
-        return rs.id;
+      if (!rs.acked_peer.find(peer.id)) return rs.id;
     }
   }
   return -1;
@@ -615,15 +616,12 @@ int Machine::pick_failure_victim() const {
 
 void Machine::throw_peer_failure(int rank) {
   auto& rs = ranks_[static_cast<std::size_t>(rank)];
-  if (rs.acked_peer.empty())
-    rs.acked_peer.assign(static_cast<std::size_t>(nranks_), 0);
   const double lease = faults_.config().crash_lease_seconds;
   std::vector<CrashRecord> fresh;
   double bound = rs.clock.load();
   for (const auto& peer : ranks_) {
-    if (!peer.crashed || rs.acked_peer[static_cast<std::size_t>(peer.id)])
-      continue;
-    rs.acked_peer[static_cast<std::size_t>(peer.id)] = 1;
+    if (!peer.crashed || rs.acked_peer.find(peer.id)) continue;
+    rs.acked_peer.ref(peer.id) = 1;
     fresh.push_back({peer.id, peer.crash_vtime});
     bound = std::max(bound, peer.crash_vtime + lease);
   }
@@ -684,10 +682,18 @@ bool Machine::try_complete_membership() {
     pc.comm_seconds += v.vtime - rs.clock.load();
     rs.clock = v.vtime;
     rs.epoch = v.epoch;
-    if (rs.acked_peer.empty())
-      rs.acked_peer.assign(static_cast<std::size_t>(nranks_), 0);
-    for (const auto& peer : ranks_)
-      if (peer.crashed) rs.acked_peer[static_cast<std::size_t>(peer.id)] = 1;
+    for (const auto& peer : ranks_) {
+      if (!peer.crashed) continue;
+      rs.acked_peer.ref(peer.id) = 1;
+      // Membership-epoch purge of dead-peer transport state: a crashed rank
+      // never sends again and can never receive, so the dedup set and the
+      // sequence counter indexed by it are dead weight. Before the tables
+      // went sparse these slots (sized to the *initial* world) survived
+      // every shrink; now the entries are dropped outright, so post-crash
+      // state is indexed by live peers only.
+      rs.seen_seq.erase(peer.id);
+      rs.next_seq.erase(peer.id);
+    }
     // Purge pre-agreement traffic: messages stamped with an older epoch can
     // never be matched again (their senders' epoch has moved on, or died).
     auto& box = rs.mailbox;
@@ -717,7 +723,8 @@ MembershipView Machine::do_agree(int rank) {
 void Machine::rank_main(int rank, const std::function<void(Comm&)>& program) {
   {
     std::unique_lock<std::mutex> lk(sync_->mutex);
-    sync_->cv.wait(lk, [&] { return current_ == rank || deadlocked_; });
+    sync_->rank_cvs[rank].wait(
+        lk, [&] { return current_ == rank || deadlocked_; });
     if (deadlocked_) {
       ranks_[rank].done = true;
       --live_;
@@ -767,9 +774,6 @@ void Machine::reset_run_state() {
   crashed_count_ = 0;
   pending_view_ = MembershipView{};
   view_reported_.assign(static_cast<std::size_t>(nranks_), 0);
-  if (faults_.crash_faults())
-    for (auto& rs : ranks_)
-      rs.acked_peer.assign(static_cast<std::size_t>(nranks_), 0);
   deadlock_report_str_.clear();
   deadlock_blocked_.clear();
 }
@@ -798,7 +802,14 @@ RunResult Machine::collect_results() {
     rep.clock = rs.clock;
     rep.stats = rs.stats;
     if (faults_.enabled()) rep.faults = faults_.counters(rs.id);
-    rep.links = rs.links;
+    // The report keeps its dense per-source shape (indexed by world rank,
+    // serialized and compared slot-by-slot downstream); only the live
+    // machine state is sparse. Materialized here, at collection time.
+    if (!rs.links.empty()) {
+      rep.links.assign(static_cast<std::size_t>(nranks_), LinkStats{});
+      for (const auto& e : rs.links)
+        rep.links[static_cast<std::size_t>(e.rank)] = e.value;
+    }
     rep.crashed = rs.crashed;
     rep.crash_vtime = rs.crash_vtime;
     if (rs.crashed) result.crashes.push_back({rs.id, rs.crash_vtime});
@@ -806,6 +817,54 @@ RunResult Machine::collect_results() {
   }
   result.epochs = epoch_;
   return result;
+}
+
+std::size_t Machine::rank_transport_bytes(int rank) const {
+  const auto& rs = ranks_[static_cast<std::size_t>(rank)];
+  // Size-based (live entries, not capacity): a deterministic function of
+  // the rank's consumed/sent message history, so the value is identical
+  // across execution modes at the same program point — safe to export as a
+  // metric that must stay bit-identical between sequential and parallel.
+  using NextSeqMap = util::SparseRankMap<std::uint64_t>;
+  using SeenMap = util::SparseRankMap<std::unordered_set<std::uint64_t>>;
+  using LinkMap = util::SparseRankMap<LinkStats>;
+  using AckMap = util::SparseRankMap<char>;
+  std::size_t b = rs.next_seq.size() * sizeof(NextSeqMap::Entry) +
+                  rs.seen_seq.size() * sizeof(SeenMap::Entry) +
+                  rs.links.size() * sizeof(LinkMap::Entry) +
+                  rs.acked_peer.size() * sizeof(AckMap::Entry);
+  for (const auto& e : rs.seen_seq) {
+    // Nodes + bucket array of the dedup set (libstdc++ layout estimate).
+    b += e.value.size() * (sizeof(std::uint64_t) + 2 * sizeof(void*)) +
+         e.value.bucket_count() * sizeof(void*);
+  }
+  return b;
+}
+
+std::size_t Machine::rank_transport_peers(int rank) const {
+  const auto& rs = ranks_[static_cast<std::size_t>(rank)];
+  // Union of the peers present in any of the four transport maps; each map
+  // iterates in ascending rank order, so a 4-way ascending merge counts
+  // distinct peers without any allocation.
+  std::size_t n = 0;
+  auto a = rs.next_seq.begin();
+  auto b = rs.seen_seq.begin();
+  auto c = rs.links.begin();
+  auto d = rs.acked_peer.begin();
+  constexpr int kEnd = std::numeric_limits<int>::max();
+  for (;;) {
+    const int ra = a != rs.next_seq.end() ? a->rank : kEnd;
+    const int rb = b != rs.seen_seq.end() ? b->rank : kEnd;
+    const int rc = c != rs.links.end() ? c->rank : kEnd;
+    const int rd = d != rs.acked_peer.end() ? d->rank : kEnd;
+    const int m = std::min(std::min(ra, rb), std::min(rc, rd));
+    if (m == kEnd) return n;
+    ++n;
+    if (ra == m) ++a;
+    if (rb == m) ++b;
+    if (rc == m) ++c;
+    if (rd == m) ++d;
+  }
 }
 
 RunResult Machine::run(const std::function<void(Comm&)>& program) {
@@ -830,11 +889,11 @@ RunResult Machine::run_sequential(const std::function<void(Comm&)>& program) {
   {
     std::unique_lock<std::mutex> lk(sync_->mutex);
     current_ = 0;
-    sync_->cv.notify_all();
+    sync_->rank_cvs[0].notify_one();
     sync_->cv.wait(lk, [&] { return live_ == 0 || deadlocked_; });
     if (deadlocked_) {
       // Let every parked rank unwind so threads can be joined.
-      sync_->cv.notify_all();
+      for (int i = 0; i < nranks_; ++i) sync_->rank_cvs[i].notify_all();
       lk.unlock();
       for (auto& t : sync_->threads) t.join();
       sync_->threads.clear();

@@ -28,6 +28,7 @@
 #include "sim/faults.hpp"
 #include "sim/message.hpp"
 #include "sim/observer.hpp"
+#include "util/sparse_rank.hpp"
 
 namespace picpar::runtime {
 class ParallelEngine;  // src/runtime: executes ranks on real cores
@@ -280,6 +281,17 @@ public:
   /// several programs in sequence; clocks and stats reset between runs.
   RunResult run(const std::function<void(Comm&)>& program);
 
+  /// Bytes of per-peer transport state (sequence counters, dedup sets,
+  /// link counters, crash acks) held by one rank — the machine's share of
+  /// the per-rank memory budget. Size-based and a pure function of the
+  /// messages the rank has sent/consumed, so the value is identical across
+  /// execution modes at the same program point. Callable from the owning
+  /// rank's thread during a run (reads only rank-owned state).
+  std::size_t rank_transport_bytes(int rank) const;
+  /// Number of distinct peers with transport state on `rank` (the "touched
+  /// peers" count the sparse tables are bounded by).
+  std::size_t rank_transport_peers(int rank) const;
+
 private:
   friend class Comm;
   friend class picpar::runtime::ParallelEngine;
@@ -302,20 +314,24 @@ private:
     /// accumulation), so the analyzer must not flag them as races.
     int unordered_depth = 0;
     std::exception_ptr error;
-    // ---- transport state (allocated only when a fault model is active) ----
-    std::vector<std::uint64_t> next_seq;           ///< per-destination sender seq
+    // ---- transport state, sparse in *touched* peers ----
+    // Entries exist only for peers this rank actually exchanged messages
+    // with, so per-rank transport state is O(neighbors), not O(p). All four
+    // maps iterate in ascending rank order, matching the dense loops they
+    // replaced, so delivery order and every export stay bit-identical.
+    util::SparseRankMap<std::uint64_t> next_seq;  ///< per-destination sender seq
     /// Per-source seqs already delivered (duplicate suppression). Strictly
     /// membership-only — insert/count, never iterated — so its hash order
     /// can never leak into delivery order or any export.
     // picpar-lint: allow(unordered-iteration-escape) membership-only set
-    std::vector<std::unordered_set<std::uint64_t>> seen_seq;  ///< per-source
-    std::vector<LinkStats> links;                  ///< per-source counters
+    util::SparseRankMap<std::unordered_set<std::uint64_t>> seen_seq;
+    util::SparseRankMap<LinkStats> links;  ///< per-source counters
     // ---- fail-stop crash / membership state (crash faults only) ----
     bool crashed = false;
     double crash_vtime = 0.0;
-    /// Per-peer acknowledgement flags: acked_peer[k] is set once this rank
+    /// Per-peer acknowledgement: an entry for rank k exists once this rank
     /// has observed rank k's crash (via PeerFailedError or an agreement).
-    std::vector<char> acked_peer;
+    util::SparseRankMap<char> acked_peer;
     int epoch = 0;               ///< membership epoch this rank executes in
     bool in_membership = false;  ///< parked in agree_on_membership
     bool membership_ready = false;
@@ -471,9 +487,12 @@ private:
   /// single slot: a new agreement cannot complete until every survivor has
   /// consumed the previous one and re-entered the barrier.
   MembershipView pending_view_;
-  /// Per-source flow-head scratch for find_candidate (guarded by the
-  /// engine's serialization: handoff lock or the parallel engine mutex).
-  std::vector<int> scratch_head_;
+  /// Per-source flow-head scratch for find_candidate: sorted (src, mailbox
+  /// position) pairs over the sources present in the scanned mailbox, so
+  /// the scratch is O(distinct senders), not O(p). Capacity persists across
+  /// calls. Guarded by the engine's serialization (handoff lock or the
+  /// parallel engine mutex).
+  std::vector<std::pair<int, int>> scratch_heads_;
 
   ExecMode exec_mode_ = ExecMode::kSequential;
   std::function<RunResult(Machine&, const std::function<void(Comm&)>&)>

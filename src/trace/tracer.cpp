@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "util/env.hpp"
+#include "util/sparse_rank.hpp"
 #include "util/wall_clock.hpp"
 
 namespace picpar::trace {
@@ -149,22 +150,21 @@ void Tracer::on_run_end(
 void Tracer::build_flows() {
   if (!opt_.flows) return;
   // A link's sends are recorded in seq order (per-link seqs are dense and
-  // a rank's drops are a suffix of its stream), so index == seq.
-  std::vector<std::vector<std::vector<const SendRec*>>> by_link(
+  // a rank's drops are a suffix of its stream), so index == seq. Links are
+  // sparse in the destinations a sender actually touched — a neighbor-local
+  // workload at p ranks touches O(neighbors) peers, so a dense p x p table
+  // here would be the tracer's own O(p^2) blowup.
+  std::vector<util::SparseRankMap<std::vector<const SendRec*>>> by_src(
       static_cast<std::size_t>(nranks_));
-  for (int s = 0; s < nranks_; ++s) {
-    by_link[static_cast<std::size_t>(s)].resize(
-        static_cast<std::size_t>(nranks_));
+  for (int s = 0; s < nranks_; ++s)
     for (const SendRec& rec : bufs_[static_cast<std::size_t>(s)].sends)
-      by_link[static_cast<std::size_t>(s)][static_cast<std::size_t>(rec.dst)]
-          .push_back(&rec);
-  }
+      by_src[static_cast<std::size_t>(s)].ref(rec.dst).push_back(&rec);
   for (int r = 0; r < nranks_; ++r) {
     for (const RecvRec& rec : bufs_[static_cast<std::size_t>(r)].recvs) {
-      const auto& link =
-          by_link[static_cast<std::size_t>(rec.src)][static_cast<std::size_t>(r)];
-      if (rec.seq >= link.size()) continue;  // send record was dropped
-      const SendRec& send = *link[rec.seq];
+      const auto* link = by_src[static_cast<std::size_t>(rec.src)].find(r);
+      if (!link || rec.seq >= link->size())
+        continue;  // send record was dropped
+      const SendRec& send = *(*link)[rec.seq];
       Flow f;
       f.src = rec.src;
       f.dst = r;
@@ -247,6 +247,7 @@ void Tracer::build_metrics() {
   std::uint64_t crashes = 0, detections = 0, epochs = 0;
   double mttr = 0.0, lost = 0.0, restored = 0.0, recoveries = 0.0;
   double mem_peak = 0.0;
+  double mem_machine = 0.0, mem_exchange = 0.0, mem_sort = 0.0;
   for (const Mark& m : data_.marks) {
     if (m.name == kMarkTransportRetry) metrics_.add("transport.retries");
     // Ghost-table size distribution: one observation per rank per
@@ -265,6 +266,11 @@ void Tracer::build_metrics() {
     if (m.name == kMarkCrashLost) lost += m.value;
     if (m.name == kMarkCrashRestored) restored += m.value;
     if (m.name == kMarkMemPeak) mem_peak = std::max(mem_peak, m.value);
+    if (m.name == kMarkMemMachine)
+      mem_machine = std::max(mem_machine, m.value);
+    if (m.name == kMarkMemExchange)
+      mem_exchange = std::max(mem_exchange, m.value);
+    if (m.name == kMarkMemSort) mem_sort = std::max(mem_sort, m.value);
   }
   if (crashes > 0) metrics_.add("fault.crashes", crashes);
   if (detections > 0) metrics_.add("fault.crash_detections", detections);
@@ -277,6 +283,12 @@ void Tracer::build_metrics() {
     metrics_.set("recovery.restored_particles", restored);
   }
   if (mem_peak > 0.0) metrics_.set("mem.peak_bytes", mem_peak);
+  // Per-subsystem memory budget: gauge = max over ranks of each rank's
+  // per-run peak, same folding rule as mem.peak_bytes. Absent from runs
+  // whose driver predates the breakdown, so old snapshots stay identical.
+  if (mem_machine > 0.0) metrics_.set("mem.machine_bytes", mem_machine);
+  if (mem_exchange > 0.0) metrics_.set("mem.exchange_bytes", mem_exchange);
+  if (mem_sort > 0.0) metrics_.set("mem.sort_bytes", mem_sort);
 
   metrics_.add("trace.spans", data_.spans.size());
   metrics_.add("trace.flows", data_.flows.size());

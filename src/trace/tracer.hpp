@@ -60,6 +60,15 @@ inline constexpr const char* kMarkCrashRestored =
     "pic.crash_restored";  ///< rank 0, value = particles restored from ckpt
 inline constexpr const char* kMarkMemPeak =
     "mem.peak_bytes";  ///< every rank, value = peak ghost+sort bytes
+// Per-subsystem memory-budget breakdown (every rank, per-run peak bytes).
+// All three are deterministic functions of the rank's event history, so the
+// derived gauges stay byte-identical across execution modes.
+inline constexpr const char* kMarkMemMachine =
+    "mem.machine_bytes";  ///< sparse per-peer transport tables
+inline constexpr const char* kMarkMemExchange =
+    "mem.exchange_bytes";  ///< ghost tables + staged exchange messages
+inline constexpr const char* kMarkMemSort =
+    "mem.sort_bytes";  ///< partitioner sort buckets + bounds
 
 /// One contiguous interval a rank spent in one phase. Virtual times are
 /// deterministic; w0/w1 are wall-clock microseconds since run start and are

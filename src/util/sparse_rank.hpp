@@ -1,0 +1,94 @@
+// Sparse per-peer map keyed by rank id.
+//
+// Per-rank communication state in a neighbor-sparse PIC run touches a
+// handful of peers out of thousands of ranks, so dense `vector<T>(nranks)`
+// tables cost O(p) per rank / O(p^2) per machine for data that is almost
+// entirely zero. SparseRankMap stores only the touched entries in a sorted
+// vector of (rank, value) pairs:
+//
+//   - ref(rank)  inserts a default-constructed value at the sorted position
+//                on first touch and returns a reference (O(log k) search,
+//                O(k) shift on insert; k = touched peers, typically ~8).
+//   - find(rank) returns nullptr when the peer was never touched, so read
+//                paths stay allocation-free.
+//   - iteration  is in ascending rank order, which is exactly the
+//                deterministic order the dense loops iterated in — sparse
+//                callers replace `for (r = 0; r < p; ++r)` loops without
+//                changing any observable ordering.
+//
+// clear() keeps the entry capacity so steady-state iterations do not
+// reallocate; memory_bytes() reports the footprint for the per-rank memory
+// budget (capacity-based: capacity is what the rank actually pins).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace picpar::util {
+
+template <typename T>
+class SparseRankMap {
+public:
+  struct Entry {
+    int rank;
+    T value;
+  };
+  using const_iterator = typename std::vector<Entry>::const_iterator;
+  using iterator = typename std::vector<Entry>::iterator;
+
+  /// Value for `rank`, default-constructed and inserted on first touch.
+  T& ref(int rank) {
+    const auto it = lower(rank);
+    if (it != entries_.end() && it->rank == rank) return it->value;
+    return entries_.insert(it, Entry{rank, T{}})->value;
+  }
+
+  /// Value for `rank`, nullptr when never touched. Never allocates.
+  T* find(int rank) {
+    const auto it = lower(rank);
+    return (it != entries_.end() && it->rank == rank) ? &it->value : nullptr;
+  }
+  const T* find(int rank) const {
+    return const_cast<SparseRankMap*>(this)->find(rank);
+  }
+
+  /// Remove the entry for `rank` (no-op when absent). Returns whether an
+  /// entry was removed. Capacity is retained.
+  bool erase(int rank) {
+    const auto it = lower(rank);
+    if (it == entries_.end() || it->rank != rank) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Drop all entries but keep the capacity (steady-state reuse).
+  void clear() { entries_.clear(); }
+
+  // Ascending-rank iteration (the deterministic replacement for dense
+  // `for (r = 0; r < p; ++r)` loops).
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  /// Footprint of the entry storage itself (capacity-based). Values that
+  /// own further heap memory (vectors, sets) must be added by the caller.
+  std::size_t memory_bytes() const {
+    return entries_.capacity() * sizeof(Entry);
+  }
+
+private:
+  typename std::vector<Entry>::iterator lower(int rank) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), rank,
+        [](const Entry& e, int r) { return e.rank < r; });
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace picpar::util

@@ -305,6 +305,49 @@ TEST(GhostExchange, HashGenerationResetSurvivesGrowthAndReuse) {
   }
 }
 
+// memory_bytes() must charge for the transient message staging too: the
+// scatter send tables and gather reply buffers are live at the rank's peak,
+// and an earlier version of the accounting missed them (the budget report
+// undercounted exactly when the exchange was busiest). Pin the fold-in via
+// the high-water mark: flushing a non-empty exchange must raise the
+// reported bytes, and the mark never decays across iterations.
+TEST(GhostExchange, MemoryBytesCountsStagedMessages) {
+  GridDesc g(16, 16);
+  const auto part = GridPartition::block(g, 2, 1);
+  std::vector<std::size_t> peak(2, 0);
+  sim::Machine m(2, sim::CostModel::zero());
+  m.run([&](sim::Comm& c) {
+    LocalGrid lg(part, c.rank());
+    FieldState f(lg);
+    GhostExchange ge(lg, DedupPolicy::kHash);
+    ge.begin_iteration();
+    if (c.rank() == 0) {
+      for (std::uint32_t y = 0; y < 10; ++y)
+        ge.deposit_slot(g.node_id(12, y))[3] += 1.0;
+    }
+    const std::size_t before = ge.memory_bytes();
+    ge.flush_scatter(c, f);
+    const std::size_t after_scatter = ge.memory_bytes();
+    if (c.rank() == 0) {
+      // The staged (gid, 4 sums) send table is part of the peak footprint.
+      EXPECT_GT(after_scatter, before);
+    }
+    ge.fetch_fields(c, f);
+    const std::size_t after_fetch = ge.memory_bytes();
+    EXPECT_GE(after_fetch, after_scatter);
+    // High-water semantics: a fresh iteration may free per-request scratch,
+    // but the message peak persists, so the budget still charges for the
+    // staging even before the next flush.
+    ge.begin_iteration();
+    EXPECT_GT(ge.memory_bytes(), before);
+    peak[static_cast<std::size_t>(c.rank())] = after_fetch;
+  });
+  EXPECT_GT(peak[0], 0u);
+  // The owner stages reply buffers in fetch_fields, so it carries a
+  // message peak as well.
+  EXPECT_GT(peak[1], 0u);
+}
+
 TEST(GhostExchange, ParsePolicyNames) {
   EXPECT_EQ(parse_dedup_policy("hash"), DedupPolicy::kHash);
   EXPECT_EQ(parse_dedup_policy("direct"), DedupPolicy::kDirect);

@@ -1,7 +1,9 @@
 // Collectives, parameterized over machine sizes including non-powers of two.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "sim/comm.hpp"
 
@@ -166,6 +168,60 @@ TEST_P(Collectives, AllToManyAllEmpty) {
     auto recv = c.all_to_many(std::move(send));
     for (const auto& b : recv) EXPECT_TRUE(b.empty());
   });
+}
+
+TEST_P(Collectives, AllToManyPairsMatchesDense) {
+  // The dense overload delegates to the sparse one, so equivalence here is
+  // the contract that every pre-sparsification caller still gets the exact
+  // exchange it got before: same payloads, same source attribution.
+  auto m = machine();
+  const int n = p();
+  m.run([n](Comm& c) {
+    // Every rank sends to its ring neighbors and to rank 0, skipping one
+    // destination class so some buffers are empty in the dense form.
+    auto payload = [&](int src, int dst) {
+      return std::vector<int>{src * 1000 + dst, dst};
+    };
+    std::vector<std::vector<int>> dense(static_cast<std::size_t>(n));
+    std::vector<std::pair<int, std::vector<int>>> pairs;
+    // Deliberately unsorted destination order for the sparse form.
+    for (const int d : {0, (c.rank() + 1) % n, (c.rank() + n - 1) % n}) {
+      if (!dense[static_cast<std::size_t>(d)].empty()) continue;
+      dense[static_cast<std::size_t>(d)] = payload(c.rank(), d);
+      pairs.emplace_back(d, payload(c.rank(), d));
+    }
+    std::reverse(pairs.begin(), pairs.end());
+    const auto dense_recv = c.all_to_many(std::move(dense));
+    const auto sparse_recv = c.all_to_many(std::move(pairs));
+    // Sparse result expanded to dense shape must match exactly.
+    std::vector<std::vector<int>> expanded(static_cast<std::size_t>(n));
+    int prev_src = -1;
+    for (const auto& [src, buf] : sparse_recv) {
+      EXPECT_GT(src, prev_src) << "sources must ascend";
+      prev_src = src;
+      EXPECT_FALSE(buf.empty()) << "empty deliveries must be dropped";
+      expanded[static_cast<std::size_t>(src)] = buf;
+    }
+    EXPECT_EQ(expanded, dense_recv);
+  });
+}
+
+TEST_P(Collectives, AllToManyPairsValidation) {
+  auto m = machine();
+  EXPECT_THROW(m.run([](Comm& c) {
+                 std::vector<std::pair<int, std::vector<int>>> send;
+                 send.emplace_back(c.size(), std::vector<int>{1});
+                 (void)c.all_to_many(std::move(send));
+               }),
+               std::invalid_argument);
+  auto m2 = machine();
+  EXPECT_THROW(m2.run([](Comm& c) {
+                 std::vector<std::pair<int, std::vector<int>>> send;
+                 send.emplace_back(0, std::vector<int>{1});
+                 send.emplace_back(0, std::vector<int>{2});
+                 (void)c.all_to_many(std::move(send));
+               }),
+               std::invalid_argument);
 }
 
 TEST_P(Collectives, AllToManyWrongSizeThrows) {

@@ -1,0 +1,149 @@
+// Per-rank transport state must be sparse: a rank that exchanges with k
+// peers holds O(k) sequence/link/dedup state regardless of the world size.
+// These tests pin the invariant directly through the machine's accounting
+// accessors (rank_transport_bytes / rank_transport_peers) — the regression
+// they guard is the dense per-rank `vector(nranks)` layout, whose footprint
+// scales O(p) per rank and O(p^2) per machine, and which kept dead-rank
+// slots alive after shrink-to-survivors recovery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "sim/faults.hpp"
+
+namespace picpar::sim {
+namespace {
+
+/// A few rounds of nearest-neighbor ring exchange: each rank touches
+/// exactly two peers (send right, receive left), no collectives.
+void ring_rounds(Comm& c, int rounds) {
+  const int n = c.size();
+  if (n == 1) return;
+  const int right = (c.rank() + 1) % n;
+  const int left = (c.rank() + n - 1) % n;
+  for (int i = 0; i < rounds; ++i) {
+    c.send(right, 5, std::vector<int>{c.rank(), i});
+    (void)c.recv<int>(left, 5);
+  }
+}
+
+struct RingFootprint {
+  std::size_t max_bytes = 0;
+  std::size_t max_peers = 0;
+};
+
+RingFootprint ring_footprint(int p) {
+  Machine m(p, CostModel::zero());
+  m.run([](Comm& c) { ring_rounds(c, 3); });
+  RingFootprint fp;
+  for (int r = 0; r < p; ++r) {
+    fp.max_bytes = std::max(fp.max_bytes, m.rank_transport_bytes(r));
+    fp.max_peers = std::max(fp.max_peers, m.rank_transport_peers(r));
+  }
+  return fp;
+}
+
+TEST(TransportState, RingTouchesOnePeerAtAnyWorldSize) {
+  const auto fp8 = ring_footprint(8);
+  const auto fp64 = ring_footprint(64);
+  const auto fp256 = ring_footprint(256);
+
+  // Only the send side keeps persistent per-peer state (the outgoing
+  // sequence counter); a fault-free receive consumes its message and
+  // retains nothing. One send-to peer — never more, at any p.
+  EXPECT_EQ(fp8.max_peers, 1u);
+  EXPECT_EQ(fp64.max_peers, 1u);
+  EXPECT_EQ(fp256.max_peers, 1u);
+
+  // The footprint is a function of the communication pattern, not the
+  // world size: every rank runs the identical ring pattern, so the
+  // per-rank bytes are exactly equal across machine sizes. A dense layout
+  // scales them with p.
+  EXPECT_GT(fp8.max_bytes, 0u);
+  EXPECT_EQ(fp8.max_bytes, fp64.max_bytes);
+  EXPECT_EQ(fp8.max_bytes, fp256.max_bytes);
+}
+
+TEST(TransportState, UntouchedRanksHoldNoTransportState) {
+  // Only ranks 0 and 1 talk; everyone else stays idle. Idle ranks must pin
+  // zero transport bytes — the dense layout charged them O(p) each.
+  const int p = 32;
+  Machine m(p, CostModel::zero());
+  m.run([](Comm& c) {
+    if (c.rank() == 0) c.send(1, 9, std::vector<int>{42});
+    if (c.rank() == 1) (void)c.recv<int>(0, 9);
+  });
+  for (int r = 2; r < p; ++r) {
+    EXPECT_EQ(m.rank_transport_bytes(r), 0u) << "rank " << r;
+    EXPECT_EQ(m.rank_transport_peers(r), 0u) << "rank " << r;
+  }
+  EXPECT_EQ(m.rank_transport_peers(0), 1u);
+  // The receiver holds no persistent per-peer state in a fault-free run:
+  // dedup sets are only materialized under duplicate injection.
+  EXPECT_EQ(m.rank_transport_peers(1), 0u);
+  EXPECT_EQ(m.rank_transport_bytes(1), 0u);
+}
+
+/// Ring exchange that rides through fail-stop crashes: on PeerFailedError
+/// the survivors agree on membership and continue on the shrunken ring.
+/// The per-round allreduce spans the whole group, so every survivor is
+/// guaranteed to observe the failure and reach the agreement round.
+void resilient_ring(Comm& c, int rounds) {
+  int done = 0;
+  for (;;) {
+    try {
+      while (done < rounds) {
+        ring_rounds(c, 1);
+        (void)c.allreduce_sum<long>(1);
+        ++done;
+      }
+      return;
+    } catch (const PeerFailedError&) {
+      (void)c.agree_on_membership();
+      done = c.allreduce_min(done);
+    }
+  }
+}
+
+TEST(TransportState, CrashRecoveryStaysSparseAndDeterministic) {
+  // World of 48 with duplicate-injection (so the seen_seq dedup sets are
+  // exercised) and one mid-run crash. After shrink-to-survivors recovery,
+  // per-rank transport state must stay O(touched peers): ring neighbors
+  // before and after the shrink, the collectives' O(log p) tree partners,
+  // and the acked crash record — nowhere near the 47 peers a dense (or
+  // stale, never-purged) table would report.
+  const int p = 48;
+  const auto run_once = [&](std::vector<std::size_t>& bytes,
+                            std::vector<std::size_t>& peers) {
+    FaultConfig cfg;
+    cfg.seed = 7;
+    cfg.duplicate_prob = 0.2;
+    cfg.crash_schedule = {{5, 2e-4}};
+    Machine m(p, CostModel::cm5(), cfg);
+    const auto run = m.run([](Comm& c) { resilient_ring(c, 6); });
+    ASSERT_EQ(run.crashes.size(), 1u);
+    for (int r = 0; r < p; ++r) {
+      bytes.push_back(m.rank_transport_bytes(r));
+      peers.push_back(m.rank_transport_peers(r));
+    }
+  };
+
+  std::vector<std::size_t> bytes1, peers1, bytes2, peers2;
+  run_once(bytes1, peers1);
+  run_once(bytes2, peers2);
+
+  // The recovery trajectory — including the membership-epoch purge of the
+  // dead rank's sequence state — is deterministic, so the accounting is
+  // bit-identical across runs.
+  EXPECT_EQ(bytes1, bytes2);
+  EXPECT_EQ(peers1, peers2);
+
+  const std::size_t max_peers = *std::max_element(peers1.begin(), peers1.end());
+  EXPECT_LE(max_peers, 16u) << "transport state grew toward world size";
+  EXPECT_GT(max_peers, 0u);
+}
+
+}  // namespace
+}  // namespace picpar::sim

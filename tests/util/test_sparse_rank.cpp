@@ -1,0 +1,93 @@
+// SparseRankMap: the sorted-vector per-peer map underneath the machine's
+// transport state, the ghost-exchange routing table, and the partitioner's
+// redistribution send tables. The properties pinned here are the ones the
+// bit-identity argument leans on: ascending-rank iteration order, stable
+// insert-or-get semantics, clear() keeping capacity, and capacity-based
+// memory accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/sparse_rank.hpp"
+
+namespace picpar::util {
+namespace {
+
+TEST(SparseRankMap, RefInsertsAndFinds) {
+  SparseRankMap<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(3), nullptr);
+
+  m.ref(3) = 30;
+  m.ref(1) = 10;
+  m.ref(7) = 70;
+  EXPECT_EQ(m.size(), 3u);
+  ASSERT_NE(m.find(3), nullptr);
+  EXPECT_EQ(*m.find(3), 30);
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 10);
+  EXPECT_EQ(m.find(2), nullptr);
+
+  // ref on an existing rank returns the same slot, no duplicate entry.
+  m.ref(3) += 5;
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(*m.find(3), 35);
+}
+
+TEST(SparseRankMap, IterationAscendsByRank) {
+  SparseRankMap<int> m;
+  for (const int r : {9, 2, 5, 0, 7}) m.ref(r) = r * 10;
+  std::vector<int> order;
+  for (const auto& e : m) order.push_back(e.rank);
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 5, 7, 9}));
+}
+
+TEST(SparseRankMap, EraseRemovesOnlyTarget) {
+  SparseRankMap<int> m;
+  for (const int r : {1, 4, 6}) m.ref(r) = r;
+  EXPECT_TRUE(m.erase(4));
+  EXPECT_FALSE(m.erase(4));
+  EXPECT_FALSE(m.erase(99));
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.find(4), nullptr);
+  ASSERT_NE(m.find(1), nullptr);
+  ASSERT_NE(m.find(6), nullptr);
+}
+
+TEST(SparseRankMap, ClearKeepsCapacity) {
+  SparseRankMap<int> m;
+  for (int r = 0; r < 32; ++r) m.ref(r) = r;
+  const std::size_t bytes = m.memory_bytes();
+  EXPECT_GT(bytes, 0u);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  // Steady-state reuse must not reallocate: capacity (and the bytes the
+  // budget charges for it) persists across clear().
+  EXPECT_EQ(m.memory_bytes(), bytes);
+  m.ref(5) = 1;
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.memory_bytes(), bytes);
+}
+
+TEST(SparseRankMap, ConstFind) {
+  SparseRankMap<std::string> m;
+  m.ref(2) = "two";
+  const auto& cm = m;
+  ASSERT_NE(cm.find(2), nullptr);
+  EXPECT_EQ(*cm.find(2), "two");
+  EXPECT_EQ(cm.find(0), nullptr);
+}
+
+TEST(SparseRankMap, MemoryBytesTracksCapacity) {
+  SparseRankMap<std::uint64_t> m;
+  EXPECT_EQ(m.memory_bytes(), 0u);
+  m.ref(0) = 1;
+  const auto one = m.memory_bytes();
+  EXPECT_GE(one, sizeof(int) + sizeof(std::uint64_t));
+  for (int r = 1; r < 100; ++r) m.ref(r) = 1;
+  EXPECT_GT(m.memory_bytes(), one);
+}
+
+}  // namespace
+}  // namespace picpar::util
